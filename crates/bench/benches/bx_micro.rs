@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the Bˣ substrate: the Z-order kernel,
+//! B⁺-tree throughput, and the Bˣ-vs-TPR update/query contrast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cij_bench::runner::fresh_pool;
+use cij_bx::{z_decompose, z_encode, BxConfig, BxTree};
+use cij_tpr::{TprTree, TreeConfig};
+use cij_workload::{generate_set, Params, SetTag};
+
+fn bench_zorder(c: &mut Criterion) {
+    c.bench_function("bx/z_encode_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for x in 0..64u16 {
+                for y in 0..64u16 {
+                    acc ^= z_encode(black_box(x * 31), black_box(y * 17));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("bx/z_decompose_window", |b| {
+        b.iter(|| black_box(z_decompose(1000, 1400, 2000, 2300, 64).len()))
+    });
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let params = Params { dataset_size: 2_000, ..Params::default() };
+    let objs = generate_set(&params, SetTag::A, 0, 0.0);
+    let mut group = c.benchmark_group("bx_vs_tpr_updates_2k");
+    group.sample_size(10);
+
+    group.bench_function("tpr_update_cycle", |b| {
+        let mut tree = TprTree::new(fresh_pool(), TreeConfig::default());
+        for o in &objs {
+            tree.insert(o.id, o.mbr, 0.0).expect("insert");
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let o = &objs[i % objs.len()];
+            tree.delete(o.id, &o.mbr, 0.0).expect("delete");
+            tree.insert(o.id, o.mbr, 0.0).expect("insert");
+            i += 1;
+        })
+    });
+    group.bench_function("bx_update_cycle", |b| {
+        let config = BxConfig { space: params.space, max_speed: params.max_speed, ..BxConfig::default() };
+        let mut bx = BxTree::new(fresh_pool(), config);
+        for o in &objs {
+            bx.insert(o.id, o.mbr, 0.0).expect("insert");
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let o = &objs[i % objs.len()];
+            bx.remove(o.id, &o.mbr, 0.0).expect("remove");
+            bx.insert(o.id, o.mbr, 0.0).expect("insert");
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_window_queries(c: &mut Criterion) {
+    let params = Params { dataset_size: 5_000, ..Params::default() };
+    let objs = generate_set(&params, SetTag::A, 0, 0.0);
+    let window = cij_geom::Rect::new([400.0, 400.0], [460.0, 460.0]);
+    let mut group = c.benchmark_group("bx_vs_tpr_window_5k");
+
+    let mut tpr = TprTree::new(fresh_pool(), TreeConfig::default());
+    for o in &objs {
+        tpr.insert(o.id, o.mbr, 0.0).expect("insert");
+    }
+    group.bench_function("tpr_range_at", |b| {
+        b.iter(|| black_box(tpr.range_at(&window, 30.0).expect("query").len()))
+    });
+
+    let config = BxConfig { space: params.space, max_speed: params.max_speed, ..BxConfig::default() };
+    let mut bx = BxTree::new(fresh_pool(), config);
+    for o in &objs {
+        bx.insert(o.id, o.mbr, 0.0).expect("insert");
+    }
+    group.bench_function("bx_range_at", |b| {
+        b.iter(|| black_box(bx.range_at(&window, 30.0).expect("query").len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zorder, bench_update_throughput, bench_window_queries);
+criterion_main!(benches);

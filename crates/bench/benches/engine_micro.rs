@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the continuous engines: one tick of
+//! maintenance (updates + event processing) under each engine — the
+//! steady-state cost the paper's Fig. 13 amortizes per update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cij_bench::runner::EngineKind;
+use cij_join::techniques;
+use cij_workload::Params;
+
+fn params() -> Params {
+    Params { dataset_size: 1_000, ..Params::default() }
+}
+
+/// One measured iteration = advance a fresh engine through `ticks` ticks
+/// of the deterministic update stream.
+fn run_ticks(kind: EngineKind, ticks: u32) -> usize {
+    let p = params();
+    let (mut engine, mut stream, _pool) = kind.build(&p, techniques::ALL).expect("build");
+    engine.run_initial_join(0.0).expect("initial");
+    for tick in 1..=ticks {
+        let now = f64::from(tick);
+        engine.advance_time(now).expect("advance");
+        for u in stream.tick(now) {
+            engine.apply_update(&u, now).expect("update");
+        }
+    }
+    engine.result_at(f64::from(ticks)).len()
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_5_ticks_1k");
+    group.sample_size(10);
+    for kind in [EngineKind::Tc, EngineKind::Mtb, EngineKind::Etp, EngineKind::Naive] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| black_box(run_ticks(*kind, 5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_initial_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_initial_1k");
+    group.sample_size(10);
+    for kind in [EngineKind::Tc, EngineKind::Mtb, EngineKind::Etp, EngineKind::Naive] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                let p = params();
+                let (mut engine, _stream, _pool) =
+                    kind.build(&p, techniques::ALL).expect("build");
+                engine.run_initial_join(0.0).expect("initial");
+                black_box(engine.result_at(0.0).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance, bench_initial_join);
+criterion_main!(benches);

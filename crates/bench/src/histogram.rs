@@ -1,0 +1,129 @@
+//! A log-bucketed latency histogram for per-operation percentile
+//! reporting (p50/p95/p99 of maintenance updates — averages hide the
+//! tail that decides whether a timestamp's updates finish within the
+//! timestamp, which is the paper's real-time argument).
+
+use std::time::Duration;
+
+/// Buckets per decade (5 % resolution is plenty for benchmark tables).
+const BUCKETS_PER_DECADE: usize = 48;
+/// Smallest representable latency (1 ns) and number of decades (1 ns →
+/// 100 s).
+const DECADES: usize = 11;
+
+/// Fixed-memory log-bucketed histogram of durations.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS_PER_DECADE * DECADES], total: 0, max: Duration::ZERO }
+    }
+
+    fn bucket_of(d: Duration) -> usize {
+        let ns = d.as_nanos().max(1) as f64;
+        let pos = ns.log10() * BUCKETS_PER_DECADE as f64;
+        (pos as usize).min(BUCKETS_PER_DECADE * DECADES - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        self.counts[Self::bucket_of(d)] += 1;
+        self.total += 1;
+        self.max = self.max.max(d);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The maximum recorded value (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (bucket upper edge; ±5 %).
+    ///
+    /// # Panics
+    /// Panics when the histogram is empty or `q` is out of range.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(self.total > 0, "empty histogram has no quantiles");
+        let rank = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper_ns = 10f64.powf((i + 1) as f64 / BUCKETS_PER_DECADE as f64);
+                return Duration::from_nanos(upper_ns as u64);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 100 samples: 1µs … 100µs linearly.
+        for i in 1..=100u64 {
+            h.record(Duration::from_micros(i));
+        }
+        assert_eq!(h.len(), 100);
+        let p50 = h.quantile(0.5).as_micros() as f64;
+        assert!((45.0..=56.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99).as_micros() as f64;
+        assert!((90.0..=110.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.max(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(3));
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= Duration::from_micros(2800) && p50 <= Duration::from_micros(3300));
+        assert_eq!(h.quantile(1.0), h.quantile(0.0));
+    }
+
+    #[test]
+    fn extreme_values_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1000));
+        assert_eq!(h.len(), 2);
+        assert!(h.quantile(0.01) <= Duration::from_nanos(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn empty_quantile_panics() {
+        let _ = LatencyHistogram::new().quantile(0.5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal table formatting for experiment output (markdown-compatible,
+//! so runs paste straight into EXPERIMENTS.md).
+
+/// One output row: a label plus one cell per column.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. the parameter value).
+    pub label: String,
+    /// Cell values, already formatted.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from a label and formatted cells.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        Self { label: label.into(), cells }
+    }
+}
+
+/// A titled table with a header and rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (figure id + description).
+    pub title: String,
+    /// First header cell (the sweep parameter name).
+    pub key_header: String,
+    /// Remaining header cells.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        key_header: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Self {
+            title: title.into(),
+            key_header: key_header.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as a markdown table (also readable as plain text).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = Vec::with_capacity(self.headers.len() + 1);
+        widths.push(
+            self.rows
+                .iter()
+                .map(|r| r.label.len())
+                .chain([self.key_header.len()])
+                .max()
+                .unwrap_or(4),
+        );
+        for (i, h) in self.headers.iter().enumerate() {
+            widths.push(
+                self.rows
+                    .iter()
+                    .map(|r| r.cells[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(4),
+            );
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        let pad = |s: &str, w: usize| format!("{s:<w$}");
+        out.push_str(&format!("| {} |", pad(&self.key_header, widths[0])));
+        for (i, h) in self.headers.iter().enumerate() {
+            out.push_str(&format!(" {} |", pad(h, widths[i + 1])));
+        }
+        out.push('\n');
+        out.push_str(&format!("|{}|", "-".repeat(widths[0] + 2)));
+        for w in &widths[1..] {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("| {} |", pad(&r.label, widths[0])));
+            for (i, c) in r.cells.iter().enumerate() {
+                out.push_str(&format!(" {} |", pad(c, widths[i + 1])));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Formats a duration in adaptive units.
+#[must_use]
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Fig X", "size", &["io", "time"]);
+        t.push(Row::new("1K", vec!["10".into(), "1.00 ms".into()]));
+        t.push(Row::new("100K", vec!["123456".into(), "2.00 s".into()]));
+        let md = t.to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("| size |"));
+        assert!(md.contains("| 100K | 123456 | 2.00 s  |"));
+        // Header separator row present (markdown validity).
+        assert!(md.lines().nth(3).unwrap().starts_with("|--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", "k", &["a", "b"]);
+        t.push(Row::new("x", vec!["only-one".into()]));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0 µs");
+    }
+}

@@ -1,0 +1,506 @@
+//! A disk-resident B⁺-tree with fixed-size values and duplicate-key
+//! support — the per-partition structure of the Bˣ-tree.
+//!
+//! Layout (one node per 4 KB page):
+//! * internal: `[magic u16 | kind u8 | pad u8 | count u16]`, `count`
+//!   keys (`u64`) and `count + 1` child page ids (`u32`);
+//! * leaf: same header plus a `next_leaf` pointer (`u32`), then `count`
+//!   `(key u64, value [u8; V])` entries, sorted by key.
+//!
+//! Deletion is *lazy* (no merge/steal): the Bˣ discipline drops whole
+//! partitions when their time bucket expires ([`BPlusTree::free_all`]),
+//! so under-full leaves live at most one bucket. Range scans follow the
+//! leaf chain, which keeps them correct regardless of fill.
+
+use cij_storage::codec::{PageReader, PageWriter};
+use cij_storage::{BufferPool, PageId, StorageError, StorageResult, PAGE_SIZE};
+
+const MAGIC: u16 = 0x4278; // "Bx"
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+const HEADER: usize = 6;
+
+/// A B⁺-tree over `u64` keys with `V`-byte values (duplicates allowed).
+///
+/// ```
+/// use std::sync::Arc;
+/// use cij_bx::BPlusTree;
+/// use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+///
+/// let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+/// let mut tree: BPlusTree<8> = BPlusTree::new(pool)?;
+/// for k in (0..1000u64).rev() {
+///     tree.insert(k, k.to_le_bytes())?;
+/// }
+/// let hits = tree.range_scan(10, 14)?;
+/// assert_eq!(hits.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 11, 12, 13, 14]);
+/// assert!(tree.delete(12, |_| true)?);
+/// assert_eq!(tree.range_scan(10, 14)?.len(), 4);
+/// # Ok::<(), cij_storage::StorageError>(())
+/// ```
+pub struct BPlusTree<const V: usize> {
+    pool: BufferPool,
+    root: PageId,
+    height: u32,
+    len: usize,
+}
+
+struct LeafNode<const V: usize> {
+    next: PageId,
+    entries: Vec<(u64, [u8; V])>,
+}
+
+struct InternalNode {
+    keys: Vec<u64>,
+    children: Vec<PageId>,
+}
+
+enum AnyNode<const V: usize> {
+    Leaf(LeafNode<V>),
+    Internal(InternalNode),
+}
+
+impl<const V: usize> BPlusTree<V> {
+    /// Max entries per leaf page.
+    #[must_use]
+    pub fn leaf_capacity() -> usize {
+        (PAGE_SIZE - HEADER - 4) / (8 + V)
+    }
+
+    /// Max keys per internal page.
+    #[must_use]
+    pub fn internal_capacity() -> usize {
+        // count keys (8 B) + count+1 children (4 B)
+        (PAGE_SIZE - HEADER - 4) / 12
+    }
+
+    /// Creates an empty tree (one empty leaf as root).
+    pub fn new(pool: BufferPool) -> StorageResult<Self> {
+        assert!(Self::leaf_capacity() >= 4, "value too large for a page");
+        let root = pool.allocate();
+        let tree = Self { pool, root, height: 1, len: 0 };
+        tree.write_leaf(root, &LeafNode { next: PageId::INVALID, entries: Vec::new() })?;
+        Ok(tree)
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer pool this tree reads through.
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    // ------------------------------------------------------------------
+    // Codec
+    // ------------------------------------------------------------------
+
+    fn read_any(&self, page: PageId) -> StorageResult<AnyNode<V>> {
+        self.pool.read(page, |buf| {
+            let mut r = PageReader::new(buf);
+            let magic = r.get_u16()?;
+            if magic != MAGIC {
+                return Err(StorageError::Corrupt(format!("bad b+ magic {magic:#x}")));
+            }
+            let kind = r.get_u8()?;
+            let _pad = r.get_u8()?;
+            let count = r.get_u16()? as usize;
+            match kind {
+                KIND_LEAF => {
+                    let next = PageId(r.get_u32()?);
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let key = r.get_u64()?;
+                        let mut value = [0u8; V];
+                        value.copy_from_slice(r.get_bytes(V)?);
+                        entries.push((key, value));
+                    }
+                    Ok(AnyNode::Leaf(LeafNode { next, entries }))
+                }
+                KIND_INTERNAL => {
+                    let mut keys = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        keys.push(r.get_u64()?);
+                    }
+                    let mut children = Vec::with_capacity(count + 1);
+                    for _ in 0..=count {
+                        children.push(PageId(r.get_u32()?));
+                    }
+                    Ok(AnyNode::Internal(InternalNode { keys, children }))
+                }
+                other => Err(StorageError::Corrupt(format!("bad b+ node kind {other}"))),
+            }
+        })?
+    }
+
+    fn write_leaf(&self, page: PageId, node: &LeafNode<V>) -> StorageResult<()> {
+        let mut buf = cij_storage::zeroed_page();
+        let mut w = PageWriter::new(&mut buf);
+        w.put_u16(MAGIC)?;
+        w.put_u8(KIND_LEAF)?;
+        w.put_u8(0)?;
+        w.put_u16(node.entries.len() as u16)?;
+        w.put_u32(node.next.0)?;
+        for (k, v) in &node.entries {
+            w.put_u64(*k)?;
+            w.put_bytes(v)?;
+        }
+        self.pool.write(page, &buf)
+    }
+
+    fn write_internal(&self, page: PageId, node: &InternalNode) -> StorageResult<()> {
+        debug_assert_eq!(node.children.len(), node.keys.len() + 1);
+        let mut buf = cij_storage::zeroed_page();
+        let mut w = PageWriter::new(&mut buf);
+        w.put_u16(MAGIC)?;
+        w.put_u8(KIND_INTERNAL)?;
+        w.put_u8(0)?;
+        w.put_u16(node.keys.len() as u16)?;
+        for k in &node.keys {
+            w.put_u64(*k)?;
+        }
+        for c in &node.children {
+            w.put_u32(c.0)?;
+        }
+        self.pool.write(page, &buf)
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    /// Inserts `(key, value)`; duplicate keys are allowed and coexist.
+    pub fn insert(&mut self, key: u64, value: [u8; V]) -> StorageResult<()> {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value)? {
+            // Root split.
+            let new_root = self.pool.allocate();
+            let node = InternalNode { keys: vec![sep], children: vec![self.root, right] };
+            self.write_internal(new_root, &node)?;
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Recursive insert; returns `(separator, new right sibling)` when
+    /// the child split.
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        key: u64,
+        value: [u8; V],
+    ) -> StorageResult<Option<(u64, PageId)>> {
+        match self.read_any(page)? {
+            AnyNode::Leaf(mut leaf) => {
+                let pos = leaf.entries.partition_point(|(k, _)| *k <= key);
+                leaf.entries.insert(pos, (key, value));
+                if leaf.entries.len() <= Self::leaf_capacity() {
+                    self.write_leaf(page, &leaf)?;
+                    return Ok(None);
+                }
+                // Split: right half to a new page, chained after `page`.
+                let mid = leaf.entries.len() / 2;
+                let right_entries = leaf.entries.split_off(mid);
+                let right_page = self.pool.allocate();
+                let right = LeafNode { next: leaf.next, entries: right_entries };
+                leaf.next = right_page;
+                let sep = right.entries[0].0;
+                self.write_leaf(right_page, &right)?;
+                self.write_leaf(page, &leaf)?;
+                Ok(Some((sep, right_page)))
+            }
+            AnyNode::Internal(mut node) => {
+                let idx = node.keys.partition_point(|k| *k <= key);
+                let child = node.children[idx];
+                let Some((sep, right)) = self.insert_rec(child, key, value)? else {
+                    return Ok(None);
+                };
+                node.keys.insert(idx, sep);
+                node.children.insert(idx + 1, right);
+                if node.keys.len() <= Self::internal_capacity() {
+                    self.write_internal(page, &node)?;
+                    return Ok(None);
+                }
+                let mid = node.keys.len() / 2;
+                let up = node.keys[mid];
+                let right_keys = node.keys.split_off(mid + 1);
+                node.keys.pop(); // `up` moves up, not right
+                let right_children = node.children.split_off(mid + 1);
+                let right_page = self.pool.allocate();
+                self.write_internal(
+                    right_page,
+                    &InternalNode { keys: right_keys, children: right_children },
+                )?;
+                self.write_internal(page, &node)?;
+                Ok(Some((up, right_page)))
+            }
+        }
+    }
+
+    /// Deletes the first entry with `key` whose value satisfies
+    /// `matches`. Returns whether something was removed. Lazy: no
+    /// rebalancing (see module docs).
+    pub fn delete(
+        &mut self,
+        key: u64,
+        matches: impl Fn(&[u8; V]) -> bool,
+    ) -> StorageResult<bool> {
+        let mut page = self.leftmost_leaf_for(key)?;
+        // Walk the leaf chain while keys could still match.
+        loop {
+            let AnyNode::Leaf(mut leaf) = self.read_any(page)? else {
+                return Err(StorageError::Corrupt("leaf walk hit internal node".into()));
+            };
+            if let Some(pos) = leaf
+                .entries
+                .iter()
+                .position(|(k, v)| *k == key && matches(v))
+            {
+                leaf.entries.remove(pos);
+                self.write_leaf(page, &leaf)?;
+                self.len -= 1;
+                return Ok(true);
+            }
+            if leaf.entries.last().is_some_and(|(k, _)| *k > key) || !leaf.next.is_valid() {
+                return Ok(false);
+            }
+            page = leaf.next;
+        }
+    }
+
+    /// All entries with keys in `[lo, hi]`, in key order.
+    pub fn range_scan(&self, lo: u64, hi: u64) -> StorageResult<Vec<(u64, [u8; V])>> {
+        let mut out = Vec::new();
+        let mut page = self.leftmost_leaf_for(lo)?;
+        loop {
+            let AnyNode::Leaf(leaf) = self.read_any(page)? else {
+                return Err(StorageError::Corrupt("leaf walk hit internal node".into()));
+            };
+            for &(k, v) in &leaf.entries {
+                if k > hi {
+                    return Ok(out);
+                }
+                if k >= lo {
+                    out.push((k, v));
+                }
+            }
+            if !leaf.next.is_valid() {
+                return Ok(out);
+            }
+            page = leaf.next;
+        }
+    }
+
+    /// The leaf that would contain the *first* entry with key ≥ `key`
+    /// among duplicates (descend left of equal separators).
+    fn leftmost_leaf_for(&self, key: u64) -> StorageResult<PageId> {
+        let mut page = self.root;
+        loop {
+            match self.read_any(page)? {
+                AnyNode::Leaf(_) => return Ok(page),
+                AnyNode::Internal(node) => {
+                    let idx = node.keys.partition_point(|k| *k < key);
+                    page = node.children[idx];
+                }
+            }
+        }
+    }
+
+    /// Frees every page of the tree (the Bˣ partition rollover).
+    pub fn free_all(self) -> StorageResult<()> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            if let AnyNode::Internal(node) = self.read_any(page)? {
+                stack.extend(node.children);
+            }
+            self.pool.free(page)?;
+        }
+        Ok(())
+    }
+
+    /// Structural check: sorted leaves, coherent chain, `len` matches.
+    /// Test support.
+    pub fn validate(&self) -> StorageResult<()> {
+        // Walk the whole chain from the global leftmost leaf.
+        let mut page = self.leftmost_leaf_for(0)?;
+        let mut count = 0usize;
+        let mut prev_key = 0u64;
+        let mut first = true;
+        loop {
+            let AnyNode::Leaf(leaf) = self.read_any(page)? else {
+                return Err(StorageError::Corrupt("chain hit internal node".into()));
+            };
+            for &(k, _) in &leaf.entries {
+                if !first && k < prev_key {
+                    return Err(StorageError::Corrupt(format!(
+                        "key order violation: {k} after {prev_key}"
+                    )));
+                }
+                prev_key = k;
+                first = false;
+                count += 1;
+            }
+            if !leaf.next.is_valid() {
+                break;
+            }
+            page = leaf.next;
+        }
+        if count != self.len {
+            return Err(StorageError::Corrupt(format!(
+                "len {} but chain holds {count}",
+                self.len
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_storage::{BufferPoolConfig, InMemoryStore};
+    use std::sync::Arc;
+
+    fn tree() -> BPlusTree<8> {
+        let pool =
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
+        BPlusTree::new(pool).unwrap()
+    }
+
+    fn val(x: u64) -> [u8; 8] {
+        x.to_le_bytes()
+    }
+
+    #[test]
+    fn capacities_are_sane() {
+        assert!(BPlusTree::<8>::leaf_capacity() > 200);
+        assert!(BPlusTree::<80>::leaf_capacity() >= 40);
+        assert!(BPlusTree::<8>::internal_capacity() > 300);
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let mut t = tree();
+        for k in (0..2000u64).rev() {
+            t.insert(k * 2, val(k)).unwrap();
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 2000);
+        let all = t.range_scan(0, u64::MAX).unwrap();
+        assert_eq!(all.len(), 2000);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Point-ish range.
+        let some = t.range_scan(100, 110).unwrap();
+        assert_eq!(some.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![100, 102, 104, 106, 108, 110]);
+    }
+
+    #[test]
+    fn duplicates_coexist_and_delete_individually() {
+        let mut t = tree();
+        for i in 0..50u64 {
+            t.insert(7, val(i)).unwrap();
+        }
+        t.insert(6, val(999)).unwrap();
+        t.insert(8, val(999)).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.range_scan(7, 7).unwrap().len(), 50);
+        // Delete a specific duplicate.
+        assert!(t.delete(7, |v| *v == val(25)).unwrap());
+        assert!(!t.delete(7, |v| *v == val(25)).unwrap(), "already gone");
+        assert_eq!(t.range_scan(7, 7).unwrap().len(), 49);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicates_spanning_leaf_splits() {
+        let mut t = tree();
+        let n = BPlusTree::<8>::leaf_capacity() as u64 * 3;
+        for i in 0..n {
+            t.insert(42, val(i)).unwrap();
+        }
+        t.validate().unwrap();
+        assert_eq!(t.range_scan(42, 42).unwrap().len(), n as usize);
+        // Every duplicate individually deletable.
+        for i in 0..n {
+            assert!(t.delete(42, |v| *v == val(i)).unwrap(), "dup {i}");
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let mut t = tree();
+        t.insert(1, val(1)).unwrap();
+        assert!(!t.delete(2, |_| true).unwrap());
+        assert!(!t.delete(1, |v| *v == val(9)).unwrap());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn random_ops_match_shadow_multimap() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeMap;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = tree();
+        let mut shadow: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for step in 0..20_000 {
+            let key = rng.gen_range(0..500u64);
+            if rng.gen_bool(0.6) {
+                let v = rng.gen::<u64>();
+                t.insert(key, val(v)).unwrap();
+                shadow.entry(key).or_default().push(v);
+            } else if let Some(vs) = shadow.get_mut(&key) {
+                if let Some(&v) = vs.first() {
+                    assert!(t.delete(key, |b| *b == val(v)).unwrap(), "step {step}");
+                    vs.remove(0);
+                    if vs.is_empty() {
+                        shadow.remove(&key);
+                    }
+                }
+            }
+            if step % 2500 == 0 {
+                t.validate().unwrap();
+            }
+        }
+        t.validate().unwrap();
+        // Full comparison.
+        let expected: usize = shadow.values().map(Vec::len).sum();
+        assert_eq!(t.len(), expected);
+        for (k, vs) in &shadow {
+            let got = t.range_scan(*k, *k).unwrap();
+            assert_eq!(got.len(), vs.len(), "key {k}");
+            let mut got_vals: Vec<u64> =
+                got.iter().map(|(_, v)| u64::from_le_bytes(*v)).collect();
+            let mut want = vs.clone();
+            got_vals.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got_vals, want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn free_all_releases_pages() {
+        let store = Arc::new(InMemoryStore::new());
+        let pool = BufferPool::new(store.clone(), BufferPoolConfig { capacity: 64 });
+        let mut t = BPlusTree::<8>::new(pool).unwrap();
+        for k in 0..5000u64 {
+            t.insert(k, val(k)).unwrap();
+        }
+        use cij_storage::PageStore;
+        assert!(store.live_pages() > 10);
+        t.free_all().unwrap();
+        assert_eq!(store.live_pages(), 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! The Bˣ-tree proper: time-partitioned B⁺-trees over Z-order keys.
+//!
+//! An object updated at time `t_u` lands in the partition of the time
+//! bucket containing `t_u` (bucket length `T_M / 2`, like the paper's
+//! MTB-tree); its key is the Z-value of its position **extrapolated to
+//! the bucket's label time** (the bucket end). Queries at time `t`
+//! consult every live partition: the query window is enlarged by the
+//! maximum object speed times `|label − t|` plus the maximum object
+//! extent (the Bˣ-tree indexes points; rectangles enter via their
+//! centers), decomposed into Z-ranges, scanned, and candidates filtered
+//! against their exact stored trajectories — enlargement guarantees no
+//! false negatives, the filter removes the false positives.
+
+use std::collections::BTreeMap;
+
+use cij_geom::{MovingRect, Rect, Time, TimeInterval};
+use cij_storage::BufferPool;
+use cij_tpr::{ObjectId, TprError, TprResult};
+
+use crate::bplus::BPlusTree;
+use crate::zorder::{z_decompose, z_encode, GRID_BITS};
+
+/// Value bytes per leaf entry: oid (8) + 9 × f64 trajectory (72).
+const VALUE_BYTES: usize = 80;
+
+/// Bˣ-tree configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BxConfig {
+    /// Maximum update interval `T_M` (Table I default: 60).
+    pub t_m: Time,
+    /// Buckets per `T_M` (Bˣ convention: 2).
+    pub buckets_per_tm: u32,
+    /// Side length of the space domain (for grid snapping).
+    pub space: f64,
+    /// Maximum object speed (for query enlargement).
+    pub max_speed: f64,
+    /// Maximum object side length (for query enlargement; the index
+    /// stores centers).
+    pub max_extent: f64,
+    /// Z-range budget per query and partition.
+    pub max_ranges: usize,
+}
+
+impl Default for BxConfig {
+    fn default() -> Self {
+        Self {
+            t_m: 60.0,
+            buckets_per_tm: 2,
+            space: 1000.0,
+            max_speed: 3.0,
+            max_extent: 1.0,
+            max_ranges: 64,
+        }
+    }
+}
+
+struct Partition {
+    tree: BPlusTree<VALUE_BYTES>,
+    /// Label time: positions in this partition are stored extrapolated
+    /// to this timestamp (the bucket end).
+    label: Time,
+}
+
+/// A disk-resident Bˣ-tree over moving rectangles.
+///
+/// ```
+/// use std::sync::Arc;
+/// use cij_bx::{BxConfig, BxTree};
+/// use cij_geom::{MovingRect, Rect};
+/// use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+/// use cij_tpr::ObjectId;
+///
+/// let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+/// let mut bx = BxTree::new(pool, BxConfig::default());
+///
+/// // A unit square moving right at speed 2, registered at t = 0.
+/// let car = MovingRect::rigid(Rect::new([100.0, 100.0], [101.0, 101.0]), [2.0, 0.0], 0.0);
+/// bx.insert(ObjectId(7), car, 0.0)?;
+///
+/// // Timeslice window query at t = 10 (car is near x = 120): the key
+/// // was stored at the bucket's label time, so the query is answered by
+/// // enlarging the window with max_speed × |label − t| and filtering.
+/// let hits = bx.range_at(&Rect::new([118.0, 99.0], [123.0, 102.0]), 10.0)?;
+/// assert_eq!(hits, vec![ObjectId(7)]);
+/// # Ok::<(), cij_tpr::TprError>(())
+/// ```
+pub struct BxTree {
+    pool: BufferPool,
+    config: BxConfig,
+    bucket_len: Time,
+    partitions: BTreeMap<i64, Partition>,
+    len: usize,
+}
+
+impl BxTree {
+    /// Creates an empty Bˣ-tree.
+    ///
+    /// # Panics
+    /// Panics on non-positive `t_m`, zero buckets, or degenerate space.
+    #[must_use]
+    pub fn new(pool: BufferPool, config: BxConfig) -> Self {
+        assert!(config.t_m > 0.0, "T_M must be positive");
+        assert!(config.buckets_per_tm > 0, "need at least one bucket per T_M");
+        assert!(config.space > 0.0, "degenerate space");
+        let bucket_len = config.t_m / f64::from(config.buckets_per_tm);
+        Self { pool, config, bucket_len, partitions: BTreeMap::new(), len: 0 }
+    }
+
+    /// Number of indexed objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live partitions (≤ `buckets_per_tm + 1` under the
+    /// heartbeat discipline).
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn bucket_of(&self, t: Time) -> i64 {
+        (t / self.bucket_len).floor() as i64
+    }
+
+    fn label_of(&self, bucket: i64) -> Time {
+        (bucket + 1) as f64 * self.bucket_len
+    }
+
+    /// Grid cell of a coordinate (snap-to-grid with clamping; objects
+    /// may drift slightly out of the domain between updates).
+    fn cell(&self, coord: f64) -> u16 {
+        let cells = f64::from(1u32 << GRID_BITS);
+        let c = (coord / self.config.space * cells).floor();
+        c.clamp(0.0, cells - 1.0) as u16
+    }
+
+    fn key_for(&self, mbr: &MovingRect, bucket: i64) -> u64 {
+        let label = self.label_of(bucket);
+        let center = mbr.at(label).center();
+        u64::from(z_encode(self.cell(center[0]), self.cell(center[1])))
+    }
+
+    fn encode_value(oid: ObjectId, mbr: &MovingRect) -> [u8; VALUE_BYTES] {
+        let mut out = [0u8; VALUE_BYTES];
+        out[..8].copy_from_slice(&oid.0.to_le_bytes());
+        let fields = [
+            mbr.lo[0], mbr.lo[1], mbr.hi[0], mbr.hi[1], mbr.vlo[0], mbr.vlo[1], mbr.vhi[0],
+            mbr.vhi[1], mbr.t_ref,
+        ];
+        for (i, f) in fields.iter().enumerate() {
+            out[8 + i * 8..16 + i * 8].copy_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_value(value: &[u8; VALUE_BYTES]) -> (ObjectId, MovingRect) {
+        let oid = ObjectId(u64::from_le_bytes(value[..8].try_into().expect("8 bytes")));
+        let mut f = [0.0f64; 9];
+        for (i, slot) in f.iter_mut().enumerate() {
+            *slot = f64::from_le_bytes(value[8 + i * 8..16 + i * 8].try_into().expect("8 bytes"));
+        }
+        (
+            oid,
+            MovingRect::new([f[0], f[1]], [f[2], f[3]], [f[4], f[5]], [f[6], f[7]], f[8]),
+        )
+    }
+
+    /// Inserts `oid` updated at `updated_at` with trajectory `mbr`.
+    pub fn insert(&mut self, oid: ObjectId, mbr: MovingRect, updated_at: Time) -> TprResult<()> {
+        let bucket = self.bucket_of(updated_at);
+        let key = self.key_for(&mbr, bucket);
+        let label = self.label_of(bucket);
+        let pool = self.pool.clone();
+        let partition = match self.partitions.entry(bucket) {
+            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(Partition { tree: BPlusTree::new(pool)?, label })
+            }
+        };
+        partition.tree.insert(key, Self::encode_value(oid, &mbr))?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Removes `oid`, located via its previous trajectory and update
+    /// time (which names its partition and key).
+    pub fn remove(&mut self, oid: ObjectId, old_mbr: &MovingRect, updated_at: Time) -> TprResult<()> {
+        let bucket = self.bucket_of(updated_at);
+        let key = self.key_for(old_mbr, bucket);
+        let partition = self
+            .partitions
+            .get_mut(&bucket)
+            .ok_or(TprError::ObjectNotFound(oid))?;
+        let removed = partition
+            .tree
+            .delete(key, |v| Self::decode_value(v).0 == oid)?;
+        if !removed {
+            return Err(TprError::ObjectNotFound(oid));
+        }
+        self.len -= 1;
+        if partition.tree.is_empty() {
+            let p = self.partitions.remove(&bucket).expect("just accessed");
+            p.tree.free_all()?;
+        }
+        Ok(())
+    }
+
+    /// The paper-style update: remove under the old registration, insert
+    /// under the new one.
+    pub fn update(
+        &mut self,
+        oid: ObjectId,
+        old_mbr: &MovingRect,
+        old_updated_at: Time,
+        new_mbr: MovingRect,
+        now: Time,
+    ) -> TprResult<()> {
+        self.remove(oid, old_mbr, old_updated_at)?;
+        self.insert(oid, new_mbr, now)
+    }
+
+    /// Objects whose rectangles intersect `window` at instant `t`
+    /// (timeslice query), exact.
+    pub fn range_at(&self, window: &Rect, t: Time) -> TprResult<Vec<ObjectId>> {
+        let mut out = Vec::new();
+        for partition in self.partitions.values() {
+            // Enlarge by worst-case drift between label time and query
+            // time, plus half the maximal extent on each side (keys are
+            // center-based).
+            let drift = self.config.max_speed * (partition.label - t).abs()
+                + self.config.max_extent / 2.0;
+            let grown = Rect::new(
+                [window.lo[0] - drift, window.lo[1] - drift],
+                [window.hi[0] + drift, window.hi[1] + drift],
+            );
+            let (x0, x1) = (self.cell(grown.lo[0]), self.cell(grown.hi[0]));
+            let (y0, y1) = (self.cell(grown.lo[1]), self.cell(grown.hi[1]));
+            for (lo, hi) in z_decompose(x0, x1, y0, y1, self.config.max_ranges) {
+                for (_, value) in partition.tree.range_scan(u64::from(lo), u64::from(hi))? {
+                    let (oid, mbr) = Self::decode_value(&value);
+                    if mbr.at(t).intersects(window) {
+                        out.push(oid);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Objects whose trajectories intersect `target` within `[t_s, t_e]`
+    /// — the maintenance probe, answered by sampling-free enlargement
+    /// over the window (drift bound uses the farther window end).
+    pub fn intersect_window(
+        &self,
+        target: &MovingRect,
+        t_s: Time,
+        t_e: Time,
+    ) -> TprResult<Vec<(ObjectId, TimeInterval)>> {
+        assert!(t_e.is_finite(), "Bx probes require a bounded window");
+        let mut out = Vec::new();
+        // Swept region of the target over the window.
+        let (r0, r1) = (target.at(t_s), target.at(t_e));
+        let swept = Rect::new(
+            [r0.lo[0].min(r1.lo[0]), r0.lo[1].min(r1.lo[1])],
+            [r0.hi[0].max(r1.hi[0]), r0.hi[1].max(r1.hi[1])],
+        );
+        for partition in self.partitions.values() {
+            let worst_gap = (partition.label - t_s).abs().max((partition.label - t_e).abs());
+            let drift = self.config.max_speed * worst_gap + self.config.max_extent / 2.0;
+            let grown = Rect::new(
+                [swept.lo[0] - drift, swept.lo[1] - drift],
+                [swept.hi[0] + drift, swept.hi[1] + drift],
+            );
+            let (x0, x1) = (self.cell(grown.lo[0]), self.cell(grown.hi[0]));
+            let (y0, y1) = (self.cell(grown.lo[1]), self.cell(grown.hi[1]));
+            for (lo, hi) in z_decompose(x0, x1, y0, y1, self.config.max_ranges) {
+                for (_, value) in partition.tree.range_scan(u64::from(lo), u64::from(hi))? {
+                    let (oid, mbr) = Self::decode_value(&value);
+                    if let Some(iv) = mbr.intersect_interval(target, t_s, t_e) {
+                        out.push((oid, iv));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(o, _)| *o);
+        out.dedup_by_key(|(o, _)| *o);
+        Ok(out)
+    }
+
+    /// Validates every partition's B⁺-tree and the aggregate count.
+    pub fn validate(&self) -> TprResult<()> {
+        let mut total = 0;
+        for p in self.partitions.values() {
+            p.tree.validate()?;
+            total += p.tree.len();
+        }
+        if total != self.len {
+            return Err(TprError::CorruptNode {
+                detail: format!("Bx len {} but partitions hold {total}", self.len),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_storage::{BufferPoolConfig, InMemoryStore};
+    use std::sync::Arc;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 })
+    }
+
+    fn obj(x: f64, y: f64, vx: f64, vy: f64, t: Time) -> MovingRect {
+        MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [vx, vy], t)
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut bx = BxTree::new(pool(), BxConfig::default());
+        let m = obj(100.0, 200.0, 1.0, -1.0, 0.0);
+        bx.insert(ObjectId(1), m, 0.0).unwrap();
+        assert_eq!(bx.len(), 1);
+        bx.validate().unwrap();
+        let hits = bx.range_at(&Rect::new([99.0, 199.0], [102.0, 202.0]), 0.0).unwrap();
+        assert_eq!(hits, vec![ObjectId(1)]);
+        // At t = 30 the object is near (130, 170).
+        let hits = bx.range_at(&Rect::new([129.0, 169.0], [132.0, 172.0]), 30.0).unwrap();
+        assert_eq!(hits, vec![ObjectId(1)]);
+        bx.remove(ObjectId(1), &m, 0.0).unwrap();
+        assert!(bx.is_empty());
+        assert_eq!(bx.partition_count(), 0, "empty partition dropped");
+    }
+
+    #[test]
+    fn remove_unknown_errors() {
+        let mut bx = BxTree::new(pool(), BxConfig::default());
+        let m = obj(1.0, 1.0, 0.0, 0.0, 0.0);
+        assert!(matches!(
+            bx.remove(ObjectId(1), &m, 0.0),
+            Err(TprError::ObjectNotFound(_))
+        ));
+        bx.insert(ObjectId(1), m, 0.0).unwrap();
+        assert!(matches!(
+            bx.remove(ObjectId(2), &m, 0.0),
+            Err(TprError::ObjectNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn partitions_rotate_with_update_time() {
+        let mut bx = BxTree::new(pool(), BxConfig::default());
+        bx.insert(ObjectId(1), obj(10.0, 10.0, 0.0, 0.0, 0.0), 0.0).unwrap();
+        bx.insert(ObjectId(2), obj(20.0, 20.0, 0.0, 0.0, 35.0), 35.0).unwrap();
+        assert_eq!(bx.partition_count(), 2);
+        // Object 1 re-registers at t = 40: partition 0 empties and drops.
+        bx.update(
+            ObjectId(1),
+            &obj(10.0, 10.0, 0.0, 0.0, 0.0),
+            0.0,
+            obj(11.0, 10.0, 0.0, 0.0, 40.0),
+            40.0,
+        )
+        .unwrap();
+        assert_eq!(bx.partition_count(), 1);
+        bx.validate().unwrap();
+    }
+
+    #[test]
+    fn range_matches_brute_force_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut bx = BxTree::new(pool(), BxConfig::default());
+        let mut shadow = Vec::new();
+        for i in 0..800u64 {
+            let updated_at = if i % 2 == 0 { 0.0 } else { 35.0 };
+            let m = obj(
+                rng.gen_range(0.0..990.0),
+                rng.gen_range(0.0..990.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                updated_at,
+            );
+            bx.insert(ObjectId(i), m, updated_at).unwrap();
+            shadow.push((ObjectId(i), m));
+        }
+        bx.validate().unwrap();
+        for t in [40.0, 50.0, 59.0] {
+            for _ in 0..20 {
+                let cx = rng.gen_range(0.0..900.0);
+                let cy = rng.gen_range(0.0..900.0);
+                let w = Rect::new([cx, cy], [cx + 80.0, cy + 80.0]);
+                let got = bx.range_at(&w, t).unwrap();
+                let mut expect: Vec<ObjectId> = shadow
+                    .iter()
+                    .filter(|(_, m)| m.at(t).intersects(&w))
+                    .map(|(o, _)| *o)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "t={t} w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_window_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut bx = BxTree::new(pool(), BxConfig::default());
+        let mut shadow = Vec::new();
+        for i in 0..500u64 {
+            let m = obj(
+                rng.gen_range(0.0..990.0),
+                rng.gen_range(0.0..990.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                0.0,
+            );
+            bx.insert(ObjectId(i), m, 0.0).unwrap();
+            shadow.push((ObjectId(i), m));
+        }
+        for _ in 0..15 {
+            let probe = obj(
+                rng.gen_range(0.0..990.0),
+                rng.gen_range(0.0..990.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                0.0,
+            );
+            let got = bx.intersect_window(&probe, 0.0, 60.0).unwrap();
+            let mut expect: Vec<(ObjectId, TimeInterval)> = shadow
+                .iter()
+                .filter_map(|(o, m)| m.intersect_interval(&probe, 0.0, 60.0).map(|iv| (*o, iv)))
+                .collect();
+            expect.sort_by_key(|(o, _)| *o);
+            assert_eq!(got.len(), expect.len());
+            for ((go, gi), (eo, ei)) in got.iter().zip(&expect) {
+                assert_eq!(go, eo);
+                assert!((gi.start - ei.start).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn heartbeat_discipline_bounds_partitions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut bx = BxTree::new(pool(), BxConfig::default());
+        let mut state: Vec<(ObjectId, MovingRect, Time)> = (0..100u64)
+            .map(|i| {
+                let m = obj(rng.gen_range(0.0..990.0), rng.gen_range(0.0..990.0), 1.0, 0.0, 0.0);
+                (ObjectId(i), m, 0.0)
+            })
+            .collect();
+        for (oid, m, t) in &state {
+            bx.insert(*oid, *m, *t).unwrap();
+        }
+        for tick in 1..=240u32 {
+            let now = f64::from(tick);
+            for (oid, m, t) in state.iter_mut() {
+                if now - *t >= 60.0 || rng.gen_bool(0.02) {
+                    let new = obj(
+                        rng.gen_range(0.0..990.0),
+                        rng.gen_range(0.0..990.0),
+                        rng.gen_range(-3.0..3.0),
+                        0.0,
+                        now,
+                    );
+                    bx.update(*oid, m, *t, new, now).unwrap();
+                    *m = new;
+                    *t = now;
+                }
+            }
+            assert!(bx.partition_count() <= 3, "{} partitions at t={now}", bx.partition_count());
+        }
+        bx.validate().unwrap();
+        assert_eq!(bx.len(), 100);
+    }
+}

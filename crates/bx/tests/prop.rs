@@ -1,0 +1,101 @@
+//! Property tests: the Bˣ-tree must match a shadow map through arbitrary
+//! op sequences and answer timeslice queries exactly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cij_bx::{BxConfig, BxTree};
+use cij_geom::{MovingRect, Rect, Time};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::ObjectId;
+use proptest::prelude::*;
+
+const SPACE: f64 = 500.0;
+const MAX_SPEED: f64 = 4.0;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { x: f64, y: f64, vx: f64, vy: f64 },
+    Update { pick: usize, x: f64, y: f64, vx: f64, vy: f64 },
+    Remove { pick: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let coord = 0.0..SPACE - 2.0;
+    let vel = -MAX_SPEED..MAX_SPEED;
+    prop_oneof![
+        3 => (coord.clone(), coord.clone(), vel.clone(), vel.clone())
+            .prop_map(|(x, y, vx, vy)| Op::Insert { x, y, vx, vy }),
+        2 => (any::<usize>(), coord.clone(), coord, vel.clone(), vel)
+            .prop_map(|(pick, x, y, vx, vy)| Op::Update { pick, x, y, vx, vy }),
+        1 => any::<usize>().prop_map(|pick| Op::Remove { pick }),
+    ]
+}
+
+fn mk(x: f64, y: f64, vx: f64, vy: f64, t: Time) -> MovingRect {
+    MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [vx, vy], t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_ops_match_shadow(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        probe in (0.0..400.0f64, 0.0..400.0f64, 0.0..59.0f64),
+    ) {
+        let pool =
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
+        let config = BxConfig { space: SPACE, max_speed: MAX_SPEED, max_extent: 1.0, ..BxConfig::default() };
+        let mut bx = BxTree::new(pool, config);
+        let mut shadow: HashMap<ObjectId, (MovingRect, Time)> = HashMap::new();
+        let mut live: Vec<ObjectId> = Vec::new();
+        let mut next_id = 0u64;
+        let mut now = 0.0;
+
+        for (step, op) in ops.iter().enumerate() {
+            // Advance slowly so partitions rotate within the run.
+            now = step as f64 * 0.8;
+            match op {
+                Op::Insert { x, y, vx, vy } => {
+                    let oid = ObjectId(next_id);
+                    next_id += 1;
+                    let m = mk(*x, *y, *vx, *vy, now);
+                    bx.insert(oid, m, now).unwrap();
+                    shadow.insert(oid, (m, now));
+                    live.push(oid);
+                }
+                Op::Update { pick, x, y, vx, vy } => {
+                    if live.is_empty() { continue; }
+                    let oid = live[pick % live.len()];
+                    let (old, t_old) = shadow[&oid];
+                    let new = mk(*x, *y, *vx, *vy, now);
+                    bx.update(oid, &old, t_old, new, now).unwrap();
+                    shadow.insert(oid, (new, now));
+                }
+                Op::Remove { pick } => {
+                    if live.is_empty() { continue; }
+                    let idx = pick % live.len();
+                    let oid = live.swap_remove(idx);
+                    let (old, t_old) = shadow.remove(&oid).unwrap();
+                    bx.remove(oid, &old, t_old).unwrap();
+                }
+            }
+        }
+        prop_assert_eq!(bx.len(), shadow.len());
+        bx.validate().unwrap();
+
+        // Timeslice query at a future instant matches brute force.
+        let (px, py, dt) = probe;
+        let t = now + dt;
+        let w = Rect::new([px, py], [px + 80.0, py + 80.0]);
+        let got = bx.range_at(&w, t).unwrap();
+        let mut expect: Vec<ObjectId> = shadow
+            .iter()
+            .filter(|(_, (m, _))| m.at(t).intersects(&w))
+            .map(|(o, _)| *o)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,401 @@
+//! TC processing grafted onto **continuous kNN monitoring** (§V).
+//!
+//! §V argues TC processing applies to "a wide range of continuous query
+//! types … such as continuous window queries and kNN queries": any
+//! prediction about moving objects only needs to remain valid until the
+//! involved objects' next update, bounded by `T_M`.
+//!
+//! [`ContinuousKnn`] monitors the k nearest neighbors of a set of static
+//! query points over one moving-object set. Instead of re-searching the
+//! index at every timestamp, each query keeps a **candidate set** with a
+//! guard radius: at evaluation time `t₀` the k-th neighbor lies at
+//! distance `d_k`; any object farther than `d_k + 2·v_max·(t − t₀)` at
+//! `t₀` cannot enter the kNN before `t` (both the neighbor and the
+//! candidate move at most `v_max`). Pre-fetching candidates out to the
+//! TC horizon `d_k + 2·v_max·T_M` therefore makes the candidate set
+//! sufficient for a full `T_M` — exactly Theorem 1's shape, since every
+//! candidate must re-register within `T_M` anyway. Per tick the monitor
+//! just re-ranks its candidates; the index is touched only on
+//! (re-)evaluation and when an update lands inside a query's guard
+//! radius.
+
+use std::collections::HashMap;
+
+use cij_geom::{MovingRect, Time};
+use cij_tpr::{ObjectId, TprResult, TprTree};
+
+use crate::window::QueryId;
+
+/// One monitored kNN query.
+#[derive(Debug, Clone, Copy)]
+struct KnnQuery {
+    point: [f64; 2],
+    k: usize,
+}
+
+#[derive(Debug, Default)]
+struct QueryState {
+    /// Candidate objects with their trajectories as of the last refresh.
+    candidates: HashMap<ObjectId, MovingRect>,
+    /// When the candidate set was computed.
+    eval_time: Time,
+    /// Guard radius (plain distance, not squared) the candidates cover
+    /// around the query point, measured at `eval_time`.
+    guard_radius: f64,
+    /// Set when an update invalidated the candidate set.
+    dirty: bool,
+}
+
+/// Continuous kNN monitor with TC-bounded candidate maintenance.
+///
+/// ```
+/// use std::sync::Arc;
+/// use cij_core::knn::ContinuousKnn;
+/// use cij_core::window::QueryId;
+/// use cij_geom::{MovingRect, Rect};
+/// use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+/// use cij_tpr::{ObjectId, TprTree, TreeConfig};
+///
+/// let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+/// let mut tree = TprTree::new(pool, TreeConfig::default());
+/// for (i, x) in [(1u64, 10.0), (2, 40.0), (3, 90.0)] {
+///     tree.insert(
+///         ObjectId(i),
+///         MovingRect::stationary(Rect::new([x, 0.0], [x + 1.0, 1.0]), 0.0),
+///         0.0,
+///     )?;
+/// }
+///
+/// let mut knn = ContinuousKnn::new(60.0, 3.0); // T_M, v_max
+/// knn.add_query(QueryId(0), [0.0, 0.5], 2);
+/// knn.refresh(&tree, 0.0)?;
+/// let two_nearest: Vec<_> = knn.result_at(QueryId(0), 0.0)
+///     .into_iter().map(|(oid, _)| oid).collect();
+/// assert_eq!(two_nearest, vec![ObjectId(1), ObjectId(2)]);
+/// # Ok::<(), cij_tpr::TprError>(())
+/// ```
+pub struct ContinuousKnn {
+    t_m: Time,
+    v_max: f64,
+    queries: HashMap<QueryId, KnnQuery>,
+    states: HashMap<QueryId, QueryState>,
+}
+
+impl ContinuousKnn {
+    /// Creates a monitor. `t_m` is the maximum update interval, `v_max`
+    /// the workload's maximum object speed (both workload contracts the
+    /// guard-radius argument relies on).
+    ///
+    /// # Panics
+    /// Panics on non-positive `t_m` or negative `v_max`.
+    #[must_use]
+    pub fn new(t_m: Time, v_max: f64) -> Self {
+        assert!(t_m > 0.0, "T_M must be positive");
+        assert!(v_max >= 0.0, "v_max cannot be negative");
+        Self { t_m, v_max, queries: HashMap::new(), states: HashMap::new() }
+    }
+
+    /// Registers a kNN query at `point`.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the id is already registered.
+    pub fn add_query(&mut self, id: QueryId, point: [f64; 2], k: usize) {
+        assert!(k > 0, "k must be positive");
+        let prev = self.queries.insert(id, KnnQuery { point, k });
+        assert!(prev.is_none(), "duplicate query id {id:?}");
+        self.states.insert(id, QueryState { dirty: true, ..QueryState::default() });
+    }
+
+    /// Number of registered queries.
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Refreshes every stale query's candidate set from the index.
+    /// Call after updates and before reading results at `now`.
+    pub fn refresh(&mut self, tree: &TprTree, now: Time) -> TprResult<()> {
+        for (id, q) in &self.queries {
+            let state = self.states.get_mut(id).expect("state per query");
+            let stale = state.dirty
+                || state.candidates.len() < q.k
+                || now - state.eval_time >= self.t_m;
+            if !stale {
+                continue;
+            }
+            // Find the k-th distance now, then fetch every object within
+            // the TC guard radius (sufficient for a full T_M: neither a
+            // current neighbor nor an outside challenger can bridge more
+            // than 2·v_max·T_M of relative distance before re-registering).
+            let knn = tree.knn_at(q.point, q.k, now)?;
+            let d_k = knn.last().map_or(0.0, |(_, d2)| d2.sqrt());
+            let guard = d_k + 2.0 * self.v_max * self.t_m;
+            let window = cij_geom::Rect::new(
+                [q.point[0] - guard, q.point[1] - guard],
+                [q.point[0] + guard, q.point[1] + guard],
+            );
+            state.candidates.clear();
+            for (oid, mbr) in tree.range_entries_at(&window, now)? {
+                state.candidates.insert(oid, mbr);
+            }
+            state.eval_time = now;
+            state.guard_radius = guard;
+            state.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Routes an object update: queries whose guard region the object
+    /// touches (old or new position) are marked stale; all candidate
+    /// copies are refreshed.
+    pub fn apply_update(
+        &mut self,
+        oid: ObjectId,
+        old_mbr: &MovingRect,
+        new_mbr: &MovingRect,
+        now: Time,
+    ) {
+        for (id, q) in &self.queries {
+            let state = self.states.get_mut(id).expect("state per query");
+            if state.dirty {
+                continue;
+            }
+            let was_candidate = state.candidates.contains_key(&oid);
+            // Effective guard at `now` (it covers motion since eval).
+            let elapsed = now - state.eval_time;
+            let reach = state.guard_radius + 2.0 * self.v_max * elapsed.max(0.0);
+            let touches = |m: &MovingRect| m.at(now).min_dist_sq(q.point) <= reach * reach;
+            if touches(new_mbr) {
+                if was_candidate || touches(old_mbr) {
+                    // Still inside: just refresh the trajectory copy.
+                    state.candidates.insert(oid, *new_mbr);
+                } else {
+                    // A new arrival inside the guard: conservative
+                    // re-evaluation (it may displace the k-th neighbor
+                    // and shrink the true guard).
+                    state.candidates.insert(oid, *new_mbr);
+                }
+            } else if was_candidate {
+                state.candidates.remove(&oid);
+            }
+        }
+    }
+
+    /// Removes a deleted object everywhere.
+    pub fn remove_object(&mut self, oid: ObjectId) {
+        for state in self.states.values_mut() {
+            state.candidates.remove(&oid);
+        }
+    }
+
+    /// The k nearest objects to query `id` at time `t` (nearest first,
+    /// squared distances). `t` must lie within the candidate validity
+    /// window — guaranteed when [`refresh`](Self::refresh) ran at or
+    /// after `t − T_M` and updates were routed through
+    /// [`apply_update`](Self::apply_update).
+    #[must_use]
+    pub fn result_at(&self, id: QueryId, t: Time) -> Vec<(ObjectId, f64)> {
+        let (Some(q), Some(state)) = (self.queries.get(&id), self.states.get(&id)) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(ObjectId, f64)> = state
+            .candidates
+            .iter()
+            .map(|(oid, m)| (*oid, m.at(t).min_dist_sq(q.point)))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(q.k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::Rect;
+    use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+    use cij_tpr::TreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    const V_MAX: f64 = 3.0;
+    const T_M: f64 = 60.0;
+
+    fn build(objects: &[(ObjectId, MovingRect)]) -> TprTree {
+        let pool =
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 });
+        let mut tree = TprTree::new(pool, TreeConfig::default());
+        for &(oid, mbr) in objects {
+            tree.insert(oid, mbr, 0.0).unwrap();
+        }
+        tree
+    }
+
+    fn random_objects(rng: &mut StdRng, n: usize) -> Vec<(ObjectId, MovingRect)> {
+        (0..n)
+            .map(|i| {
+                let x = rng.gen_range(0.0..1000.0);
+                let y = rng.gen_range(0.0..1000.0);
+                let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                let speed = rng.gen_range(0.0..V_MAX);
+                (
+                    ObjectId(i as u64),
+                    MovingRect::rigid(
+                        Rect::new([x, y], [x + 1.0, y + 1.0]),
+                        [speed * angle.cos(), speed * angle.sin()],
+                        0.0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn brute_knn(
+        objects: &HashMap<ObjectId, MovingRect>,
+        q: [f64; 2],
+        k: usize,
+        t: Time,
+    ) -> Vec<(ObjectId, f64)> {
+        let mut scored: Vec<(ObjectId, f64)> =
+            objects.iter().map(|(o, m)| (*o, m.at(t).min_dist_sq(q))).collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    #[test]
+    fn knn_monitor_tracks_without_updates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let objects = random_objects(&mut rng, 400);
+        let tree = build(&objects);
+        let shadow: HashMap<_, _> = objects.iter().copied().collect();
+
+        let mut monitor = ContinuousKnn::new(T_M, V_MAX);
+        monitor.add_query(QueryId(0), [500.0, 500.0], 5);
+        monitor.add_query(QueryId(1), [100.0, 900.0], 10);
+        monitor.refresh(&tree, 0.0).unwrap();
+
+        // Within one T_M, re-ranking the candidates is exact at every
+        // sampled instant — no index access needed.
+        for t in [0.0, 10.0, 30.0, 59.0] {
+            for (qid, point, k) in
+                [(QueryId(0), [500.0, 500.0], 5), (QueryId(1), [100.0, 900.0], 10)]
+            {
+                let got = monitor.result_at(qid, t);
+                let expect = brute_knn(&shadow, point, k, t);
+                for (g, e) in got.iter().zip(&expect) {
+                    assert!(
+                        (g.1 - e.1).abs() < 1e-9,
+                        "q={qid:?} t={t}: dist {} vs {}",
+                        g.1,
+                        e.1
+                    );
+                }
+                assert_eq!(got.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_monitor_follows_updates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let objects = random_objects(&mut rng, 300);
+        let mut tree = build(&objects);
+        let mut shadow: HashMap<_, _> = objects.iter().copied().collect();
+
+        let q = [500.0, 500.0];
+        let mut monitor = ContinuousKnn::new(T_M, V_MAX);
+        monitor.add_query(QueryId(0), q, 8);
+        monitor.refresh(&tree, 0.0).unwrap();
+
+        for tick in 1..=90u32 {
+            let now = f64::from(tick);
+            // A few random updates per tick.
+            for _ in 0..5 {
+                let oid = ObjectId(rng.gen_range(0..300));
+                let old = shadow[&oid];
+                let x = rng.gen_range(0.0..1000.0);
+                let y = rng.gen_range(0.0..1000.0);
+                let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                let speed = rng.gen_range(0.0..V_MAX);
+                let new = MovingRect::rigid(
+                    Rect::new([x, y], [x + 1.0, y + 1.0]),
+                    [speed * angle.cos(), speed * angle.sin()],
+                    now,
+                );
+                tree.update(oid, &old, new, now).unwrap();
+                monitor.apply_update(oid, &old, &new, now);
+                shadow.insert(oid, new);
+            }
+            monitor.refresh(&tree, now).unwrap();
+            let got = monitor.result_at(QueryId(0), now);
+            let expect = brute_knn(&shadow, q, 8, now);
+            for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                assert!(
+                    (g.1 - e.1).abs() < 1e-9,
+                    "t={now} rank {i}: dist {} vs {} (got {:?}, want {:?})",
+                    g.1,
+                    e.1,
+                    got,
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_monitor_teleporting_neighbor() {
+        // The nearest object teleports far away via an update; the
+        // monitor must promote the next-nearest.
+        let objects = vec![
+            (ObjectId(1), MovingRect::stationary(Rect::square([500.0, 500.0], 1.0), 0.0)),
+            (ObjectId(2), MovingRect::stationary(Rect::square([510.0, 500.0], 1.0), 0.0)),
+            (ObjectId(3), MovingRect::stationary(Rect::square([900.0, 900.0], 1.0), 0.0)),
+        ];
+        let mut tree = build(&objects);
+        let mut monitor = ContinuousKnn::new(T_M, V_MAX);
+        monitor.add_query(QueryId(0), [500.0, 500.0], 1);
+        monitor.refresh(&tree, 0.0).unwrap();
+        assert_eq!(monitor.result_at(QueryId(0), 0.0)[0].0, ObjectId(1));
+
+        let old = objects[0].1;
+        let new = MovingRect::stationary(Rect::square([50.0, 50.0], 1.0), 5.0);
+        tree.update(ObjectId(1), &old, new, 5.0).unwrap();
+        monitor.apply_update(ObjectId(1), &old, &new, 5.0);
+        monitor.refresh(&tree, 5.0).unwrap();
+        assert_eq!(monitor.result_at(QueryId(0), 5.0)[0].0, ObjectId(2));
+    }
+
+    #[test]
+    fn knn_monitor_removed_object() {
+        let objects = vec![
+            (ObjectId(1), MovingRect::stationary(Rect::square([500.0, 500.0], 1.0), 0.0)),
+            (ObjectId(2), MovingRect::stationary(Rect::square([510.0, 500.0], 1.0), 0.0)),
+        ];
+        let tree = build(&objects);
+        let mut monitor = ContinuousKnn::new(T_M, V_MAX);
+        monitor.add_query(QueryId(0), [500.0, 500.0], 1);
+        monitor.refresh(&tree, 0.0).unwrap();
+        monitor.remove_object(ObjectId(1));
+        assert_eq!(monitor.result_at(QueryId(0), 0.0)[0].0, ObjectId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let mut m = ContinuousKnn::new(T_M, V_MAX);
+        m.add_query(QueryId(0), [0.0, 0.0], 0);
+    }
+
+    #[test]
+    fn unknown_query_is_empty() {
+        let m = ContinuousKnn::new(T_M, V_MAX);
+        assert!(m.result_at(QueryId(42), 0.0).is_empty());
+        assert_eq!(m.query_count(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The continuously-maintained join answer.
+//!
+//! Pairs map to sets of disjoint time intervals during which the two
+//! objects (are predicted to) intersect. The paper assumes the result
+//! always fits in main memory (§II-A); maintenance removes *all* of an
+//! object's pairs when it updates and re-adds what the fresh join run
+//! finds, so the buffer is only ever queried at the present or future
+//! (`active_at(t)` for `t ≥` the last maintenance time).
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{HashMap, HashSet};
+
+use cij_geom::{Time, TimeInterval};
+use cij_tpr::ObjectId;
+
+/// Ordered pair key: `a` from set A, `b` from set B.
+pub type PairKey = (ObjectId, ObjectId);
+
+/// The live join result: pair → disjoint, sorted intersection intervals.
+///
+/// ```
+/// use cij_core::ResultBuffer;
+/// use cij_geom::TimeInterval;
+/// use cij_tpr::ObjectId;
+///
+/// let (a, b) = (ObjectId(1), ObjectId(101));
+/// let mut buf = ResultBuffer::new();
+/// buf.add(a, b, TimeInterval::new_unchecked(5.0, 12.0));
+/// assert!(buf.is_active(a, b, 7.0));
+/// assert!(!buf.is_active(a, b, 13.0));
+///
+/// // Object 1 updates at t = 7: all its predictions are dropped and the
+/// // follow-up join re-adds what still holds.
+/// buf.remove_object(a);
+/// assert!(buf.active_at(7.0).is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ResultBuffer {
+    pairs: HashMap<PairKey, Vec<TimeInterval>>,
+    /// Reverse index so `remove_object` is proportional to the object's
+    /// own pair count, not the whole result.
+    by_object: HashMap<ObjectId, HashSet<PairKey>>,
+}
+
+impl ResultBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct pairs with at least one interval.
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Records that `(a, b)` intersect during `interval`, merging with
+    /// any overlapping or touching intervals already recorded.
+    pub fn add(&mut self, a: ObjectId, b: ObjectId, interval: TimeInterval) {
+        let key = (a, b);
+        let list = match self.pairs.entry(key) {
+            MapEntry::Occupied(o) => o.into_mut(),
+            MapEntry::Vacant(v) => {
+                self.by_object.entry(a).or_default().insert(key);
+                self.by_object.entry(b).or_default().insert(key);
+                v.insert(Vec::with_capacity(1))
+            }
+        };
+        // Insert keeping the list sorted and disjoint.
+        let mut merged = interval;
+        let mut out = Vec::with_capacity(list.len() + 1);
+        let mut placed = false;
+        for &iv in list.iter() {
+            if iv.end < merged.start && !placed {
+                out.push(iv);
+            } else if iv.start > merged.end {
+                if !placed {
+                    out.push(merged);
+                    placed = true;
+                }
+                out.push(iv);
+            } else {
+                // Overlapping or touching: absorb.
+                merged = TimeInterval::new_unchecked(
+                    merged.start.min(iv.start),
+                    merged.end.max(iv.end),
+                );
+            }
+        }
+        if !placed {
+            out.push(merged);
+        }
+        *list = out;
+    }
+
+    /// Drops every pair involving `oid` (both sides). Called when `oid`
+    /// updates: all predictions involving it are invalidated from that
+    /// moment on, and the follow-up join re-adds what still holds.
+    pub fn remove_object(&mut self, oid: ObjectId) {
+        let Some(keys) = self.by_object.remove(&oid) else { return };
+        for key in keys {
+            self.pairs.remove(&key);
+            let partner = if key.0 == oid { key.1 } else { key.0 };
+            if let Some(set) = self.by_object.get_mut(&partner) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.by_object.remove(&partner);
+                }
+            }
+        }
+    }
+
+    /// The pairs intersecting at instant `t`, sorted. This is the answer
+    /// the continuous query reports at timestamp `t`.
+    #[must_use]
+    pub fn active_at(&self, t: Time) -> Vec<PairKey> {
+        let mut out: Vec<PairKey> = self
+            .pairs
+            .iter()
+            .filter(|(_, ivs)| ivs.iter().any(|iv| iv.contains(t)))
+            .map(|(k, _)| *k)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether `(a, b)` is reported as intersecting at `t`.
+    #[must_use]
+    pub fn is_active(&self, a: ObjectId, b: ObjectId, t: Time) -> bool {
+        self.pairs
+            .get(&(a, b))
+            .is_some_and(|ivs| ivs.iter().any(|iv| iv.contains(t)))
+    }
+
+    /// Garbage-collects intervals that ended before `t` (history the
+    /// continuous query will never report again).
+    pub fn prune_before(&mut self, t: Time) {
+        self.pairs.retain(|key, ivs| {
+            ivs.retain(|iv| iv.end >= t);
+            if ivs.is_empty() {
+                for side in [key.0, key.1] {
+                    if let Some(set) = self.by_object.get_mut(&side) {
+                        set.remove(key);
+                        if set.is_empty() {
+                            self.by_object.remove(&side);
+                        }
+                    }
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Total number of stored intervals (diagnostics).
+    #[must_use]
+    pub fn interval_count(&self) -> usize {
+        self.pairs.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::INFINITE_TIME;
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        TimeInterval::new_unchecked(s, e)
+    }
+    const A1: ObjectId = ObjectId(1);
+    const B1: ObjectId = ObjectId(101);
+    const B2: ObjectId = ObjectId(102);
+
+    #[test]
+    fn add_and_query() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(5.0, 10.0));
+        assert!(buf.is_active(A1, B1, 5.0));
+        assert!(buf.is_active(A1, B1, 10.0));
+        assert!(!buf.is_active(A1, B1, 10.1));
+        assert_eq!(buf.active_at(7.0), vec![(A1, B1)]);
+        assert!(buf.active_at(4.9).is_empty());
+    }
+
+    #[test]
+    fn overlapping_intervals_merge() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(0.0, 5.0));
+        buf.add(A1, B1, iv(4.0, 8.0));
+        buf.add(A1, B1, iv(8.0, 9.0)); // touching merges too
+        assert_eq!(buf.interval_count(), 1);
+        assert!(buf.is_active(A1, B1, 8.5));
+    }
+
+    #[test]
+    fn disjoint_intervals_coexist() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(10.0, 12.0));
+        buf.add(A1, B1, iv(0.0, 2.0));
+        buf.add(A1, B1, iv(5.0, 6.0));
+        assert_eq!(buf.interval_count(), 3);
+        assert!(buf.is_active(A1, B1, 1.0));
+        assert!(!buf.is_active(A1, B1, 3.0));
+        assert!(buf.is_active(A1, B1, 5.5));
+        assert!(!buf.is_active(A1, B1, 8.0));
+        assert!(buf.is_active(A1, B1, 11.0));
+    }
+
+    #[test]
+    fn bridging_interval_collapses_neighbors() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(0.0, 2.0));
+        buf.add(A1, B1, iv(4.0, 6.0));
+        buf.add(A1, B1, iv(1.0, 5.0)); // bridges both
+        assert_eq!(buf.interval_count(), 1);
+        assert!(buf.is_active(A1, B1, 3.0));
+    }
+
+    #[test]
+    fn unbounded_intervals() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, TimeInterval::from(3.0));
+        assert!(buf.is_active(A1, B1, 1e15));
+        buf.add(A1, B1, iv(0.0, 1.0));
+        assert_eq!(buf.interval_count(), 2);
+        buf.add(A1, B1, iv(1.0, 5.0)); // merges with both
+        assert_eq!(buf.interval_count(), 1);
+        assert_eq!(buf.pairs[&(A1, B1)][0].end, INFINITE_TIME);
+    }
+
+    #[test]
+    fn remove_object_clears_both_directions() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(0.0, 10.0));
+        buf.add(A1, B2, iv(0.0, 10.0));
+        buf.add(ObjectId(2), B1, iv(0.0, 10.0));
+        buf.remove_object(B1); // removes (A1,B1) and (2,B1)
+        assert_eq!(buf.pair_count(), 1);
+        assert!(buf.is_active(A1, B2, 5.0));
+        assert!(!buf.is_active(A1, B1, 5.0));
+        // Removing an unknown object is a no-op.
+        buf.remove_object(ObjectId(999));
+        assert_eq!(buf.pair_count(), 1);
+        // Reverse index stays consistent: removing A1 clears the rest.
+        buf.remove_object(A1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn prune_drops_expired_history() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(0.0, 5.0));
+        buf.add(A1, B2, iv(0.0, 100.0));
+        buf.prune_before(50.0);
+        assert_eq!(buf.pair_count(), 1);
+        assert!(buf.is_active(A1, B2, 60.0));
+        // remove_object still works after pruning (index consistency).
+        buf.remove_object(B2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn readd_after_remove() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(0.0, 10.0));
+        buf.remove_object(A1);
+        buf.add(A1, B1, iv(20.0, 30.0));
+        assert!(!buf.is_active(A1, B1, 5.0));
+        assert!(buf.is_active(A1, B1, 25.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests at the engine level: arbitrary small workloads,
+//! arbitrary engine configuration knobs — the continuous answer must
+//! equal the brute-force oracle at every tick. Plus failure-path checks.
+
+use std::sync::Arc;
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, TcEngine};
+use cij_geom::Time;
+use cij_join::{brute, techniques};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::TprError;
+use cij_workload::{generate_pair, Distribution, Params, SetTag, UpdateStream};
+use proptest::prelude::*;
+
+fn pool(cap: usize) -> BufferPool {
+    BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: cap })
+}
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    (
+        20usize..80,
+        prop_oneof![
+            Just(Distribution::Uniform),
+            Just(Distribution::Gaussian),
+            Just(Distribution::Battlefield)
+        ],
+        1.0f64..5.0,
+        0.5f64..3.0,
+        any::<u64>(),
+    )
+        .prop_map(|(n, distribution, max_speed, size_pct, seed)| Params {
+            dataset_size: n,
+            distribution,
+            max_speed,
+            object_size_pct: size_pct,
+            space: 150.0,
+            seed,
+            ..Params::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// MTB (arbitrary bucket count, arbitrary pool size) tracks the
+    /// oracle through a multi-T_M run.
+    #[test]
+    fn mtb_tracks_oracle(
+        params in arb_params(),
+        buckets in 1u32..5,
+        pool_cap in prop_oneof![Just(2usize), Just(16), Just(64)],
+    ) {
+        let (a, b) = generate_pair(&params, 0.0);
+        let config = EngineConfig { buckets_per_tm: buckets, ..Default::default() };
+        let mut engine = MtbEngine::new(pool(pool_cap), config, &a, &b, 0.0).unwrap();
+        let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
+        engine.run_initial_join(0.0).unwrap();
+        for tick in 1..=75u32 {
+            let now = Time::from(tick);
+            for u in stream.tick(now) {
+                engine.apply_update(&u, now).unwrap();
+            }
+            if tick % 5 == 0 {
+                let expect = brute::brute_pairs_at(
+                    &stream.snapshot(SetTag::A),
+                    &stream.snapshot(SetTag::B),
+                    now,
+                );
+                prop_assert_eq!(engine.result_at(now), expect, "t={}", now);
+            }
+        }
+    }
+
+    /// TC engine under arbitrary technique combinations tracks the
+    /// oracle too (techniques must never change answers).
+    #[test]
+    fn tc_tracks_oracle_any_techniques(
+        params in arb_params(),
+        tech in prop_oneof![
+            Just(techniques::NONE),
+            Just(techniques::IC),
+            Just(techniques::PS),
+            Just(techniques::ALL)
+        ],
+    ) {
+        let (a, b) = generate_pair(&params, 0.0);
+        let config = EngineConfig { techniques: tech, ..Default::default() };
+        let mut engine = TcEngine::new(pool(32), config, &a, &b, 0.0).unwrap();
+        let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
+        engine.run_initial_join(0.0).unwrap();
+        for tick in 1..=40u32 {
+            let now = Time::from(tick);
+            for u in stream.tick(now) {
+                engine.apply_update(&u, now).unwrap();
+            }
+            if tick % 8 == 0 {
+                let expect = brute::brute_pairs_at(
+                    &stream.snapshot(SetTag::A),
+                    &stream.snapshot(SetTag::B),
+                    now,
+                );
+                prop_assert_eq!(engine.result_at(now), expect, "t={}", now);
+            }
+        }
+    }
+}
+
+#[test]
+fn update_for_unknown_object_errors_cleanly() {
+    let params = Params { dataset_size: 20, space: 100.0, ..Params::default() };
+    let (a, b) = generate_pair(&params, 0.0);
+    let mut engine =
+        MtbEngine::new(pool(32), EngineConfig::default(), &a, &b, 0.0).unwrap();
+    engine.run_initial_join(0.0).unwrap();
+
+    // Forge an update for an object that was never inserted.
+    let ghost = cij_workload::ObjectUpdate {
+        id: cij_tpr::ObjectId(999_999),
+        set: SetTag::A,
+        old_mbr: a[0].mbr,
+        last_update: 0.0,
+        new_mbr: a[0].mbr,
+    };
+    let err = engine.apply_update(&ghost, 1.0).unwrap_err();
+    assert!(matches!(err, TprError::ObjectNotFound(_)), "got {err:?}");
+    // The engine is still usable afterwards.
+    let real = cij_workload::ObjectUpdate {
+        id: a[0].id,
+        set: SetTag::A,
+        old_mbr: a[0].mbr,
+        last_update: 0.0,
+        new_mbr: a[0].mbr.rebase(1.0),
+    };
+    engine.apply_update(&real, 1.0).unwrap();
+    let _ = engine.result_at(1.0);
+}
+
+#[test]
+fn etp_engine_single_object_sets() {
+    // Degenerate cardinalities through the event machinery.
+    let params = Params { dataset_size: 1, space: 50.0, object_size_pct: 4.0, ..Params::default() };
+    let (a, b) = generate_pair(&params, 0.0);
+    let mut engine = EtpEngine::new(pool(8), EngineConfig::default(), &a, &b, 0.0).unwrap();
+    let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
+    engine.run_initial_join(0.0).unwrap();
+    for tick in 1..=70u32 {
+        let now = Time::from(tick);
+        engine.advance_time(now).unwrap();
+        for u in stream.tick(now) {
+            engine.apply_update(&u, now).unwrap();
+        }
+        let expect = brute::brute_pairs_at(
+            &stream.snapshot(SetTag::A),
+            &stream.snapshot(SetTag::B),
+            now,
+        );
+        assert_eq!(engine.result_at(now), expect, "t={now}");
+    }
+}

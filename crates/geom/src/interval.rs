@@ -1,0 +1,224 @@
+//! Closed time intervals `[start, end]` with a possibly-infinite end.
+//!
+//! Join algorithms in the paper communicate exclusively through such
+//! intervals: `intersect(e_A, e_B, t_s, t_e)` either returns the
+//! sub-interval of `[t_s, t_e]` during which the two entries intersect, or
+//! `NULL`. We encode `NULL` as `Option<TimeInterval>` and the infinite
+//! timestamp `∞` as [`INFINITE_TIME`].
+
+use crate::Time;
+
+/// The paper's `∞` timestamp: `NaiveJoin` computes join pairs over
+/// `[t_c, ∞)`; time-constrained processing replaces this bound.
+pub const INFINITE_TIME: Time = f64::INFINITY;
+
+/// A closed time interval `[start, end]`, `start <= end`; `end` may be
+/// [`INFINITE_TIME`].
+///
+/// Intervals returned by intersection tests are always non-empty: an empty
+/// result is represented as `None` at the call site, never as a degenerate
+/// interval with `start > end`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeInterval {
+    /// Inclusive lower end.
+    pub start: Time,
+    /// Inclusive upper end; may be `+∞`.
+    pub end: Time,
+}
+
+impl TimeInterval {
+    /// Creates `[start, end]`. Returns `None` when `start > end` (the
+    /// empty interval) so that emptiness is impossible to ignore.
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Option<Self> {
+        if start <= end {
+            Some(Self { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Creates `[start, end]` without the emptiness check.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `start > end`.
+    #[inline]
+    pub fn new_unchecked(start: Time, end: Time) -> Self {
+        debug_assert!(start <= end, "empty interval [{start}, {end}]");
+        Self { start, end }
+    }
+
+    /// The half-open-at-infinity interval `[start, ∞)`.
+    #[inline]
+    pub fn from(start: Time) -> Self {
+        Self { start, end: INFINITE_TIME }
+    }
+
+    /// The full time axis `(-∞, ∞)` — used as the identity for interval
+    /// intersection when accumulating per-dimension constraints.
+    #[inline]
+    pub fn all() -> Self {
+        Self { start: f64::NEG_INFINITY, end: INFINITE_TIME }
+    }
+
+    /// Intersection of two closed intervals; `None` when disjoint.
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Option<Self> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        Self::new(start, end)
+    }
+
+    /// Whether `t` lies inside the interval (inclusive ends).
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    #[inline]
+    pub fn covers(&self, other: &Self) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Length of the interval (`∞` for unbounded intervals).
+    #[inline]
+    pub fn length(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Whether the upper end is the infinite timestamp.
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.end == INFINITE_TIME
+    }
+
+    /// Clamps the interval to `[lo, hi]`; `None` when nothing remains.
+    #[inline]
+    pub fn clamp_to(&self, lo: Time, hi: Time) -> Option<Self> {
+        self.intersect(&Self { start: lo, end: hi })
+    }
+}
+
+/// Solves the linear inequality `c0 + c1·t ≤ 0` over the whole time axis.
+///
+/// Returns the (closed, possibly unbounded, possibly empty) solution set.
+/// This is the scalar primitive under every moving-rectangle intersection
+/// test: each "lower bound of A stays below upper bound of B in dimension
+/// d" constraint is exactly one such inequality.
+#[inline]
+pub fn solve_linear_leq(c0: f64, c1: f64) -> Option<TimeInterval> {
+    if c1 == 0.0 {
+        // Constant constraint: either always or never satisfied.
+        if c0 <= 0.0 {
+            Some(TimeInterval::all())
+        } else {
+            None
+        }
+    } else {
+        let root = -c0 / c1;
+        if c1 > 0.0 {
+            // Satisfied for t <= root.
+            TimeInterval::new(f64::NEG_INFINITY, root)
+        } else {
+            // Satisfied for t >= root.
+            TimeInterval::new(root, INFINITE_TIME)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(TimeInterval::new(2.0, 1.0).is_none());
+        assert!(TimeInterval::new(1.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = TimeInterval::new_unchecked(0.0, 10.0);
+        let b = TimeInterval::new_unchecked(5.0, 15.0);
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c, TimeInterval::new_unchecked(5.0, 10.0));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = TimeInterval::new_unchecked(0.0, 1.0);
+        let b = TimeInterval::new_unchecked(2.0, 3.0);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn intersect_touching_is_instant() {
+        let a = TimeInterval::new_unchecked(0.0, 2.0);
+        let b = TimeInterval::new_unchecked(2.0, 3.0);
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c.start, 2.0);
+        assert_eq!(c.end, 2.0);
+        assert_eq!(c.length(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_interval() {
+        let a = TimeInterval::from(3.0);
+        assert!(a.is_unbounded());
+        assert!(a.contains(1e18));
+        assert!(!a.contains(2.9));
+        assert_eq!(a.length(), INFINITE_TIME);
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let outer = TimeInterval::new_unchecked(0.0, 10.0);
+        let inner = TimeInterval::new_unchecked(2.0, 8.0);
+        let side = TimeInterval::new_unchecked(9.0, 12.0);
+        assert!(outer.covers(&inner));
+        assert!(!inner.covers(&outer));
+        assert!(outer.overlaps(&side));
+        assert!(!inner.overlaps(&TimeInterval::new_unchecked(8.5, 9.0)));
+    }
+
+    #[test]
+    fn clamp_to_window() {
+        let a = TimeInterval::from(5.0);
+        let c = a.clamp_to(0.0, 60.0).unwrap();
+        assert_eq!(c, TimeInterval::new_unchecked(5.0, 60.0));
+        assert!(a.clamp_to(0.0, 4.0).is_none());
+    }
+
+    #[test]
+    fn solve_leq_constant() {
+        assert!(solve_linear_leq(-1.0, 0.0).unwrap().contains(1e9));
+        assert!(solve_linear_leq(1.0, 0.0).is_none());
+        // Boundary: 0 <= 0 holds everywhere.
+        assert!(solve_linear_leq(0.0, 0.0).is_some());
+    }
+
+    #[test]
+    fn solve_leq_positive_slope() {
+        // 2 + 1·t <= 0  ⇔  t <= -2
+        let s = solve_linear_leq(2.0, 1.0).unwrap();
+        assert_eq!(s.end, -2.0);
+        assert!(s.contains(-3.0));
+        assert!(!s.contains(-1.0));
+    }
+
+    #[test]
+    fn solve_leq_negative_slope() {
+        // 2 - 1·t <= 0  ⇔  t >= 2
+        let s = solve_linear_leq(2.0, -1.0).unwrap();
+        assert_eq!(s.start, 2.0);
+        assert!(s.is_unbounded());
+        assert!(!s.contains(1.0));
+    }
+}

@@ -1,0 +1,83 @@
+//! Brute-force oracle: `O(|A|·|B|)` evaluation of the intersection join.
+//!
+//! Every index-based algorithm in this crate is property-tested against
+//! these functions; they are also the executable statement of the query
+//! semantics (Definition 1 of the paper).
+
+use cij_geom::{MovingRect, Time};
+use cij_tpr::ObjectId;
+
+use crate::pair::JoinPair;
+
+/// All pairs `(a, b)` whose MBRs intersect at some instant in
+/// `[t_s, t_e]`, with the intersection sub-interval.
+#[must_use]
+pub fn brute_join(
+    set_a: &[(ObjectId, MovingRect)],
+    set_b: &[(ObjectId, MovingRect)],
+    t_s: Time,
+    t_e: Time,
+) -> Vec<JoinPair> {
+    let mut out = Vec::new();
+    for &(a, ref ma) in set_a {
+        for &(b, ref mb) in set_b {
+            if let Some(iv) = ma.intersect_interval(mb, t_s, t_e) {
+                out.push(JoinPair::new(a, b, iv));
+            }
+        }
+    }
+    out
+}
+
+/// All pairs intersecting at the single instant `t` (the per-timestamp
+/// answer a continuous join must report).
+#[must_use]
+pub fn brute_pairs_at(
+    set_a: &[(ObjectId, MovingRect)],
+    set_b: &[(ObjectId, MovingRect)],
+    t: Time,
+) -> Vec<(ObjectId, ObjectId)> {
+    let mut out = Vec::new();
+    for &(a, ref ma) in set_a {
+        let ra = ma.at(t);
+        for &(b, ref mb) in set_b {
+            if ra.intersects(&mb.at(t)) {
+                out.push((a, b));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::Rect;
+
+    fn obj(id: u64, x: f64, vx: f64) -> (ObjectId, MovingRect) {
+        (
+            ObjectId(id),
+            MovingRect::rigid(Rect::new([x, 0.0], [x + 1.0, 1.0]), [vx, 0.0], 0.0),
+        )
+    }
+
+    #[test]
+    fn join_and_instant_agree() {
+        let a = vec![obj(1, 0.0, 1.0), obj(2, 50.0, 0.0)];
+        let b = vec![obj(10, 5.0, 0.0), obj(11, 50.5, 0.0)];
+        let pairs = brute_join(&a, &b, 0.0, 100.0);
+        // 1 catches 10 at t=4 and 11 at t=49.5; 2 overlaps 11 now.
+        assert_eq!(pairs.len(), 3);
+        let now = brute_pairs_at(&a, &b, 0.0);
+        assert_eq!(now, vec![(ObjectId(2), ObjectId(11))]);
+        let later = brute_pairs_at(&a, &b, 4.5);
+        assert!(later.contains(&(ObjectId(1), ObjectId(10))));
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert!(brute_join(&[], &[], 0.0, 10.0).is_empty());
+        assert!(brute_pairs_at(&[obj(1, 0.0, 0.0)], &[], 0.0).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! CPU-side work counters, complementing the storage layer's I/O stats.
+
+/// Counts the comparison work a join performs. I/O is tracked by the
+/// buffer pool; these counters expose the CPU-side picture the paper's
+/// "total response time" metric reflects (entry comparisons dominate it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinCounters {
+    /// Node pairs visited by the synchronous traversal.
+    pub node_pairs: u64,
+    /// Entry-pair intersection tests evaluated.
+    pub entry_comparisons: u64,
+    /// Entries pruned by the intersection-check filter before any
+    /// pairwise comparison.
+    pub ic_pruned: u64,
+    /// Output pairs produced.
+    pub pairs_emitted: u64,
+}
+
+impl JoinCounters {
+    /// Zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            node_pairs: self.node_pairs + other.node_pairs,
+            entry_comparisons: self.entry_comparisons + other.entry_comparisons,
+            ic_pruned: self.ic_pruned + other.ic_pruned,
+            pairs_emitted: self.pairs_emitted + other.pairs_emitted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = JoinCounters { node_pairs: 1, entry_comparisons: 2, ic_pruned: 3, pairs_emitted: 4 };
+        let b = JoinCounters { node_pairs: 10, entry_comparisons: 20, ic_pruned: 30, pairs_emitted: 40 };
+        let m = a.merged(b);
+        assert_eq!(m.node_pairs, 11);
+        assert_eq!(m.entry_comparisons, 22);
+        assert_eq!(m.ic_pruned, 33);
+        assert_eq!(m.pairs_emitted, 44);
+    }
+}

@@ -1,0 +1,242 @@
+//! `ImprovedJoin` (paper §IV-D, Fig. 6): the time-constrained traversal
+//! with the three TC-enabled improvement techniques, each independently
+//! toggleable so the Fig. 8 ablation can be reproduced:
+//!
+//! * **PS — plane sweep** (§IV-D1): entries of a node pair are compared
+//!   in sweep order instead of all-pairs ([`crate::ps_intersection`]).
+//! * **DS — dimension selection** (§IV-D2): the sweep dimension is the
+//!   one with the smallest total speed mass, minimizing spurious sweep
+//!   overlaps caused by movement.
+//! * **IC — intersection check** (§IV-D3): entries are pre-filtered
+//!   against the *other* node's region over the window; the interval
+//!   during which the two node regions intersect becomes the (strictly
+//!   tighter) window for the level below — so the time constraint
+//!   tightens as the traversal descends.
+
+use cij_geom::{Time, TimeInterval};
+use cij_tpr::{Entry, Node, TprResult, TprTree};
+
+use crate::counters::JoinCounters;
+use crate::pair::JoinPair;
+use crate::sweep::{ps_intersection, SweepItem};
+
+/// Toggle set for the §IV-D improvement techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Techniques {
+    /// Plane sweep instead of nested-loop entry comparison.
+    pub plane_sweep: bool,
+    /// Choose the sweep dimension by minimal speed mass (implies a
+    /// sweep; ignored unless `plane_sweep` is set).
+    pub dim_selection: bool,
+    /// Pre-filter entries against the other node's region and tighten
+    /// the window while descending.
+    pub intersection_check: bool,
+}
+
+/// Named technique combinations matching the Fig. 8 ablation.
+pub mod techniques {
+    use super::Techniques;
+
+    /// No improvement techniques (TC-Join's plain traversal).
+    pub const NONE: Techniques =
+        Techniques { plane_sweep: false, dim_selection: false, intersection_check: false };
+    /// Intersection check only.
+    pub const IC: Techniques =
+        Techniques { plane_sweep: false, dim_selection: false, intersection_check: true };
+    /// Plane sweep only.
+    pub const PS: Techniques =
+        Techniques { plane_sweep: true, dim_selection: false, intersection_check: false };
+    /// Dimension selection + plane sweep.
+    pub const DS_PS: Techniques =
+        Techniques { plane_sweep: true, dim_selection: true, intersection_check: false };
+    /// Intersection check + plane sweep.
+    pub const IC_PS: Techniques =
+        Techniques { plane_sweep: true, dim_selection: false, intersection_check: true };
+    /// All techniques — the configuration MTB-Join runs with.
+    pub const ALL: Techniques =
+        Techniques { plane_sweep: true, dim_selection: true, intersection_check: true };
+}
+
+/// `ImprovedJoin`: all join pairs within `[t_s, t_e]`, computed with the
+/// selected techniques. `t_e` must be finite — the improvement techniques
+/// exist *because* TC processing bounds the window.
+///
+/// ```
+/// use std::sync::Arc;
+/// use cij_geom::{MovingRect, Rect};
+/// use cij_join::{improved_join, techniques};
+/// use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+/// use cij_tpr::{ObjectId, TprTree, TreeConfig};
+///
+/// let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+/// let mut ta = TprTree::new(pool.clone(), TreeConfig::default());
+/// let mut tb = TprTree::new(pool, TreeConfig::default());
+/// for i in 0..200u64 {
+///     let x = (i as f64 * 11.0) % 900.0;
+///     ta.insert(ObjectId(i), MovingRect::rigid(
+///         Rect::new([x, 0.0], [x + 1.0, 1.0]), [1.0, 0.0], 0.0), 0.0)?;
+///     tb.insert(ObjectId(1000 + i), MovingRect::rigid(
+///         Rect::new([x + 5.0, 0.0], [x + 6.0, 1.0]), [-1.0, 0.0], 0.0), 0.0)?;
+/// }
+/// // Every technique combination produces the identical answer; ALL
+/// // just gets there with the fewest comparisons.
+/// let (all_pairs, all_counters) = improved_join(&ta, &tb, 0.0, 60.0, techniques::ALL)?;
+/// let (none_pairs, none_counters) = improved_join(&ta, &tb, 0.0, 60.0, techniques::NONE)?;
+/// assert_eq!(all_pairs.len(), none_pairs.len());
+/// assert!(all_counters.entry_comparisons <= none_counters.entry_comparisons);
+/// # Ok::<(), cij_tpr::TprError>(())
+/// ```
+pub fn improved_join(
+    tree_a: &TprTree,
+    tree_b: &TprTree,
+    t_s: Time,
+    t_e: Time,
+    tech: Techniques,
+) -> TprResult<(Vec<JoinPair>, JoinCounters)> {
+    assert!(t_e.is_finite(), "ImprovedJoin requires a time-constrained window");
+    let mut out = Vec::new();
+    let mut counters = JoinCounters::new();
+    let (Some(root_a), Some(root_b)) = (tree_a.root_page(), tree_b.root_page()) else {
+        return Ok((out, counters));
+    };
+    let na = tree_a.read_node(root_a)?;
+    let nb = tree_b.read_node(root_b)?;
+    join_nodes(tree_a, &na, tree_b, &nb, t_s, t_e, tech, &mut out, &mut counters)?;
+    Ok((out, counters))
+}
+
+#[allow(clippy::too_many_arguments)] // recursive kernel, all state is hot
+fn join_nodes(
+    tree_a: &TprTree,
+    na: &Node,
+    tree_b: &TprTree,
+    nb: &Node,
+    t_s: Time,
+    t_e: Time,
+    tech: Techniques,
+    out: &mut Vec<JoinPair>,
+    counters: &mut JoinCounters,
+) -> TprResult<()> {
+    counters.node_pairs += 1;
+
+    let (Some(na_mbr), Some(nb_mbr)) = (na.bounding_mbr(), nb.bounding_mbr()) else {
+        return Ok(());
+    };
+
+    // Height alignment: descend the deeper side alone.
+    if na.level > nb.level {
+        for ea in &na.entries {
+            counters.entry_comparisons += 1;
+            if let Some(iv) = ea.mbr.intersect_interval(&nb_mbr, t_s, t_e) {
+                let child = tree_a.read_node(ea.child.page())?;
+                let (ws, we) = if tech.intersection_check { (iv.start, iv.end) } else { (t_s, t_e) };
+                join_nodes(tree_a, &child, tree_b, nb, ws, we, tech, out, counters)?;
+            }
+        }
+        return Ok(());
+    }
+    if nb.level > na.level {
+        for eb in &nb.entries {
+            counters.entry_comparisons += 1;
+            if let Some(iv) = eb.mbr.intersect_interval(&na_mbr, t_s, t_e) {
+                let child = tree_b.read_node(eb.child.page())?;
+                let (ws, we) = if tech.intersection_check { (iv.start, iv.end) } else { (t_s, t_e) };
+                join_nodes(tree_a, na, tree_b, &child, ws, we, tech, out, counters)?;
+            }
+        }
+        return Ok(());
+    }
+
+    // Intersection check: clip the window to when the two node regions
+    // intersect, and drop entries that never touch the other region.
+    let (win, sa, sb): (TimeInterval, Vec<&Entry>, Vec<&Entry>) = if tech.intersection_check {
+        let Some(win) = na_mbr.intersect_interval(&nb_mbr, t_s, t_e) else {
+            counters.ic_pruned += (na.entries.len() + nb.entries.len()) as u64;
+            return Ok(());
+        };
+        fn filter<'e>(
+            entries: &'e [Entry],
+            other: &cij_geom::MovingRect,
+            win: TimeInterval,
+        ) -> Vec<&'e Entry> {
+            entries
+                .iter()
+                .filter(|e| e.mbr.intersect_interval(other, win.start, win.end).is_some())
+                .collect()
+        }
+        // Safety of the filter: an entry pair can only intersect at an
+        // instant when both node regions do (children are contained in
+        // their node), and each member must touch the *other* node's
+        // region at that instant.
+        let sa: Vec<&Entry> = filter(&na.entries, &nb_mbr, win);
+        let sb: Vec<&Entry> = filter(&nb.entries, &na_mbr, win);
+        counters.ic_pruned +=
+            (na.entries.len() - sa.len() + nb.entries.len() - sb.len()) as u64;
+        (win, sa, sb)
+    } else {
+        (
+            TimeInterval::new_unchecked(t_s, t_e),
+            na.entries.iter().collect(),
+            nb.entries.iter().collect(),
+        )
+    };
+    if sa.is_empty() || sb.is_empty() {
+        return Ok(());
+    }
+
+    // Candidate entry pairs with their intersection intervals.
+    let candidates: Vec<(usize, usize, TimeInterval)> = if tech.plane_sweep {
+        // Dimension selection: smallest total speed mass (§IV-D2).
+        let dim = if tech.dim_selection {
+            let mass = |d: usize| -> f64 {
+                sa.iter().chain(sb.iter()).map(|e| e.mbr.speed_sum(d)).sum()
+            };
+            if mass(0) <= mass(1) {
+                0
+            } else {
+                1
+            }
+        } else {
+            0
+        };
+        let mut items_a: Vec<SweepItem> = sa
+            .iter()
+            .enumerate()
+            .map(|(i, e)| SweepItem::new(e.mbr, i, dim, win.start, win.end))
+            .collect();
+        let mut items_b: Vec<SweepItem> = sb
+            .iter()
+            .enumerate()
+            .map(|(i, e)| SweepItem::new(e.mbr, i, dim, win.start, win.end))
+            .collect();
+        ps_intersection(&mut items_a, &mut items_b, win.start, win.end, counters)
+    } else {
+        let mut cands = Vec::new();
+        for (i, ea) in sa.iter().enumerate() {
+            for (j, eb) in sb.iter().enumerate() {
+                counters.entry_comparisons += 1;
+                if let Some(iv) = ea.mbr.intersect_interval(&eb.mbr, win.start, win.end) {
+                    cands.push((i, j, iv));
+                }
+            }
+        }
+        cands
+    };
+
+    if na.is_leaf() {
+        for (i, j, iv) in candidates {
+            counters.pairs_emitted += 1;
+            out.push(JoinPair::new(sa[i].child.object(), sb[j].child.object(), iv));
+        }
+        return Ok(());
+    }
+    for (i, j, iv) in candidates {
+        let ca = tree_a.read_node(sa[i].child.page())?;
+        let cb = tree_b.read_node(sb[j].child.page())?;
+        // Fig. 6 passes the pair's own interval down — with IC the window
+        // tightens monotonically as the traversal descends.
+        let (ws, we) = if tech.intersection_check { (iv.start, iv.end) } else { (t_s, t_e) };
+        join_nodes(tree_a, &ca, tree_b, &cb, ws, we, tech, out, counters)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # cij-join — intersection-join algorithms over TPR-trees
+//!
+//! Every join algorithm the paper describes or compares against:
+//!
+//! * [`naive_join`] — §II-C `NaiveJoin`: synchronous traversal of two
+//!   TPR-trees computing all join pairs over a window (the unconstrained
+//!   `[t_c, ∞)` for the paper's naive baseline; a finite window turns it
+//!   into `TC-Join`, §IV-B).
+//! * [`tc_join`] — §IV-B: the explicit time-constrained entry point.
+//! * [`improved_join`] — §IV-D Fig. 6: NaiveJoin plus the three
+//!   TC-enabled improvement techniques, individually toggleable for the
+//!   Fig. 8 ablation: plane sweep ([`techniques::PLANE_SWEEP`]),
+//!   dimension selection ([`techniques::DIM_SELECTION`]) and intersection
+//!   check ([`techniques::INTERSECTION_CHECK`]).
+//! * [`tp_join`] — §III: Tao & Papadias' time-parameterized join
+//!   returning `(current pairs, expiry time, events)`; the building block
+//!   of the `ETP-Join` competitor (assembled in `cij-core`).
+//! * [`brute`] — the `O(|A|·|B|)` oracle every algorithm is tested
+//!   against.
+//!
+//! All algorithms read nodes strictly through the trees' buffer pools, so
+//! their I/O is accounted exactly like the paper's.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod brute;
+mod counters;
+mod improved;
+mod naive;
+mod pair;
+mod partition;
+mod sweep;
+mod tp;
+
+pub use counters::JoinCounters;
+pub use improved::{improved_join, techniques, Techniques};
+pub use naive::{naive_join, tc_join};
+pub use pair::{assert_pairs_equal, JoinPair};
+pub use partition::{partition_join, partition_join_auto, swept_region};
+pub use sweep::{ps_intersection, SweepItem};
+pub use tp::{tp_join, tp_join_best_first, tp_object_probe, TpAnswer, TpProbe};

@@ -1,0 +1,95 @@
+//! Join output: object pairs with their intersection interval.
+
+use cij_geom::TimeInterval;
+use cij_tpr::ObjectId;
+
+/// One join result: objects `a ∈ A`, `b ∈ B` whose MBRs intersect during
+/// `interval` (clipped to the processing window the join ran with).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPair {
+    /// Object from the left set.
+    pub a: ObjectId,
+    /// Object from the right set.
+    pub b: ObjectId,
+    /// When the two MBRs intersect, within the processing window.
+    pub interval: TimeInterval,
+}
+
+impl JoinPair {
+    /// Creates a pair.
+    #[must_use]
+    pub fn new(a: ObjectId, b: ObjectId, interval: TimeInterval) -> Self {
+        Self { a, b, interval }
+    }
+
+    /// Sort key `(a, b, start)` for canonical ordering in tests.
+    #[must_use]
+    pub fn key(&self) -> (u64, u64, f64) {
+        (self.a.0, self.b.0, self.interval.start)
+    }
+}
+
+/// Sorts pairs canonically and asserts two pair lists are equal up to a
+/// timestamp tolerance. Test helper shared by the oracle comparisons.
+pub fn assert_pairs_equal(mut got: Vec<JoinPair>, mut expect: Vec<JoinPair>, tol: f64) {
+    got.sort_by(|x, y| x.key().partial_cmp(&y.key()).expect("finite keys"));
+    expect.sort_by(|x, y| x.key().partial_cmp(&y.key()).expect("finite keys"));
+    assert_eq!(
+        got.len(),
+        expect.len(),
+        "pair count mismatch: got {} expected {}\ngot: {got:?}\nexpected: {expect:?}",
+        got.len(),
+        expect.len()
+    );
+    for (g, e) in got.iter().zip(&expect) {
+        assert_eq!((g.a, g.b), (e.a, e.b), "pair identity mismatch");
+        assert!(
+            (g.interval.start - e.interval.start).abs() <= tol,
+            "start mismatch for ({}, {}): {} vs {}",
+            g.a,
+            g.b,
+            g.interval.start,
+            e.interval.start
+        );
+        let both_unbounded = g.interval.is_unbounded() && e.interval.is_unbounded();
+        assert!(
+            both_unbounded || (g.interval.end - e.interval.end).abs() <= tol,
+            "end mismatch for ({}, {}): {} vs {}",
+            g.a,
+            g.b,
+            g.interval.end,
+            e.interval.end
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::TimeInterval;
+
+    fn p(a: u64, b: u64, s: f64, e: f64) -> JoinPair {
+        JoinPair::new(ObjectId(a), ObjectId(b), TimeInterval::new_unchecked(s, e))
+    }
+
+    #[test]
+    fn equal_lists_pass() {
+        assert_pairs_equal(
+            vec![p(2, 1, 0.0, 5.0), p(1, 1, 0.0, 5.0)],
+            vec![p(1, 1, 0.0, 5.0), p(2, 1, 0.0, 5.0)],
+            1e-9,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pair count mismatch")]
+    fn different_counts_fail() {
+        assert_pairs_equal(vec![p(1, 1, 0.0, 5.0)], vec![], 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "start mismatch")]
+    fn interval_drift_fails() {
+        assert_pairs_equal(vec![p(1, 1, 0.0, 5.0)], vec![p(1, 1, 1.0, 5.0)], 1e-9);
+    }
+}

@@ -1,0 +1,213 @@
+//! Plane sweep over *moving* rectangles (paper §IV-D1, `PSIntersection`).
+//!
+//! Classic plane sweep orders static rectangles by their lower bound in
+//! one dimension and scans each against the run of rectangles whose lower
+//! bound does not exceed its upper bound. For moving rectangles over a
+//! *constrained* window `[t⊢, t⊣]`, the paper's insight is that
+//!
+//! * `lb = min(O.Rx−(t⊢), O.Rx−(t⊣))` and
+//! * `ub = max(O.Rx+(t⊢), O.Rx+(t⊣))`
+//!
+//! are valid sweep bounds: a bound linear in time attains its extremes at
+//! the window's endpoints, so `O₁.ub < O₂.lb` proves the two never meet
+//! in that dimension within the window. An unbounded window has no such
+//! `ub` — which is precisely why plane sweep *requires* time-constrained
+//! processing.
+
+use cij_geom::{MovingRect, Time, TimeInterval};
+
+use crate::counters::JoinCounters;
+
+/// A sweep participant: the moving rectangle plus its precomputed sweep
+/// bounds and the caller's index for identifying it in the output.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepItem {
+    /// The moving rectangle being swept.
+    pub mbr: MovingRect,
+    /// Sweep lower bound in the sort dimension over the window.
+    pub lb: f64,
+    /// Sweep upper bound in the sort dimension over the window.
+    pub ub: f64,
+    /// Caller-side index (position in the node's entry list).
+    pub idx: usize,
+}
+
+impl SweepItem {
+    /// Builds an item for the window `[t_s, t_e]`, sweeping dimension
+    /// `dim`.
+    #[must_use]
+    pub fn new(mbr: MovingRect, idx: usize, dim: usize, t_s: Time, t_e: Time) -> Self {
+        let lb = mbr.lo_at(dim, t_s).min(mbr.lo_at(dim, t_e));
+        let ub = mbr.hi_at(dim, t_s).max(mbr.hi_at(dim, t_e));
+        Self { mbr, lb, ub, idx }
+    }
+}
+
+/// The paper's `PSIntersection`: all pairs from `sa × sb` whose moving
+/// rectangles intersect within `[t_s, t_e]`, found in plane-sweep order.
+///
+/// Sorts both sequences in place by `lb`, then advances the sweep over
+/// the merged order; each emitted triple is `(idx_a, idx_b, interval)`.
+/// `t_e` must be finite (see module docs).
+///
+/// ```
+/// use cij_geom::{MovingRect, Rect};
+/// use cij_join::{ps_intersection, JoinCounters, SweepItem};
+///
+/// let make = |x: f64, vx: f64, idx: usize| {
+///     let m = MovingRect::rigid(Rect::new([x, 0.0], [x + 1.0, 1.0]), [vx, 0.0], 0.0);
+///     SweepItem::new(m, idx, 0, 0.0, 60.0)
+/// };
+/// let mut sa = vec![make(0.0, 1.0, 0), make(500.0, 0.0, 1)];
+/// let mut sb = vec![make(10.0, 0.0, 0), make(900.0, 0.0, 1)];
+/// let mut counters = JoinCounters::new();
+/// let pairs = ps_intersection(&mut sa, &mut sb, 0.0, 60.0, &mut counters);
+/// // Only (a0, b0) meet within the window (contact at t = 9); the sweep
+/// // never even compared the far-apart pairs.
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!((pairs[0].0, pairs[0].1), (0, 0));
+/// assert!(counters.entry_comparisons < 4);
+/// ```
+pub fn ps_intersection(
+    sa: &mut [SweepItem],
+    sb: &mut [SweepItem],
+    t_s: Time,
+    t_e: Time,
+    counters: &mut JoinCounters,
+) -> Vec<(usize, usize, TimeInterval)> {
+    debug_assert!(t_e.is_finite(), "plane sweep requires a bounded window");
+    let by_lb = |x: &SweepItem, y: &SweepItem| x.lb.partial_cmp(&y.lb).expect("finite bounds");
+    sa.sort_by(by_lb);
+    sb.sort_by(by_lb);
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        if sa[i].lb <= sb[j].lb {
+            let c = sa[i];
+            let mut k = j;
+            while k < sb.len() && sb[k].lb <= c.ub {
+                counters.entry_comparisons += 1;
+                if let Some(iv) = c.mbr.intersect_interval(&sb[k].mbr, t_s, t_e) {
+                    out.push((c.idx, sb[k].idx, iv));
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let c = sb[j];
+            let mut k = i;
+            while k < sa.len() && sa[k].lb <= c.ub {
+                counters.entry_comparisons += 1;
+                if let Some(iv) = c.mbr.intersect_interval(&sa[k].mbr, t_s, t_e) {
+                    out.push((sa[k].idx, c.idx, iv));
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::Rect;
+
+    fn item(idx: usize, x: f64, vx: f64, dim: usize, t0: f64, t1: f64) -> SweepItem {
+        let mbr = MovingRect::rigid(Rect::new([x, 0.0], [x + 1.0, 1.0]), [vx, 0.0], 0.0);
+        SweepItem::new(mbr, idx, dim, t0, t1)
+    }
+
+    #[test]
+    fn sweep_bounds_cover_motion() {
+        // Moving right at speed 2 over [0, 10]: lb = x(0).lo, ub = x(10).hi.
+        let it = item(0, 5.0, 2.0, 0, 0.0, 10.0);
+        assert_eq!(it.lb, 5.0);
+        assert_eq!(it.ub, 5.0 + 1.0 + 20.0);
+        // Moving left: lb comes from the window end.
+        let it = item(0, 5.0, -2.0, 0, 0.0, 10.0);
+        assert_eq!(it.lb, 5.0 - 20.0);
+        assert_eq!(it.ub, 6.0);
+    }
+
+    #[test]
+    fn matches_nested_loop_on_random_input() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for round in 0..50 {
+            let (t0, t1) = (0.0, 20.0);
+            let n = 1 + round % 17;
+            let make = |rng: &mut StdRng, idx: usize| {
+                let x = rng.gen_range(-50.0..50.0);
+                let y = rng.gen_range(-50.0..50.0);
+                let s = rng.gen_range(0.1..5.0);
+                let mbr = MovingRect::rigid(
+                    Rect::new([x, y], [x + s, y + s]),
+                    [rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)],
+                    0.0,
+                );
+                SweepItem::new(mbr, idx, 0, t0, t1)
+            };
+            let mut sa: Vec<_> = (0..n).map(|i| make(&mut rng, i)).collect();
+            let mut sb: Vec<_> = (0..n + 3).map(|i| make(&mut rng, i)).collect();
+
+            let mut expect = Vec::new();
+            for a in &sa {
+                for b in &sb {
+                    if let Some(iv) = a.mbr.intersect_interval(&b.mbr, t0, t1) {
+                        expect.push((a.idx, b.idx, iv));
+                    }
+                }
+            }
+            let mut counters = JoinCounters::new();
+            let mut got = ps_intersection(&mut sa, &mut sb, t0, t1, &mut counters);
+            got.sort_by_key(|&(a, b, _)| (a, b));
+            expect.sort_by_key(|&(a, b, _)| (a, b));
+            assert_eq!(got.len(), expect.len(), "round {round}");
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!((g.0, g.1), (e.0, e.1));
+                assert!((g.2.start - e.2.start).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_prunes_comparisons_on_sparse_input() {
+        // Widely separated static items: nested loop would do n·m = 100
+        // comparisons, the sweep a handful.
+        let (t0, t1) = (0.0, 1.0);
+        let mut sa: Vec<_> = (0..10).map(|i| item(i, i as f64 * 100.0, 0.0, 0, t0, t1)).collect();
+        let mut sb: Vec<_> =
+            (0..10).map(|i| item(i, i as f64 * 100.0 + 50.0, 0.0, 0, t0, t1)).collect();
+        let mut counters = JoinCounters::new();
+        let got = ps_intersection(&mut sa, &mut sb, t0, t1, &mut counters);
+        assert!(got.is_empty());
+        assert!(
+            counters.entry_comparisons < 100,
+            "sweep did {} comparisons",
+            counters.entry_comparisons
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut counters = JoinCounters::new();
+        let mut sa = vec![item(0, 0.0, 0.0, 0, 0.0, 1.0)];
+        assert!(ps_intersection(&mut sa, &mut [], 0.0, 1.0, &mut counters).is_empty());
+        assert!(ps_intersection(&mut [], &mut sa, 0.0, 1.0, &mut counters).is_empty());
+    }
+
+    #[test]
+    fn identical_bounds_do_not_miss() {
+        // Items with equal lb must still be paired.
+        let (t0, t1) = (0.0, 5.0);
+        let mut sa = vec![item(0, 1.0, 0.0, 0, t0, t1), item(1, 1.0, 0.0, 0, t0, t1)];
+        let mut sb = vec![item(0, 1.0, 0.0, 0, t0, t1)];
+        let mut counters = JoinCounters::new();
+        let got = ps_intersection(&mut sa, &mut sb, t0, t1, &mut counters);
+        assert_eq!(got.len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: every index-based join equals the brute-force oracle
+//! on arbitrary datasets, windows, and node capacities.
+
+use std::sync::Arc;
+
+use cij_geom::{MovingRect, Rect};
+use cij_join::{brute, improved_join, tc_join, techniques, tp_join, JoinPair};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::{ObjectId, TprTree, TreeConfig};
+use proptest::prelude::*;
+
+fn arb_object(id_base: u64) -> impl Strategy<Value = (ObjectId, MovingRect)> {
+    (
+        0u64..10_000,
+        0.0..990.0f64,
+        0.0..990.0f64,
+        0.1..10.0f64,
+        -5.0..5.0f64,
+        -5.0..5.0f64,
+    )
+        .prop_map(move |(id, x, y, side, vx, vy)| {
+            (
+                ObjectId(id_base + id),
+                MovingRect::rigid(Rect::new([x, y], [x + side, y + side]), [vx, vy], 0.0),
+            )
+        })
+}
+
+fn dedup_ids(mut v: Vec<(ObjectId, MovingRect)>) -> Vec<(ObjectId, MovingRect)> {
+    v.sort_by_key(|(o, _)| *o);
+    v.dedup_by_key(|(o, _)| *o);
+    v
+}
+
+fn build(
+    objs: &[(ObjectId, MovingRect)],
+    capacity: usize,
+    pool: &BufferPool,
+) -> TprTree {
+    let mut tree =
+        TprTree::new(pool.clone(), TreeConfig { capacity, ..TreeConfig::default() });
+    for &(oid, mbr) in objs {
+        tree.insert(oid, mbr, 0.0).unwrap();
+    }
+    tree
+}
+
+fn sort_pairs(mut v: Vec<JoinPair>) -> Vec<JoinPair> {
+    v.sort_by(|a, b| a.key().partial_cmp(&b.key()).unwrap());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// TC-Join and every ImprovedJoin technique combo equal the oracle
+    /// for arbitrary windows and tree shapes.
+    #[test]
+    fn joins_equal_oracle(
+        a in proptest::collection::vec(arb_object(0), 0..120),
+        b in proptest::collection::vec(arb_object(1 << 32), 0..120),
+        capacity in prop_oneof![Just(4usize), Just(10), Just(30)],
+        t_s in 0.0..30.0f64,
+        len in 0.1..90.0f64,
+    ) {
+        let a = dedup_ids(a);
+        let b = dedup_ids(b);
+        let t_e = t_s + len;
+        let pool =
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 });
+        let ta = build(&a, capacity, &pool);
+        let tb = build(&b, capacity, &pool);
+
+        let expect = sort_pairs(brute::brute_join(&a, &b, t_s, t_e));
+        let (got, _) = tc_join(&ta, &tb, t_s, t_e).unwrap();
+        let got = sort_pairs(got);
+        prop_assert_eq!(got.len(), expect.len(), "tc_join count");
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!((g.a, g.b), (e.a, e.b));
+            prop_assert!((g.interval.start - e.interval.start).abs() < 1e-7);
+            prop_assert!((g.interval.end - e.interval.end).abs() < 1e-7);
+        }
+
+        for tech in [techniques::NONE, techniques::IC, techniques::PS, techniques::ALL] {
+            let (got, _) = improved_join(&ta, &tb, t_s, t_e, tech).unwrap();
+            let got = sort_pairs(got);
+            prop_assert_eq!(got.len(), expect.len(), "improved {:?} count", tech);
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert_eq!((g.a, g.b), (e.a, e.b), "{:?}", tech);
+            }
+        }
+
+        // PBSM over the raw arrays must agree too (arbitrary grid).
+        let cells = 1 + (t_s as usize % 7);
+        let (got, _) = cij_join::partition_join(&a, &b, t_s, t_e, cells);
+        let got = sort_pairs(got);
+        prop_assert_eq!(got.len(), expect.len(), "pbsm count (cells {})", cells);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!((g.a, g.b), (e.a, e.b), "pbsm pair");
+        }
+    }
+
+    /// TP-Join's current result and expiry equal brute force for
+    /// arbitrary datasets.
+    #[test]
+    fn tp_join_equals_oracle(
+        a in proptest::collection::vec(arb_object(0), 0..60),
+        b in proptest::collection::vec(arb_object(1 << 32), 0..60),
+        t_c in 0.0..20.0f64,
+    ) {
+        let a = dedup_ids(a);
+        let b = dedup_ids(b);
+        let pool =
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 });
+        let ta = build(&a, 10, &pool);
+        let tb = build(&b, 10, &pool);
+        let ans = tp_join(&ta, &tb, t_c).unwrap();
+
+        let mut got = ans.current.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute::brute_pairs_at(&a, &b, t_c));
+
+        let mut best = cij_geom::INFINITE_TIME;
+        for (_, ma) in &a {
+            for (_, mb) in &b {
+                best = best.min(ma.influence_time(mb, t_c));
+            }
+        }
+        if best.is_finite() {
+            prop_assert!((ans.expiry - best).abs() < 1e-6,
+                "expiry {} vs oracle {}", ans.expiry, best);
+        } else {
+            prop_assert_eq!(ans.expiry, cij_geom::INFINITE_TIME);
+        }
+    }
+}

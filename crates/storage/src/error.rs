@@ -1,0 +1,42 @@
+//! Storage-layer error type.
+
+use crate::PageId;
+
+/// Errors surfaced by the storage layer.
+///
+/// The simulated disk cannot fail physically, so every variant indicates a
+/// logic error in the caller (use-after-free, codec overflow, corrupt
+/// serialization) — but they are surfaced as values rather than panics so
+/// the index layer can add context and tests can assert on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The page was never allocated or has been freed.
+    PageNotFound(PageId),
+    /// A codec read or write ran past the end of the page.
+    PageOverflow {
+        /// Byte offset at which the access was attempted.
+        offset: usize,
+        /// Number of bytes requested.
+        requested: usize,
+    },
+    /// Serialized bytes failed validation while decoding.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PageNotFound(id) => write!(f, "{id} not found (freed or never allocated)"),
+            Self::PageOverflow { offset, requested } => write!(
+                f,
+                "page access overflow: {requested} bytes at offset {offset} exceeds page size"
+            ),
+            Self::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,385 @@
+//! The LRU buffer pool: a fixed number of page frames in front of a
+//! [`PageStore`].
+//!
+//! Semantics follow the paper's experimental setup: an LRU buffer of 50
+//! pages; a read that hits the buffer is free (logical only), a miss
+//! costs one physical read, and evicting a dirty frame costs one physical
+//! write. The pool is shared by every index on the same simulated disk,
+//! exactly as one buffer pool would be shared on the real machine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::lru::{LruLink, LruList};
+use crate::{IoStats, PageBuf, PageId, PageStore, StorageResult, DEFAULT_POOL_PAGES, PAGE_SIZE};
+
+/// Buffer pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferPoolConfig {
+    /// Number of page frames (paper default: 50).
+    pub capacity: usize,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        Self { capacity: DEFAULT_POOL_PAGES }
+    }
+}
+
+struct Frame {
+    page_id: PageId,
+    data: PageBuf,
+    dirty: bool,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    /// LRU link fields, parallel to `frames` (kept separate so the list
+    /// can mutate links while frame data is borrowed elsewhere).
+    links: Vec<LruLink>,
+    free_frames: Vec<usize>,
+    map: HashMap<PageId, usize>,
+    lru: LruList,
+}
+
+/// A shared LRU buffer pool. Cheap to clone (`Arc` inside); clones see
+/// the same frames and counters.
+#[derive(Clone)]
+pub struct BufferPool {
+    store: Arc<dyn PageStore>,
+    inner: Arc<Mutex<PoolInner>>,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool over `store` with the given configuration.
+    ///
+    /// # Panics
+    /// Panics when `config.capacity == 0`.
+    #[must_use]
+    pub fn new(store: Arc<dyn PageStore>, config: BufferPoolConfig) -> Self {
+        assert!(config.capacity > 0, "buffer pool needs at least one frame");
+        Self {
+            store,
+            inner: Arc::new(Mutex::new(PoolInner {
+                frames: Vec::with_capacity(config.capacity),
+                links: Vec::with_capacity(config.capacity),
+                free_frames: Vec::new(),
+                map: HashMap::with_capacity(config.capacity * 2),
+                lru: LruList::new(),
+            })),
+            capacity: config.capacity,
+        }
+    }
+
+    /// Creates a pool with the paper's default 50-page capacity.
+    #[must_use]
+    pub fn with_default_capacity(store: Arc<dyn PageStore>) -> Self {
+        Self::new(store, BufferPoolConfig::default())
+    }
+
+    /// Number of page frames.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The I/O counters of the underlying store.
+    #[must_use]
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(self.store.stats())
+    }
+
+    /// Allocates a fresh page on the store (not yet buffered).
+    #[must_use]
+    pub fn allocate(&self) -> PageId {
+        self.store.allocate()
+    }
+
+    /// Frees a page, dropping any buffered copy without writing it back.
+    pub fn free(&self, id: PageId) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.map.remove(&id) {
+            let PoolInner { lru, links, .. } = &mut *inner;
+            lru.unlink(idx, links);
+            inner.free_frames.push(idx);
+        }
+        self.store.free(id)
+    }
+
+    /// Reads a page through the buffer and hands a view of its bytes to
+    /// `f`. Counts one logical read always; one physical read iff the
+    /// page was not resident.
+    pub fn read<R>(&self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> StorageResult<R> {
+        self.store.stats().record_logical_read();
+        let mut inner = self.inner.lock();
+        let idx = self.fault_in(&mut inner, id)?;
+        Ok(f(&inner.frames[idx].data))
+    }
+
+    /// Writes a page through the buffer (write-back): the frame is
+    /// updated and marked dirty; the store sees it on eviction or flush.
+    /// Counts one logical write. No physical read is needed because
+    /// `data` overwrites the whole page.
+    pub fn write(&self, id: PageId, data: &[u8; PAGE_SIZE]) -> StorageResult<()> {
+        self.store.stats().record_logical_write();
+        let mut inner = self.inner.lock();
+        let idx = match inner.map.get(&id) {
+            Some(&idx) => {
+                let PoolInner { lru, links, .. } = &mut *inner;
+                lru.touch(idx, links);
+                idx
+            }
+            None => {
+                let idx = self.take_frame(&mut inner)?;
+                inner.frames[idx].page_id = id;
+                inner.map.insert(id, idx);
+                let PoolInner { lru, links, .. } = &mut *inner;
+                lru.push_front(idx, links);
+                idx
+            }
+        };
+        inner.frames[idx].data.copy_from_slice(&data[..]);
+        inner.frames[idx].dirty = true;
+        Ok(())
+    }
+
+    /// Writes every dirty resident frame back to the store (frames stay
+    /// resident and clean).
+    pub fn flush(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        for idx in 0..inner.frames.len() {
+            let id = inner.frames[idx].page_id;
+            if inner.frames[idx].dirty && inner.map.contains_key(&id) {
+                self.store.write(id, &inner.frames[idx].data)?;
+                inner.frames[idx].dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes, then drops every frame. Used between experiment phases to
+    /// cold-start the buffer, mirroring the paper's fresh-cache
+    /// measurements.
+    pub fn clear(&self) -> StorageResult<()> {
+        self.flush()?;
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        loop {
+            let PoolInner { lru, links, .. } = &mut *inner;
+            if lru.pop_lru(links).is_none() {
+                break;
+            }
+        }
+        let n = inner.frames.len();
+        inner.free_frames = (0..n).collect();
+        Ok(())
+    }
+
+    /// Number of currently resident pages.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        let inner = self.inner.lock();
+        debug_assert_eq!(inner.lru.len(), inner.map.len(), "LRU list tracks residency");
+        debug_assert!(!inner.lru.is_empty() || inner.map.is_empty());
+        inner.map.len()
+    }
+
+    /// Ensures `id` is resident; returns its frame index. Updates LRU.
+    fn fault_in(&self, inner: &mut PoolInner, id: PageId) -> StorageResult<usize> {
+        if let Some(&idx) = inner.map.get(&id) {
+            let PoolInner { lru, links, .. } = &mut *inner;
+            lru.touch(idx, links);
+            return Ok(idx);
+        }
+        let idx = self.take_frame(inner)?;
+        self.store.read(id, &mut inner.frames[idx].data)?;
+        inner.frames[idx].page_id = id;
+        inner.frames[idx].dirty = false;
+        inner.map.insert(id, idx);
+        let PoolInner { lru, links, .. } = &mut *inner;
+        lru.push_front(idx, links);
+        Ok(idx)
+    }
+
+    /// Obtains an unused frame index, evicting the LRU resident page
+    /// (writing it back if dirty) when the pool is full.
+    fn take_frame(&self, inner: &mut PoolInner) -> StorageResult<usize> {
+        if let Some(idx) = inner.free_frames.pop() {
+            return Ok(idx);
+        }
+        if inner.frames.len() < self.capacity {
+            inner.frames.push(Frame {
+                page_id: PageId::INVALID,
+                data: crate::zeroed_page(),
+                dirty: false,
+            });
+            inner.links.push(LruLink::default());
+            return Ok(inner.frames.len() - 1);
+        }
+        let idx = {
+            let PoolInner { lru, links, .. } = &mut *inner;
+            lru.pop_lru(links).expect("full pool has an LRU victim")
+        };
+        let victim = inner.frames[idx].page_id;
+        if inner.frames[idx].dirty {
+            self.store.write(victim, &inner.frames[idx].data)?;
+            inner.frames[idx].dirty = false;
+        }
+        inner.map.remove(&victim);
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryStore;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity })
+    }
+
+    fn page_with(byte: u8) -> PageBuf {
+        let mut p = crate::zeroed_page();
+        p[0] = byte;
+        p
+    }
+
+    #[test]
+    fn read_hit_costs_no_physical_io() {
+        let pool = pool(4);
+        let id = pool.allocate();
+        pool.write(id, &page_with(7)).unwrap();
+        let before = pool.stats().snapshot();
+        for _ in 0..5 {
+            let b = pool.read(id, |p| p[0]).unwrap();
+            assert_eq!(b, 7);
+        }
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.physical_reads, 0, "hits must be free");
+        assert_eq!(delta.logical_reads, 5);
+    }
+
+    #[test]
+    fn miss_costs_one_physical_read() {
+        let pool = pool(2);
+        let id = pool.allocate();
+        pool.write(id, &page_with(1)).unwrap();
+        pool.clear().unwrap();
+        let before = pool.stats().snapshot();
+        pool.read(id, |_| ()).unwrap();
+        pool.read(id, |_| ()).unwrap();
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.physical_reads, 1);
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let pool = pool(2);
+        let ids: Vec<_> = (0..3).map(|_| pool.allocate()).collect();
+        // Seed store contents directly through the pool then clear.
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write(id, &page_with(i as u8)).unwrap();
+        }
+        pool.clear().unwrap();
+
+        // Read 0 then 1 (pool holds {0, 1}); touching 0 makes 1 the LRU.
+        pool.read(ids[0], |_| ()).unwrap();
+        pool.read(ids[1], |_| ()).unwrap();
+        pool.read(ids[0], |_| ()).unwrap();
+        // Faulting 2 evicts 1.
+        pool.read(ids[2], |_| ()).unwrap();
+        let before = pool.stats().snapshot();
+        pool.read(ids[0], |_| ()).unwrap(); // still resident → hit
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.physical_reads, 0);
+        let before = pool.stats().snapshot();
+        pool.read(ids[1], |_| ()).unwrap(); // was evicted → miss
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.physical_reads, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let pool = pool(1);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        pool.write(a, &page_with(0xAA)).unwrap();
+        let before = pool.stats().snapshot();
+        // Faulting b evicts dirty a → one physical write.
+        pool.read(b, |_| ()).unwrap();
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.physical_writes, 1);
+        // a's data survived the round trip.
+        let byte = pool.read(a, |p| p[0]).unwrap();
+        assert_eq!(byte, 0xAA);
+    }
+
+    #[test]
+    fn clean_eviction_writes_nothing() {
+        let pool = pool(1);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        pool.write(a, &page_with(1)).unwrap();
+        pool.flush().unwrap(); // a resident + clean
+        let before = pool.stats().snapshot();
+        pool.read(b, |_| ()).unwrap(); // evicts clean a
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.physical_writes, 0);
+    }
+
+    #[test]
+    fn write_back_coalesces_physical_writes() {
+        let pool = pool(4);
+        let id = pool.allocate();
+        let before = pool.stats().snapshot();
+        for i in 0..10 {
+            pool.write(id, &page_with(i)).unwrap();
+        }
+        pool.flush().unwrap();
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.logical_writes, 10);
+        assert_eq!(delta.physical_writes, 1, "ten logical writes, one flush");
+    }
+
+    #[test]
+    fn freeing_resident_page_discards_frame() {
+        let pool = pool(2);
+        let id = pool.allocate();
+        pool.write(id, &page_with(9)).unwrap();
+        assert_eq!(pool.resident(), 1);
+        pool.free(id).unwrap();
+        assert_eq!(pool.resident(), 0);
+        assert!(pool.read(id, |_| ()).is_err());
+    }
+
+    #[test]
+    fn shared_clones_see_same_frames() {
+        let pool = pool(2);
+        let clone = pool.clone();
+        let id = pool.allocate();
+        pool.write(id, &page_with(5)).unwrap();
+        let byte = clone.read(id, |p| p[0]).unwrap();
+        assert_eq!(byte, 5);
+        assert_eq!(clone.resident(), pool.resident());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let pool = pool(3);
+        let ids: Vec<_> = (0..10).map(|_| pool.allocate()).collect();
+        for &id in &ids {
+            pool.write(id, &page_with(0)).unwrap();
+        }
+        assert!(pool.resident() <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = pool(0);
+    }
+}

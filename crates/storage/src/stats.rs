@@ -1,0 +1,196 @@
+//! I/O counters with snapshot/delta arithmetic.
+//!
+//! The paper reports two metrics per experiment: the number of disk I/Os
+//! and the total response time. Physical reads/writes are counted by the
+//! store and buffer pool; the harness takes an [`IoSnapshot`] before a
+//! phase and subtracts it afterwards to attribute I/O to that phase
+//! (initial join vs. maintenance, per update, per tree, …).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe I/O counters. One instance is threaded through a
+/// store and its buffer pool; indexes on the same "disk" share it.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    logical_reads: AtomicU64,
+    logical_writes: AtomicU64,
+    allocations: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a physical (buffer-miss) page read.
+    #[inline]
+    pub fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a physical page write (eviction of a dirty frame / flush).
+    #[inline]
+    pub fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a logical page read (every buffer-pool `read`, hit or miss).
+    #[inline]
+    pub fn record_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a logical page write.
+    #[inline]
+    pub fn record_logical_write(&self) {
+        self.logical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page allocation.
+    #[inline]
+    pub fn record_alloc(&self) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page free.
+    #[inline]
+    pub fn record_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Captures the current counter values.
+    #[must_use]
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            logical_writes: self.logical_writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.logical_writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], supporting subtraction to obtain
+/// per-phase deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Buffer-miss page reads that hit the store.
+    pub physical_reads: u64,
+    /// Page writes that hit the store (dirty evictions + flushes).
+    pub physical_writes: u64,
+    /// Buffer-pool reads, hits included.
+    pub logical_reads: u64,
+    /// Buffer-pool writes, hits included.
+    pub logical_writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+    /// Pages freed.
+    pub frees: u64,
+}
+
+impl IoSnapshot {
+    /// Total physical I/O operations — the paper's "number of disk I/Os".
+    #[must_use]
+    pub fn physical_total(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Buffer hit ratio over logical reads, `None` when no reads happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> Option<f64> {
+        if self.logical_reads == 0 {
+            None
+        } else {
+            let hits = self.logical_reads.saturating_sub(self.physical_reads);
+            Some(hits as f64 / self.logical_reads as f64)
+        }
+    }
+
+    /// Component-wise difference `self − earlier` (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            logical_reads: self.logical_reads.saturating_sub(earlier.logical_reads),
+            logical_writes: self.logical_writes.saturating_sub(earlier.logical_writes),
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            frees: self.frees.saturating_sub(earlier.frees),
+        }
+    }
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+    fn sub(self, rhs: Self) -> Self {
+        self.delta_since(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_physical_read();
+        s.record_physical_read();
+        s.record_physical_write();
+        s.record_logical_read();
+        let snap = s.snapshot();
+        assert_eq!(snap.physical_reads, 2);
+        assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.logical_reads, 1);
+        assert_eq!(snap.physical_total(), 3);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.record_physical_read();
+        let before = s.snapshot();
+        s.record_physical_read();
+        s.record_physical_write();
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.physical_reads, 1);
+        assert_eq!(delta.physical_writes, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = IoStats::new();
+        assert_eq!(s.snapshot().hit_ratio(), None);
+        for _ in 0..10 {
+            s.record_logical_read();
+        }
+        s.record_physical_read(); // 1 miss in 10 reads
+        assert!((s.snapshot().hit_ratio().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_physical_read();
+        s.record_alloc();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+}

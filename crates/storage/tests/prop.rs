@@ -1,0 +1,171 @@
+//! Property tests: the buffer pool must behave exactly like a reference
+//! model (hash map contents + ideal LRU), and the page codec must
+//! round-trip arbitrary field sequences.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use cij_storage::codec::{PageReader, PageWriter};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore, PageId, PageStore};
+use proptest::prelude::*;
+
+/// A serializable field for codec round-trip tests.
+#[derive(Debug, Clone)]
+enum Field {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    F64(f64),
+    Bytes(Vec<u8>),
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u8>().prop_map(Field::U8),
+        any::<u16>().prop_map(Field::U16),
+        any::<u32>().prop_map(Field::U32),
+        any::<u64>().prop_map(Field::U64),
+        any::<f64>().prop_map(Field::F64),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Field::Bytes),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of fields that fits in a page reads back identically.
+    #[test]
+    fn codec_roundtrip(fields in proptest::collection::vec(arb_field(), 0..40)) {
+        let mut page = cij_storage::zeroed_page();
+        let mut written = Vec::new();
+        {
+            let mut w = PageWriter::new(&mut page);
+            for f in &fields {
+                let ok = match f {
+                    Field::U8(v) => w.put_u8(*v).is_ok(),
+                    Field::U16(v) => w.put_u16(*v).is_ok(),
+                    Field::U32(v) => w.put_u32(*v).is_ok(),
+                    Field::U64(v) => w.put_u64(*v).is_ok(),
+                    Field::F64(v) => w.put_f64(*v).is_ok(),
+                    Field::Bytes(v) => w.put_bytes(v).is_ok(),
+                };
+                if ok {
+                    written.push(f.clone());
+                } else {
+                    break; // page full; everything before must read back
+                }
+            }
+        }
+        let mut r = PageReader::new(&page);
+        for f in &written {
+            match f {
+                Field::U8(v) => prop_assert_eq!(r.get_u8().unwrap(), *v),
+                Field::U16(v) => prop_assert_eq!(r.get_u16().unwrap(), *v),
+                Field::U32(v) => prop_assert_eq!(r.get_u32().unwrap(), *v),
+                Field::U64(v) => prop_assert_eq!(r.get_u64().unwrap(), *v),
+                Field::F64(v) => {
+                    let back = r.get_f64().unwrap();
+                    prop_assert!(back == *v || (back.is_nan() && v.is_nan()));
+                }
+                Field::Bytes(v) => prop_assert_eq!(r.get_bytes(v.len()).unwrap(), &v[..]),
+            }
+        }
+    }
+}
+
+/// Reference model of the pool: page contents plus an ideal LRU queue.
+struct Model {
+    capacity: usize,
+    contents: HashMap<u32, u8>, // page → marker byte ("disk truth")
+    lru: VecDeque<u32>,         // front = MRU
+}
+
+impl Model {
+    fn touch(&mut self, id: u32) {
+        self.lru.retain(|&x| x != id);
+        self.lru.push_front(id);
+        while self.lru.len() > self.capacity {
+            self.lru.pop_back();
+        }
+    }
+    fn resident(&self, id: u32) -> bool {
+        self.lru.contains(&id)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, u8), // (page index, marker)
+    Read(u8),
+    Flush,
+    Clear,
+}
+
+fn arb_op(pages: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pages, any::<u8>()).prop_map(|(p, m)| Op::Write(p, m)),
+        (0..pages).prop_map(Op::Read),
+        Just(Op::Flush),
+        Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pool contents and *physical read* behaviour match the model under
+    /// arbitrary operation sequences.
+    #[test]
+    fn pool_matches_lru_model(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec(arb_op(8), 1..120),
+    ) {
+        let store = Arc::new(InMemoryStore::new());
+        let pool = BufferPool::new(store.clone(), BufferPoolConfig { capacity });
+        let ids: Vec<PageId> = (0..8).map(|_| store.allocate()).collect();
+        let mut model = Model { capacity, contents: HashMap::new(), lru: VecDeque::new() };
+
+        for op in &ops {
+            match op {
+                Op::Write(p, marker) => {
+                    let mut page = cij_storage::zeroed_page();
+                    page[0] = *marker;
+                    pool.write(ids[*p as usize], &page).unwrap();
+                    model.contents.insert(u32::from(*p), *marker);
+                    model.touch(u32::from(*p));
+                }
+                Op::Read(p) => {
+                    let expected = model.contents.get(&u32::from(*p)).copied().unwrap_or(0);
+                    let before = pool.stats().snapshot();
+                    let byte = pool.read(ids[*p as usize], |data| data[0]).unwrap();
+                    let delta = pool.stats().snapshot() - before;
+                    prop_assert_eq!(byte, expected, "page {} content", p);
+                    // Physical read iff the model says non-resident.
+                    let miss = delta.physical_reads == 1;
+                    prop_assert_eq!(
+                        miss,
+                        !model.resident(u32::from(*p)),
+                        "page {} residency (cap {})", p, capacity
+                    );
+                    model.touch(u32::from(*p));
+                }
+                Op::Flush => {
+                    pool.flush().unwrap();
+                }
+                Op::Clear => {
+                    pool.clear().unwrap();
+                    model.lru.clear();
+                }
+            }
+            prop_assert!(pool.resident() <= capacity);
+        }
+
+        // Final disk truth: clear the pool and read everything raw.
+        pool.clear().unwrap();
+        for (p, marker) in &model.contents {
+            let byte = pool.read(ids[*p as usize], |data| data[0]).unwrap();
+            prop_assert_eq!(byte, *marker, "final content of page {}", p);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Bulk loading: Sort-Tile-Recursive (STR) packing adapted to moving
+//! objects.
+//!
+//! Building a TPR-tree by repeated insertion costs one root-to-leaf
+//! traversal (plus splits) per object; packing builds the same tree
+//! bottom-up in `O(n log n)` comparisons and exactly `⌈n / fill⌉` leaf
+//! writes. The adaptation for moving objects follows the TPR-tree
+//! loading rationale: tiles are formed on object *centers at the horizon
+//! midpoint* `t₀ + H/2`, so co-moving objects land in the same node and
+//! node VBRs stay tight over the horizon the tree optimizes for.
+//!
+//! Packed nodes are filled to a configurable factor (default 70 %) —
+//! full nodes would split immediately under the update-heavy workloads
+//! this index exists for.
+
+use cij_geom::{MovingRect, Time};
+use cij_storage::BufferPool;
+
+use crate::config::TreeConfig;
+use crate::entry::{Entry, ObjectId};
+use crate::error::TprResult;
+use crate::node::Node;
+use crate::tree::TprTree;
+
+/// Fraction of node capacity used by packed nodes.
+const PACK_FILL: f64 = 0.7;
+
+impl TprTree {
+    /// Bulk-loads a tree from `objects` at time `now` using STR packing.
+    ///
+    /// Equivalent to inserting every object at `now`, but orders of
+    /// magnitude faster for large sets; the resulting tree satisfies all
+    /// structural invariants (`validate` passes) and answers queries
+    /// identically.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use cij_geom::{MovingRect, Rect};
+    /// use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+    /// use cij_tpr::{ObjectId, TprTree, TreeConfig};
+    ///
+    /// let objects: Vec<(ObjectId, MovingRect)> = (0..10_000)
+    ///     .map(|i| {
+    ///         let x = (i % 100) as f64 * 10.0;
+    ///         let y = (i / 100) as f64 * 10.0;
+    ///         (
+    ///             ObjectId(i),
+    ///             MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [1.0, -1.0], 0.0),
+    ///         )
+    ///     })
+    ///     .collect();
+    /// let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+    /// let tree = TprTree::bulk_load(pool, TreeConfig::default(), &objects, 0.0)?;
+    /// assert_eq!(tree.len(), 10_000);
+    /// tree.validate(0.0)?;
+    /// # Ok::<(), cij_tpr::TprError>(())
+    /// ```
+    pub fn bulk_load(
+        pool: BufferPool,
+        config: TreeConfig,
+        objects: &[(ObjectId, MovingRect)],
+        now: Time,
+    ) -> TprResult<Self> {
+        config.assert_valid();
+        let mut tree = TprTree::new(pool, config);
+        if objects.is_empty() {
+            return Ok(tree);
+        }
+        let per_node = ((config.capacity as f64 * PACK_FILL) as usize)
+            .clamp(config.min_entries(), config.capacity);
+
+        // Small inputs: plain inserts avoid degenerate single-entry roots.
+        if objects.len() <= per_node {
+            for &(oid, mbr) in objects {
+                tree.insert(oid, mbr, now)?;
+            }
+            return Ok(tree);
+        }
+
+        let t_mid = now + config.horizon / 2.0;
+        let mut entries: Vec<Entry> =
+            objects.iter().map(|&(oid, mbr)| Entry::object(oid, mbr)).collect();
+
+        let mut level = 0u8;
+        loop {
+            let parent_entries = tree.pack_level(&mut entries, level, per_node, t_mid, now)?;
+            if parent_entries.len() == 1 {
+                // The single parent entry's page is the root.
+                let root = parent_entries[0].child.page();
+                tree.adopt_packed_root(root, u32::from(level) + 1, objects.len());
+                return Ok(tree);
+            }
+            entries = parent_entries;
+            level += 1;
+        }
+    }
+
+    /// Packs one level: tiles `entries` (STR on centers at `t_mid`),
+    /// writes one node per tile at `level`, and returns the parent
+    /// entries bounding them.
+    fn pack_level(
+        &mut self,
+        entries: &mut [Entry],
+        level: u8,
+        per_node: usize,
+        t_mid: Time,
+        now: Time,
+    ) -> TprResult<Vec<Entry>> {
+        let n = entries.len();
+        let node_count = n.div_ceil(per_node);
+        // STR: sort by x-center, slice into √node_count vertical slabs,
+        // sort each slab by y-center, cut into runs of `per_node`.
+        let slabs = (node_count as f64).sqrt().ceil() as usize;
+        let slab_len = n.div_ceil(slabs);
+        let center = |e: &Entry, d: usize| {
+            (e.mbr.lo_at(d, t_mid) + e.mbr.hi_at(d, t_mid)) / 2.0
+        };
+        entries.sort_by(|a, b| {
+            center(a, 0).partial_cmp(&center(b, 0)).expect("finite centers")
+        });
+        for slab in entries.chunks_mut(slab_len) {
+            slab.sort_by(|a, b| {
+                center(a, 1).partial_cmp(&center(b, 1)).expect("finite centers")
+            });
+        }
+        // Cut the tiled order into runs. A run below the minimum fanout
+        // would violate tree invariants, so entries are distributed
+        // *evenly* over the largest run count that keeps every run at or
+        // above the minimum (shrinking the count raises run sizes toward
+        // capacity; min ≤ 40 % of capacity guarantees a feasible count
+        // exists for any n ≥ 1 here, since n > per_node ≥ min).
+        let min = self.config().min_entries();
+        let cap = self.config().capacity;
+        let mut runs = n.div_ceil(per_node);
+        while runs > 1 && n / runs < min {
+            runs -= 1;
+        }
+        debug_assert!(n.div_ceil(runs) <= cap, "even distribution overflows capacity");
+        let base = n / runs;
+        let extra = n % runs; // first `extra` runs hold one more entry
+        let mut cuts = Vec::with_capacity(runs);
+        let mut acc = 0usize;
+        for r in 0..runs {
+            acc += base + usize::from(r < extra);
+            cuts.push(acc);
+        }
+        let mut parents = Vec::with_capacity(node_count);
+        let mut start = 0;
+        for &end in &cuts {
+            let mut node = Node::new(level);
+            node.entries = entries[start..end].to_vec();
+            let page = self.pool().allocate();
+            let buf = node.to_page()?;
+            self.pool().write(page, &buf)?;
+            let mbr = node.bounding_mbr_at(now).expect("non-empty packed node");
+            parents.push(Entry::node(page, mbr));
+            start = end;
+        }
+        Ok(parents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::Rect;
+    use cij_storage::{BufferPoolConfig, InMemoryStore};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 })
+    }
+
+    fn random_objects(n: usize, seed: u64) -> Vec<(ObjectId, MovingRect)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.gen_range(0.0..1000.0);
+                let y = rng.gen_range(0.0..1000.0);
+                let s = rng.gen_range(0.2..3.0);
+                (
+                    ObjectId(i as u64),
+                    MovingRect::rigid(
+                        Rect::new([x, y], [x + s, y + s]),
+                        [rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)],
+                        0.0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_empty_and_tiny() {
+        let t = TprTree::bulk_load(pool(), TreeConfig::default(), &[], 0.0).unwrap();
+        assert!(t.is_empty());
+        t.validate(0.0).unwrap();
+
+        let objs = random_objects(5, 1);
+        let t = TprTree::bulk_load(pool(), TreeConfig::default(), &objs, 0.0).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.height(), 1);
+        t.validate(0.0).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_validates_at_scale() {
+        for n in [50, 500, 5000] {
+            let objs = random_objects(n, 2);
+            let t = TprTree::bulk_load(pool(), TreeConfig::default(), &objs, 0.0).unwrap();
+            assert_eq!(t.len(), n, "n={n}");
+            let stats = t.validate(0.0).unwrap();
+            assert_eq!(stats.objects, n);
+        }
+    }
+
+    #[test]
+    fn bulk_load_answers_match_insert_built_tree() {
+        let objs = random_objects(1200, 3);
+        let bulk = TprTree::bulk_load(pool(), TreeConfig::default(), &objs, 0.0).unwrap();
+        let mut inserted = TprTree::new(pool(), TreeConfig::default());
+        for &(oid, mbr) in &objs {
+            inserted.insert(oid, mbr, 0.0).unwrap();
+        }
+        for t in [0.0, 30.0, 60.0] {
+            for probe_seed in 10..20 {
+                let probe = random_objects(1, probe_seed)[0].1;
+                let mut a: Vec<_> = bulk
+                    .intersect_window(&probe, t, t + 60.0)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(o, _)| o)
+                    .collect();
+                let mut b: Vec<_> = inserted
+                    .intersect_window(&probe, t, t + 60.0)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(o, _)| o)
+                    .collect();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "t={t} seed={probe_seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_tree_supports_updates() {
+        let objs = random_objects(800, 4);
+        let mut t = TprTree::bulk_load(pool(), TreeConfig::default(), &objs, 0.0).unwrap();
+        // Update a quarter of the objects.
+        for &(oid, mbr) in objs.iter().take(200) {
+            let new = MovingRect::rigid(mbr.at(1.0), [1.0, -1.0], 1.0);
+            t.update(oid, &mbr, new, 1.0).unwrap();
+        }
+        assert_eq!(t.len(), 800);
+        t.validate(1.0).unwrap();
+        // And delete them all.
+        for &(oid, mbr) in objs.iter().skip(200) {
+            t.delete(oid, &mbr, 1.0).unwrap();
+        }
+        assert_eq!(t.len(), 200);
+        t.validate(1.0).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_is_much_cheaper_in_io() {
+        let objs = random_objects(3000, 5);
+        let p1 = pool();
+        let before = p1.stats().snapshot();
+        let _bulk = TprTree::bulk_load(p1.clone(), TreeConfig::default(), &objs, 0.0).unwrap();
+        let bulk_io = (p1.stats().snapshot() - before).logical_writes
+            + (p1.stats().snapshot() - before).physical_reads;
+
+        let p2 = pool();
+        let before = p2.stats().snapshot();
+        let mut t = TprTree::new(p2.clone(), TreeConfig::default());
+        for &(oid, mbr) in &objs {
+            t.insert(oid, mbr, 0.0).unwrap();
+        }
+        let insert_io = (p2.stats().snapshot() - before).logical_writes
+            + (p2.stats().snapshot() - before).physical_reads;
+        assert!(
+            bulk_io * 5 < insert_io,
+            "bulk {bulk_io} should be ≪ insert-built {insert_io}"
+        );
+    }
+
+    #[test]
+    fn co_moving_objects_get_tight_nodes() {
+        // Two swarms moving in opposite directions: STR at the horizon
+        // midpoint should separate them, keeping node VBRs tight.
+        let mut objs = Vec::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..200u64 {
+            let x = rng.gen_range(400.0..600.0);
+            let y = rng.gen_range(400.0..600.0);
+            let v = if i % 2 == 0 { 3.0 } else { -3.0 };
+            objs.push((
+                ObjectId(i),
+                MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [v, 0.0], 0.0),
+            ));
+        }
+        let t = TprTree::bulk_load(pool(), TreeConfig::default(), &objs, 0.0).unwrap();
+        t.validate(0.0).unwrap();
+        // Quality proxy: total leaf-level velocity spread. With horizon-
+        // midpoint tiling the swarms separate spatially, so most leaves
+        // are single-direction. Just assert structural validity plus a
+        // correct full-space query here; the quality shows in benches.
+        let all = t.range_at(&Rect::new([-1e5, -1e5], [1e5, 1e5]), 30.0).unwrap();
+        assert_eq!(all.len(), 200);
+    }
+}

@@ -1,0 +1,528 @@
+//! Interval nearest-neighbor search: *who is the NN, when* over a time
+//! window.
+//!
+//! §V of the paper discusses grafting TC processing onto continuous kNN
+//! algorithms that "compute kNN candidates for a time interval
+//! `[t_s, t_e]` as traversing a TPR-tree" (Benetis et al.) — "if
+//! `t_e > t_s + T_M`, we can apply TC processing and reduce the time
+//! interval to `[t_s, t_s + T_M]`". This module supplies exactly that
+//! primitive: [`TprTree::nn_over_interval`] returns the piecewise
+//! nearest-neighbor timeline of a query point over a window, computed
+//! exactly from the convex piecewise-quadratic squared-distance
+//! functions of [`cij_geom::distance`].
+//!
+//! Two phases:
+//! 1. **candidates** — best-first traversal ordered by minimal distance
+//!    over the window; a subtree is pruned when its minimal distance
+//!    exceeds the *minimax* bound (the smallest maximal distance among
+//!    objects found so far), since the NN at any instant is no farther
+//!    than every object's distance at that instant;
+//! 2. **lower envelope** — the window is split at every candidate's
+//!    distance-function breakpoints; within each segment the envelope of
+//!    the (now plain quadratic) functions is walked by earliest-crossing
+//!    steps, all in closed form.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cij_geom::{MovingRect, Rect, Time, TimeInterval};
+
+use crate::entry::{ChildRef, ObjectId};
+use crate::error::TprResult;
+use crate::tree::TprTree;
+
+/// Minimum segment/interval width considered distinct; crossings closer
+/// than this merge (guards against float dust creating zero-width
+/// timeline slices).
+const T_EPS: f64 = 1e-9;
+
+/// One slice of the NN timeline: `oid` is the nearest object during
+/// `interval`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnSlice {
+    /// The nearest neighbor during the slice.
+    pub oid: ObjectId,
+    /// When it holds (slices tile the query window).
+    pub interval: TimeInterval,
+}
+
+#[derive(PartialEq)]
+struct HeapKey(f64);
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distances")
+    }
+}
+
+impl TprTree {
+    /// The nearest-neighbor timeline of point `q` over `[t0, t1]`.
+    ///
+    /// Returns consecutive [`NnSlice`]s tiling the window (empty iff the
+    /// tree is empty). Ties at slice borders resolve to the incumbent;
+    /// exact simultaneous ties inside a slice resolve arbitrarily but
+    /// the reported object is always *a* nearest neighbor throughout its
+    /// slice.
+    ///
+    /// For the TC-processed §V variant, clamp `t1` to `t0 + T_M` first —
+    /// objects re-register by then, invalidating any longer prediction.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use cij_geom::{MovingRect, Rect};
+    /// use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+    /// use cij_tpr::{ObjectId, TprTree, TreeConfig};
+    ///
+    /// let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+    /// let mut tree = TprTree::new(pool, TreeConfig::default());
+    /// // A parked car near the query, and one driving past it.
+    /// tree.insert(
+    ///     ObjectId(1),
+    ///     MovingRect::stationary(Rect::new([5.0, 0.0], [6.0, 1.0]), 0.0),
+    ///     0.0,
+    /// )?;
+    /// tree.insert(
+    ///     ObjectId(2),
+    ///     MovingRect::rigid(Rect::new([60.0, 0.0], [61.0, 1.0]), [-6.0, 0.0], 0.0),
+    /// 0.0)?;
+    ///
+    /// let timeline = tree.nn_over_interval([0.0, 0.5], 0.0, 20.0)?;
+    /// // Car 1 is nearest, then car 2 passes closer, then car 1 again.
+    /// let owners: Vec<_> = timeline.iter().map(|s| s.oid).collect();
+    /// assert_eq!(owners, vec![ObjectId(1), ObjectId(2), ObjectId(1)]);
+    /// # Ok::<(), cij_tpr::TprError>(())
+    /// ```
+    pub fn nn_over_interval(
+        &self,
+        q: [f64; 2],
+        t0: Time,
+        t1: Time,
+    ) -> TprResult<Vec<NnSlice>> {
+        assert!(t1 >= t0, "inverted window");
+        let candidates = self.nn_candidates(q, t0, t1)?;
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(lower_envelope(q, &candidates, t0, t1))
+    }
+
+    /// kNN candidates over a window: a set guaranteed to contain the
+    /// `k` nearest neighbors of `q` at **every** instant of `[t0, t1]`.
+    ///
+    /// This is the "kNN candidates for a time interval" primitive §V
+    /// attributes to Benetis et al. — the TC-processed variant simply
+    /// clamps `t1` to `t0 + T_M`. Pruning generalizes the NN minimax
+    /// bound: a subtree whose minimal distance over the window exceeds
+    /// the `k`-th smallest *maximal* distance among collected objects
+    /// cannot contribute (at any instant, at least `k` collected objects
+    /// are at or below that bound).
+    pub fn knn_candidates_interval(
+        &self,
+        q: [f64; 2],
+        k: usize,
+        t0: Time,
+        t1: Time,
+    ) -> TprResult<Vec<(ObjectId, MovingRect)>> {
+        assert!(t1 >= t0, "inverted window");
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<(ObjectId, MovingRect)> = Vec::new();
+        let Some(root) = self.root_page() else { return Ok(out) };
+        let qrect = MovingRect::stationary(Rect::point(q), t0);
+        // The k smallest max-distances seen so far (max-heap of size k).
+        let mut worst_k: BinaryHeap<HeapKey> = BinaryHeap::new();
+        let bound = |worst_k: &BinaryHeap<HeapKey>| {
+            if worst_k.len() < k {
+                f64::INFINITY
+            } else {
+                worst_k.peek().expect("non-empty").0
+            }
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((HeapKey(0.0), root)));
+        while let Some(Reverse((HeapKey(lb), page))) = heap.pop() {
+            if lb > bound(&worst_k) {
+                break;
+            }
+            let node = self.read_node(page)?;
+            for e in &node.entries {
+                let (min_d, _) = e.mbr.min_dist_sq_interval(&qrect, t0, t1);
+                if min_d > bound(&worst_k) {
+                    continue;
+                }
+                match e.child {
+                    ChildRef::Object(oid) => {
+                        let max_d = e.mbr.max_dist_sq_interval(&qrect, t0, t1);
+                        worst_k.push(HeapKey(max_d));
+                        if worst_k.len() > k {
+                            worst_k.pop();
+                        }
+                        out.push((oid, e.mbr));
+                    }
+                    ChildRef::Page(p) => heap.push(Reverse((HeapKey(min_d), p))),
+                }
+            }
+        }
+        let final_bound = bound(&worst_k);
+        out.retain(|(_, mbr)| mbr.min_dist_sq_interval(&qrect, t0, t1).0 <= final_bound);
+        Ok(out)
+    }
+
+    /// Best-first candidate collection with minimax pruning: every
+    /// object that is the NN at some instant of the window is returned.
+    fn nn_candidates(
+        &self,
+        q: [f64; 2],
+        t0: Time,
+        t1: Time,
+    ) -> TprResult<Vec<(ObjectId, MovingRect)>> {
+        let mut out: Vec<(ObjectId, MovingRect)> = Vec::new();
+        let Some(root) = self.root_page() else { return Ok(out) };
+        let qrect = MovingRect::stationary(Rect::point(q), t0);
+        // Smallest max-distance among collected objects: no NN owner can
+        // have min-distance above it.
+        let mut minimax = f64::INFINITY;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((HeapKey(0.0), root)));
+        while let Some(Reverse((HeapKey(bound), page))) = heap.pop() {
+            if bound > minimax {
+                break; // heap is ordered: nothing else qualifies
+            }
+            let node = self.read_node(page)?;
+            for e in &node.entries {
+                let (min_d, _) = e.mbr.min_dist_sq_interval(&qrect, t0, t1);
+                if min_d > minimax {
+                    continue;
+                }
+                match e.child {
+                    ChildRef::Object(oid) => {
+                        let max_d = e.mbr.max_dist_sq_interval(&qrect, t0, t1);
+                        minimax = minimax.min(max_d);
+                        out.push((oid, e.mbr));
+                    }
+                    ChildRef::Page(p) => heap.push(Reverse((HeapKey(min_d), p))),
+                }
+            }
+        }
+        // Collected objects may still include some with min > final
+        // minimax (collected before the bound tightened).
+        out.retain(|(_, mbr)| mbr.min_dist_sq_interval(&qrect, t0, t1).0 <= minimax);
+        Ok(out)
+    }
+}
+
+/// Exact lower envelope of the candidates' squared-distance functions.
+fn lower_envelope(
+    q: [f64; 2],
+    candidates: &[(ObjectId, MovingRect)],
+    t0: Time,
+    t1: Time,
+) -> Vec<NnSlice> {
+    let qrect = MovingRect::stationary(Rect::point(q), t0);
+
+    // Split the window at every candidate's breakpoints so each distance
+    // function is one quadratic per segment.
+    let mut cuts = vec![t0, t1];
+    for (_, mbr) in candidates {
+        mbr.dist_sq_breakpoints(&qrect, t0, t1, &mut cuts);
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
+    cuts.dedup_by(|a, b| (*a - *b).abs() < T_EPS);
+
+    let mut slices: Vec<NnSlice> = Vec::new();
+    let push_slice = |oid: ObjectId, start: Time, end: Time, slices: &mut Vec<NnSlice>| {
+        if end - start < T_EPS && !slices.is_empty() {
+            return;
+        }
+        if let Some(last) = slices.last_mut() {
+            if last.oid == oid {
+                last.interval.end = end;
+                return;
+            }
+        }
+        slices.push(NnSlice { oid, interval: TimeInterval::new_unchecked(start, end) });
+    };
+
+    for w in cuts.windows(2) {
+        let (s, e) = (w[0], w[1]);
+        if e - s < T_EPS {
+            continue;
+        }
+        let mid = (s + e) / 2.0;
+        // Quadratics valid on this whole segment.
+        let quads: Vec<[f64; 3]> = candidates
+            .iter()
+            .map(|(_, m)| m.dist_sq_quad_piece(&qrect, mid))
+            .collect();
+        let value = |i: usize, t: f64| {
+            let [a, b, c] = quads[i];
+            a * t * t + b * t + c
+        };
+
+        // Walk the envelope from s to e by earliest crossings.
+        let mut cur = s;
+        let mut owner = (0..candidates.len())
+            .min_by(|&i, &j| {
+                value(i, cur + T_EPS)
+                    .partial_cmp(&value(j, cur + T_EPS))
+                    .expect("finite distances")
+            })
+            .expect("non-empty candidates");
+        let mut guard = 0;
+        while cur < e {
+            guard += 1;
+            assert!(guard < 10_000, "envelope walk failed to converge");
+            // Earliest time in (cur, e] where someone dips strictly
+            // below the owner.
+            let mut next_switch = e;
+            let mut next_owner = owner;
+            for j in 0..candidates.len() {
+                if j == owner {
+                    continue;
+                }
+                let [a1, b1, c1] = quads[owner];
+                let [a2, b2, c2] = quads[j];
+                let (da, db, dc) = (a1 - a2, b1 - b2, c1 - c2); // owner − j
+                // Roots of da·t² + db·t + dc = 0 where j goes below.
+                let mut roots: [Option<f64>; 2] = [None, None];
+                if da.abs() < 1e-30 {
+                    if db.abs() > 1e-30 {
+                        roots[0] = Some(-dc / db);
+                    }
+                } else {
+                    let disc = db * db - 4.0 * da * dc;
+                    if disc >= 0.0 {
+                        let sq = disc.sqrt();
+                        roots[0] = Some((-db - sq) / (2.0 * da));
+                        roots[1] = Some((-db + sq) / (2.0 * da));
+                    }
+                }
+                for r in roots.into_iter().flatten() {
+                    if r > cur + T_EPS && r < next_switch {
+                        // j must actually be below just after r.
+                        let probe = (r + T_EPS).min(e);
+                        if value(j, probe) < value(owner, probe) - 0.0 {
+                            next_switch = r;
+                            next_owner = j;
+                        }
+                    }
+                }
+            }
+            push_slice(candidates[owner].0, cur, next_switch.min(e), &mut slices);
+            cur = next_switch;
+            owner = next_owner;
+        }
+    }
+    slices
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+    use std::sync::Arc;
+
+    pub(crate) fn tree_with(objects: &[(u64, MovingRect)]) -> TprTree {
+        let pool =
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 64 });
+        let mut tree = TprTree::new(pool, crate::TreeConfig::default());
+        for &(id, mbr) in objects {
+            tree.insert(ObjectId(id), mbr, 0.0).unwrap();
+        }
+        tree
+    }
+
+    pub(crate) fn pt(x: f64, y: f64, vx: f64, vy: f64) -> MovingRect {
+        MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [vx, vy], 0.0)
+    }
+
+    #[test]
+    fn empty_tree_yields_empty_timeline() {
+        let tree = tree_with(&[]);
+        assert!(tree.nn_over_interval([0.0, 0.0], 0.0, 10.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_object_owns_whole_window() {
+        let tree = tree_with(&[(1, pt(10.0, 0.0, -1.0, 0.0))]);
+        let tl = tree.nn_over_interval([0.0, 0.0], 0.0, 30.0).unwrap();
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].oid, ObjectId(1));
+        assert_eq!(tl[0].interval, TimeInterval::new_unchecked(0.0, 30.0));
+    }
+
+    #[test]
+    fn handover_between_two_objects() {
+        // Object 1 sits near the query; object 2 flies past closer at
+        // around t = 10.
+        let near = pt(5.0, 0.0, 0.0, 0.0); // dist ≈ 4
+        let flyby = pt(50.0, 0.0, -5.0, 0.0); // reaches x=0 at t=10
+        let tree = tree_with(&[(1, near), (2, flyby)]);
+        let tl = tree.nn_over_interval([0.0, 0.5], 0.0, 20.0).unwrap();
+        let owners: Vec<_> = tl.iter().map(|s| s.oid).collect();
+        assert_eq!(owners, vec![ObjectId(1), ObjectId(2), ObjectId(1)], "{tl:?}");
+        // Slices tile the window.
+        assert_eq!(tl[0].interval.start, 0.0);
+        assert_eq!(tl.last().unwrap().interval.end, 20.0);
+        for w in tl.windows(2) {
+            assert!((w[0].interval.end - w[1].interval.start).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timeline_matches_brute_force_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..15 {
+            let objects: Vec<(u64, MovingRect)> = (0..120)
+                .map(|i| {
+                    (
+                        i,
+                        pt(
+                            rng.gen_range(0.0..400.0),
+                            rng.gen_range(0.0..400.0),
+                            rng.gen_range(-3.0..3.0),
+                            rng.gen_range(-3.0..3.0),
+                        ),
+                    )
+                })
+                .collect();
+            let tree = tree_with(&objects);
+            let q = [rng.gen_range(0.0..400.0), rng.gen_range(0.0..400.0)];
+            let (t0, t1) = (0.0, 60.0);
+            let tl = tree.nn_over_interval(q, t0, t1).unwrap();
+            assert!(!tl.is_empty());
+            assert_eq!(tl[0].interval.start, t0);
+            assert_eq!(tl.last().unwrap().interval.end, t1);
+
+            // Sample: the reported owner's distance equals the true
+            // minimum (compare distances, not ids, to tolerate ties).
+            for k in 0..200 {
+                let t = t0 + (t1 - t0) * (k as f64 + 0.5) / 200.0;
+                let slice = tl
+                    .iter()
+                    .find(|s| s.interval.contains(t))
+                    .unwrap_or_else(|| panic!("round {round}: no slice covers t={t}"));
+                let owner_mbr = objects
+                    .iter()
+                    .find(|(id, _)| ObjectId(*id) == slice.oid)
+                    .unwrap()
+                    .1;
+                let owner_d = owner_mbr.at(t).min_dist_sq(q);
+                let best = objects
+                    .iter()
+                    .map(|(_, m)| m.at(t).min_dist_sq(q))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    owner_d <= best + 1e-6 * (1.0 + best),
+                    "round {round} t={t}: owner {} at {owner_d}, true best {best}",
+                    slice.oid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tc_clamped_window_is_prefix_of_full_window() {
+        // §V: clamping te to ts + T_M must give the same timeline on the
+        // shared prefix.
+        let objects: Vec<(u64, MovingRect)> = (0..40)
+            .map(|i| (i, pt(i as f64 * 9.0, (i % 7) as f64 * 11.0, 1.0, -0.5)))
+            .collect();
+        let tree = tree_with(&objects);
+        let q = [100.0, 30.0];
+        let full = tree.nn_over_interval(q, 0.0, 200.0).unwrap();
+        let clamped = tree.nn_over_interval(q, 0.0, 60.0).unwrap();
+        // Every clamped slice matches the corresponding full slice
+        // clipped at 60.
+        for (c, f) in clamped.iter().zip(full.iter()) {
+            assert_eq!(c.oid, f.oid);
+            assert!((c.interval.start - f.interval.start).abs() < 1e-9);
+        }
+        assert_eq!(clamped.last().unwrap().interval.end, 60.0);
+    }
+}
+
+#[cfg(test)]
+mod knn_candidate_tests {
+    use super::tests::{pt, tree_with};
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn candidates_contain_knn_at_every_sampled_instant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for round in 0..10 {
+            let objects: Vec<(u64, MovingRect)> = (0..150)
+                .map(|i| {
+                    (
+                        i,
+                        pt(
+                            rng.gen_range(0.0..500.0),
+                            rng.gen_range(0.0..500.0),
+                            rng.gen_range(-3.0..3.0),
+                            rng.gen_range(-3.0..3.0),
+                        ),
+                    )
+                })
+                .collect();
+            let tree = tree_with(&objects);
+            let q = [rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0)];
+            for k in [1usize, 4, 10] {
+                let candidates = tree.knn_candidates_interval(q, k, 0.0, 60.0).unwrap();
+                let cand_ids: std::collections::HashSet<ObjectId> =
+                    candidates.iter().map(|(o, _)| *o).collect();
+                assert!(cand_ids.len() >= k.min(objects.len()));
+                // At sampled times, the true kNN must be candidates.
+                for s in 0..30 {
+                    let t = 60.0 * (s as f64 + 0.5) / 30.0;
+                    let mut scored: Vec<(f64, ObjectId)> = objects
+                        .iter()
+                        .map(|(id, m)| (m.at(t).min_dist_sq(q), ObjectId(*id)))
+                        .collect();
+                    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    for (d, oid) in scored.iter().take(k) {
+                        assert!(
+                            cand_ids.contains(oid),
+                            "round {round} k={k} t={t}: kNN member {oid} (d²={d}) not a candidate"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_shrink_with_window() {
+        let objects: Vec<(u64, MovingRect)> = (0..100).map(pt_row).collect();
+        fn pt_row(i: u64) -> (u64, MovingRect) {
+            (i, super::tests::pt(i as f64 * 10.0, 0.0, -1.0, 0.0))
+        }
+        let tree = tree_with(&objects);
+        let q = [0.0, 0.5];
+        let short = tree.knn_candidates_interval(q, 2, 0.0, 5.0).unwrap();
+        let long = tree.knn_candidates_interval(q, 2, 0.0, 300.0).unwrap();
+        assert!(
+            short.len() <= long.len(),
+            "TC-clamped window must not need more candidates ({} vs {})",
+            short.len(),
+            long.len()
+        );
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let tree = tree_with(&[]);
+        assert!(tree.knn_candidates_interval([0.0, 0.0], 3, 0.0, 10.0).unwrap().is_empty());
+        let tree = tree_with(&[(1, pt(5.0, 5.0, 0.0, 0.0))]);
+        assert!(tree.knn_candidates_interval([0.0, 0.0], 0, 0.0, 10.0).unwrap().is_empty());
+    }
+}

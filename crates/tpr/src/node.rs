@@ -1,0 +1,275 @@
+//! In-memory node representation and its page codec.
+//!
+//! A node is a level tag plus up to `capacity` entries. Level 0 is the
+//! leaf level (entries point at objects); higher levels point at child
+//! pages. Nodes serialize into one 4 KB page each.
+
+use cij_geom::{MovingRect, Time};
+use cij_storage::codec::{PageReader, PageWriter};
+use cij_storage::{PageBuf, PageId, StorageError, StorageResult, PAGE_SIZE};
+
+use crate::entry::{ChildRef, Entry, ObjectId};
+
+/// Bytes of fixed node header: magic (2) + level (1) + pad (1) + count (2).
+pub const NODE_HEADER_BYTES: usize = 6;
+
+const NODE_MAGIC: u16 = 0x5452; // "TR"
+
+const TAG_OBJECT: u8 = 0;
+const TAG_PAGE: u8 = 1;
+
+/// A deserialized tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// 0 for leaves, parents are children's level + 1.
+    pub level: u8,
+    /// The node's entries (≤ configured capacity; the codec enforces only
+    /// the physical page bound).
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// An empty node at `level`.
+    #[must_use]
+    pub fn new(level: u8) -> Self {
+        Self { level, entries: Vec::new() }
+    }
+
+    /// Whether this is a leaf node.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Maximum entry count that physically fits in one page.
+    #[must_use]
+    pub fn max_capacity() -> usize {
+        (PAGE_SIZE - NODE_HEADER_BYTES) / Entry::SERIALIZED_BYTES
+    }
+
+    /// The tightest moving rectangle bounding every entry from
+    /// `max(entry t_refs)` onward. `None` for an empty node.
+    #[must_use]
+    pub fn bounding_mbr(&self) -> Option<MovingRect> {
+        let mut it = self.entries.iter();
+        let first = it.next()?.mbr;
+        Some(it.fold(first, |acc, e| acc.union_moving(&e.mbr)))
+    }
+
+    /// Like [`bounding_mbr`](Self::bounding_mbr) but rebased to `t` so
+    /// parent entries produced at different times stay comparable.
+    #[must_use]
+    pub fn bounding_mbr_at(&self, t: Time) -> Option<MovingRect> {
+        self.bounding_mbr().map(|m| if m.t_ref < t { m.rebase(t) } else { m })
+    }
+
+    /// Serializes into a fresh page buffer.
+    pub fn to_page(&self) -> StorageResult<PageBuf> {
+        let mut page = cij_storage::zeroed_page();
+        let mut w = PageWriter::new(&mut page);
+        w.put_u16(NODE_MAGIC)?;
+        w.put_u8(self.level)?;
+        w.put_u8(0)?; // pad
+        let count = u16::try_from(self.entries.len())
+            .map_err(|_| StorageError::Corrupt("entry count > u16".into()))?;
+        w.put_u16(count)?;
+        for e in &self.entries {
+            match e.child {
+                ChildRef::Object(oid) => {
+                    w.put_u8(TAG_OBJECT)?;
+                    w.put_u64(oid.0)?;
+                }
+                ChildRef::Page(pid) => {
+                    w.put_u8(TAG_PAGE)?;
+                    w.put_u64(u64::from(pid.0))?;
+                }
+            }
+            let m = &e.mbr;
+            for v in [
+                m.lo[0], m.lo[1], m.hi[0], m.hi[1], m.vlo[0], m.vlo[1], m.vhi[0], m.vhi[1],
+                m.t_ref,
+            ] {
+                w.put_f64(v)?;
+            }
+        }
+        Ok(page)
+    }
+
+    /// Deserializes from a page buffer.
+    pub fn from_page(page: &[u8; PAGE_SIZE]) -> StorageResult<Self> {
+        let mut r = PageReader::new(page);
+        let magic = r.get_u16()?;
+        if magic != NODE_MAGIC {
+            return Err(StorageError::Corrupt(format!(
+                "bad node magic {magic:#06x} (expected {NODE_MAGIC:#06x})"
+            )));
+        }
+        let level = r.get_u8()?;
+        let _pad = r.get_u8()?;
+        let count = r.get_u16()? as usize;
+        if count > Self::max_capacity() {
+            return Err(StorageError::Corrupt(format!(
+                "entry count {count} exceeds physical capacity {}",
+                Self::max_capacity()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = r.get_u8()?;
+            let raw = r.get_u64()?;
+            let child = match tag {
+                TAG_OBJECT => ChildRef::Object(ObjectId(raw)),
+                TAG_PAGE => {
+                    let pid = u32::try_from(raw)
+                        .map_err(|_| StorageError::Corrupt("page id > u32".into()))?;
+                    ChildRef::Page(PageId(pid))
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!("bad entry tag {other}")));
+                }
+            };
+            let mut f = [0.0f64; 9];
+            for v in &mut f {
+                *v = r.get_f64()?;
+            }
+            if !(f[0] <= f[2] && f[1] <= f[3]) {
+                return Err(StorageError::Corrupt(format!(
+                    "inverted entry rect lo=({}, {}) hi=({}, {})",
+                    f[0], f[1], f[2], f[3]
+                )));
+            }
+            let mbr = MovingRect::new(
+                [f[0], f[1]],
+                [f[2], f[3]],
+                [f[4], f[5]],
+                [f[6], f[7]],
+                f[8],
+            );
+            entries.push(Entry { mbr, child });
+        }
+        // Levels must agree with entry kinds.
+        let ok = entries.iter().all(|e| match e.child {
+            ChildRef::Object(_) => level == 0,
+            ChildRef::Page(_) => level > 0,
+        });
+        if !ok {
+            return Err(StorageError::Corrupt(format!(
+                "entry kinds inconsistent with level {level}"
+            )));
+        }
+        Ok(Self { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::Rect;
+
+    fn sample_node(level: u8, n: usize) -> Node {
+        let mut node = Node::new(level);
+        for i in 0..n {
+            let x = i as f64 * 3.0;
+            let mbr = MovingRect::rigid(
+                Rect::new([x, -x], [x + 1.5, -x + 2.0]),
+                [0.5 * i as f64, -1.0],
+                i as f64 / 7.0,
+            );
+            let child = if level == 0 {
+                ChildRef::Object(ObjectId(i as u64 + 100))
+            } else {
+                ChildRef::Page(PageId(i as u32 + 5))
+            };
+            node.entries.push(Entry { mbr, child });
+        }
+        node
+    }
+
+    #[test]
+    fn roundtrip_leaf() {
+        let node = sample_node(0, 17);
+        let page = node.to_page().unwrap();
+        let back = Node::from_page(&page).unwrap();
+        assert_eq!(node, back);
+    }
+
+    #[test]
+    fn roundtrip_internal() {
+        let node = sample_node(3, 30);
+        let page = node.to_page().unwrap();
+        let back = Node::from_page(&page).unwrap();
+        assert_eq!(node, back);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let node = Node::new(0);
+        let back = Node::from_page(&node.to_page().unwrap()).unwrap();
+        assert_eq!(back.entries.len(), 0);
+        assert!(back.is_leaf());
+    }
+
+    #[test]
+    fn physical_capacity_exceeds_table_i() {
+        assert!(Node::max_capacity() >= 30, "got {}", Node::max_capacity());
+    }
+
+    #[test]
+    fn garbage_page_is_rejected() {
+        let mut page = cij_storage::zeroed_page();
+        page[0] = 0xFF;
+        page[1] = 0xFF;
+        assert!(matches!(
+            Node::from_page(&page),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn level_entry_kind_mismatch_rejected() {
+        // Serialize a leaf then flip its level byte to 1.
+        let node = sample_node(0, 2);
+        let mut page = node.to_page().unwrap();
+        page[2] = 1;
+        assert!(matches!(Node::from_page(&page), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn inverted_rect_rejected() {
+        let node = sample_node(0, 1);
+        let mut page = node.to_page().unwrap();
+        // lo.x is the first f64 of the first entry: header 6 + tag 1 + ref 8.
+        let off = 15;
+        page[off..off + 8].copy_from_slice(&1e9f64.to_le_bytes());
+        assert!(matches!(Node::from_page(&page), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bounding_mbr_covers_entries() {
+        let node = sample_node(0, 10);
+        let mbr = node.bounding_mbr().unwrap();
+        let t0 = mbr.t_ref;
+        for t in [t0, t0 + 10.0, t0 + 60.0] {
+            for e in &node.entries {
+                assert!(mbr.at(t).contains_rect_eps(&e.mbr.at(t), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_mbr_empty_is_none() {
+        assert!(Node::new(0).bounding_mbr().is_none());
+    }
+
+    #[test]
+    fn bounding_mbr_at_rebases_forward_only() {
+        let node = sample_node(0, 3);
+        let raw = node.bounding_mbr().unwrap();
+        let later = node.bounding_mbr_at(raw.t_ref + 5.0).unwrap();
+        assert_eq!(later.t_ref, raw.t_ref + 5.0);
+        // Asking for an earlier reference must not rewind (bounds are only
+        // valid forward in time).
+        let earlier = node.bounding_mbr_at(raw.t_ref - 5.0).unwrap();
+        assert_eq!(earlier.t_ref, raw.t_ref);
+    }
+}

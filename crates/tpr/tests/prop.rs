@@ -1,0 +1,148 @@
+//! Property tests: arbitrary operation sequences keep the TPR-tree
+//! equivalent to a shadow map — structure valid, queries exact.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cij_geom::{MovingRect, Rect};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::{ObjectId, TprTree, TreeConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { x: f64, y: f64, side: f64, vx: f64, vy: f64 },
+    /// Update the `i`-th live object (modulo population).
+    Update { pick: usize, x: f64, y: f64, vx: f64, vy: f64 },
+    /// Delete the `i`-th live object (modulo population).
+    Delete { pick: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..990.0f64, 0.0..990.0f64, 0.1..8.0f64, -5.0..5.0f64, -5.0..5.0f64)
+            .prop_map(|(x, y, side, vx, vy)| Op::Insert { x, y, side, vx, vy }),
+        2 => (any::<usize>(), 0.0..990.0f64, 0.0..990.0f64, -5.0..5.0f64, -5.0..5.0f64)
+            .prop_map(|(pick, x, y, vx, vy)| Op::Update { pick, x, y, vx, vy }),
+        1 => any::<usize>().prop_map(|pick| Op::Delete { pick }),
+    ]
+}
+
+fn new_tree(capacity: usize) -> TprTree {
+    let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
+    TprTree::new(pool, TreeConfig { capacity, ..TreeConfig::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any op sequence the tree validates, matches the shadow map,
+    /// and answers a range query exactly.
+    #[test]
+    fn random_ops_preserve_equivalence(
+        capacity in prop_oneof![Just(4usize), Just(8), Just(30)],
+        ops in proptest::collection::vec(arb_op(), 1..150),
+        probe in (0.0..900.0f64, 0.0..900.0f64, 0.0..70.0f64),
+    ) {
+        let mut tree = new_tree(capacity);
+        let mut shadow: HashMap<ObjectId, MovingRect> = HashMap::new();
+        let mut next_id = 0u64;
+        let mut live: Vec<ObjectId> = Vec::new();
+        let mut now = 0.0;
+
+        for (step, op) in ops.iter().enumerate() {
+            now = step as f64 * 0.5;
+            match op {
+                Op::Insert { x, y, side, vx, vy } => {
+                    let oid = ObjectId(next_id);
+                    next_id += 1;
+                    let mbr = MovingRect::rigid(
+                        Rect::new([*x, *y], [*x + *side, *y + *side]),
+                        [*vx, *vy],
+                        now,
+                    );
+                    tree.insert(oid, mbr, now).unwrap();
+                    shadow.insert(oid, mbr);
+                    live.push(oid);
+                }
+                Op::Update { pick, x, y, vx, vy } => {
+                    if live.is_empty() { continue; }
+                    let oid = live[pick % live.len()];
+                    let old = shadow[&oid];
+                    let mbr = MovingRect::rigid(
+                        Rect::new([*x, *y], [*x + 1.0, *y + 1.0]),
+                        [*vx, *vy],
+                        now,
+                    );
+                    tree.update(oid, &old, mbr, now).unwrap();
+                    shadow.insert(oid, mbr);
+                }
+                Op::Delete { pick } => {
+                    if live.is_empty() { continue; }
+                    let idx = pick % live.len();
+                    let oid = live.swap_remove(idx);
+                    let old = shadow.remove(&oid).unwrap();
+                    tree.delete(oid, &old, now).unwrap();
+                }
+            }
+        }
+
+        prop_assert_eq!(tree.len(), shadow.len());
+        tree.validate(now).unwrap();
+
+        // Range query at a future instant matches brute force.
+        let (px, py, t_off) = probe;
+        let w = Rect::new([px, py], [px + 120.0, py + 120.0]);
+        let t = now + t_off;
+        let mut got = tree.range_at(&w, t).unwrap();
+        let mut expect: Vec<ObjectId> = shadow
+            .iter()
+            .filter(|(_, m)| m.at(t).intersects(&w))
+            .map(|(o, _)| *o)
+            .collect();
+        got.sort();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Bulk loading is equivalent to insertion loading for any input.
+    #[test]
+    fn bulk_load_equivalent_to_inserts(
+        n in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let objs: Vec<(ObjectId, MovingRect)> = (0..n)
+            .map(|i| {
+                let x = rng.gen_range(0.0..990.0);
+                let y = rng.gen_range(0.0..990.0);
+                (
+                    ObjectId(i as u64),
+                    MovingRect::rigid(
+                        Rect::new([x, y], [x + 1.0, y + 1.0]),
+                        [rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)],
+                        0.0,
+                    ),
+                )
+            })
+            .collect();
+        let pool =
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
+        let bulk = TprTree::bulk_load(pool, TreeConfig::default(), &objs, 0.0).unwrap();
+        prop_assert_eq!(bulk.len(), n);
+        bulk.validate(0.0).unwrap();
+
+        let w = Rect::new([200.0, 200.0], [600.0, 600.0]);
+        let mut got = bulk.range_at(&w, 30.0).unwrap();
+        let mut expect: Vec<ObjectId> = objs
+            .iter()
+            .filter(|(_, m)| m.at(30.0).intersects(&w))
+            .map(|(o, _)| *o)
+            .collect();
+        got.sort();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+}

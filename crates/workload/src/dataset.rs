@@ -1,0 +1,261 @@
+//! Dataset generators: uniform, Gaussian, battlefield (§VI-A).
+
+use cij_geom::{MovingRect, Rect, Time};
+use cij_tpr::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::Params;
+use crate::updates::SetTag;
+
+/// Spatial distribution of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Positions and directions uniform over the space.
+    Uniform,
+    /// Positions Gaussian around the space center (σ = space/6, clamped).
+    Gaussian,
+    /// The two sets cluster on opposite sides and advance toward each
+    /// other — the paper's military scenario.
+    Battlefield,
+    /// All motion runs along the x axis (east–west highways): the
+    /// axis-skew stress case for the §IV-D2 dimension-selection
+    /// heuristic (extension workload, not in the paper's Table I).
+    Highway,
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Uniform => write!(f, "Uniform"),
+            Self::Gaussian => write!(f, "Gaussian"),
+            Self::Battlefield => write!(f, "Battlefield"),
+            Self::Highway => write!(f, "Highway"),
+        }
+    }
+}
+
+/// One generated object: its id and trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MovingObject {
+    /// Unique id (disjoint ranges per set).
+    pub id: ObjectId,
+    /// Trajectory at generation time.
+    pub mbr: MovingRect,
+}
+
+/// Standard-normal sample via Box–Muller (keeps us off external distr
+/// crates).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn uniform_velocity(rng: &mut StdRng, max_speed: f64) -> [f64; 2] {
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let speed = rng.gen_range(0.0..=max_speed);
+    [speed * angle.cos(), speed * angle.sin()]
+}
+
+/// Velocity for a highway object: full speed along x, either direction.
+fn highway_velocity(rng: &mut StdRng, max_speed: f64) -> [f64; 2] {
+    let speed = rng.gen_range(0.3 * max_speed..=max_speed.max(f64::MIN_POSITIVE));
+    let dir = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+    [dir * speed, 0.0]
+}
+
+/// Velocity for a battlefield object: advance toward the opposing side
+/// (A moves +x, B moves −x) with mild lateral jitter.
+fn battlefield_velocity(rng: &mut StdRng, max_speed: f64, tag: SetTag) -> [f64; 2] {
+    let forward = rng.gen_range(0.3 * max_speed..=max_speed.max(f64::MIN_POSITIVE));
+    let lateral = rng.gen_range(-0.3 * max_speed..=0.3 * max_speed);
+    match tag {
+        SetTag::A => [forward, lateral],
+        SetTag::B => [-forward, lateral],
+    }
+}
+
+fn position(rng: &mut StdRng, params: &Params, tag: SetTag) -> [f64; 2] {
+    let s = params.space;
+    let side = params.object_side();
+    let clamp = |v: f64| v.clamp(0.0, s - side);
+    match params.distribution {
+        Distribution::Uniform => {
+            [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)]
+        }
+        Distribution::Gaussian => {
+            let sigma = s / 6.0;
+            [
+                clamp(s / 2.0 + sigma * gaussian(rng)),
+                clamp(s / 2.0 + sigma * gaussian(rng)),
+            ]
+        }
+        Distribution::Highway => {
+            [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)]
+        }
+        Distribution::Battlefield => {
+            // Each side occupies the outer 20% strip of the x-axis.
+            let strip = 0.2 * s;
+            let x = match tag {
+                SetTag::A => rng.gen_range(0.0..strip),
+                SetTag::B => rng.gen_range(s - strip..s - side),
+            };
+            [x, rng.gen_range(0.0..s - side)]
+        }
+    }
+}
+
+/// Generates one dataset of `params.dataset_size` square objects tagged
+/// as set `tag`, with ids starting at `id_base`, at reference time `now`.
+#[must_use]
+pub fn generate_set(params: &Params, tag: SetTag, id_base: u64, now: Time) -> Vec<MovingObject> {
+    params.assert_valid();
+    // Distinct stream per (seed, tag) so sets A and B are independent.
+    let mut rng = StdRng::seed_from_u64(params.seed ^ (tag as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let side = params.object_side();
+    (0..params.dataset_size)
+        .map(|i| {
+            let p = position(&mut rng, params, tag);
+            let v = match params.distribution {
+                Distribution::Battlefield => battlefield_velocity(&mut rng, params.max_speed, tag),
+                Distribution::Highway => highway_velocity(&mut rng, params.max_speed),
+                _ => uniform_velocity(&mut rng, params.max_speed),
+            };
+            MovingObject {
+                id: ObjectId(id_base + i as u64),
+                mbr: MovingRect::rigid(
+                    Rect::new(p, [p[0] + side, p[1] + side]),
+                    v,
+                    now,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Generates the joined pair (A, B) with the paper's id convention:
+/// A ids start at 0, B ids start at `2^32` (unique across A ∪ B).
+#[must_use]
+pub fn generate_pair(params: &Params, now: Time) -> (Vec<MovingObject>, Vec<MovingObject>) {
+    let a = generate_set(params, SetTag::A, 0, now);
+    let b = generate_set(params, SetTag::B, 1 << 32, now);
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speed(m: &MovingRect) -> f64 {
+        (m.vlo[0].powi(2) + m.vlo[1].powi(2)).sqrt()
+    }
+
+    #[test]
+    fn uniform_set_respects_bounds() {
+        let params = Params { dataset_size: 2000, ..Params::default() };
+        let set = generate_set(&params, SetTag::A, 0, 0.0);
+        assert_eq!(set.len(), 2000);
+        for o in &set {
+            let r = o.mbr.at(0.0);
+            assert!(r.lo[0] >= 0.0 && r.hi[0] <= params.space);
+            assert!(r.lo[1] >= 0.0 && r.hi[1] <= params.space);
+            assert!((r.extent(0) - params.object_side()).abs() < 1e-9);
+            assert!(speed(&o.mbr) <= params.max_speed + 1e-9);
+            // Rigid bodies: both corners share the velocity.
+            assert_eq!(o.mbr.vlo, o.mbr.vhi);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = Params { dataset_size: 100, ..Params::default() };
+        let x = generate_set(&params, SetTag::A, 0, 0.0);
+        let y = generate_set(&params, SetTag::A, 0, 0.0);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn sets_a_and_b_differ() {
+        let params = Params { dataset_size: 100, ..Params::default() };
+        let (a, b) = generate_pair(&params, 0.0);
+        assert_ne!(a[0].mbr, b[0].mbr, "A and B must be independent draws");
+        // Ids are disjoint.
+        assert!(a.iter().all(|o| o.id.0 < (1 << 32)));
+        assert!(b.iter().all(|o| o.id.0 >= (1 << 32)));
+    }
+
+    #[test]
+    fn gaussian_clusters_around_center() {
+        let params = Params {
+            dataset_size: 4000,
+            distribution: Distribution::Gaussian,
+            ..Params::default()
+        };
+        let set = generate_set(&params, SetTag::A, 0, 0.0);
+        let mean_x: f64 =
+            set.iter().map(|o| o.mbr.at(0.0).center()[0]).sum::<f64>() / set.len() as f64;
+        assert!((mean_x - 500.0).abs() < 30.0, "mean_x = {mean_x}");
+        // More than half the mass within one sigma band of the center.
+        let near = set
+            .iter()
+            .filter(|o| {
+                let c = o.mbr.at(0.0).center();
+                (c[0] - 500.0).abs() < params.space / 6.0
+                    && (c[1] - 500.0).abs() < params.space / 6.0
+            })
+            .count();
+        // P(|X| < σ)² ≈ 0.466 for a 2-D Gaussian; a uniform cloud would
+        // put only ~11 % there. 40 % cleanly separates the two.
+        assert!(
+            near as f64 > 0.4 * set.len() as f64,
+            "only {near} of {} near center",
+            set.len()
+        );
+    }
+
+    #[test]
+    fn battlefield_sides_and_headings() {
+        let params = Params {
+            dataset_size: 500,
+            distribution: Distribution::Battlefield,
+            ..Params::default()
+        };
+        let (a, b) = generate_pair(&params, 0.0);
+        for o in &a {
+            assert!(o.mbr.at(0.0).center()[0] < 0.25 * params.space);
+            assert!(o.mbr.vlo[0] > 0.0, "A advances in +x");
+        }
+        for o in &b {
+            assert!(o.mbr.at(0.0).center()[0] > 0.75 * params.space);
+            assert!(o.mbr.vlo[0] < 0.0, "B advances in −x");
+        }
+    }
+
+    #[test]
+    fn highway_motion_is_axis_locked() {
+        let params = Params {
+            dataset_size: 300,
+            distribution: Distribution::Highway,
+            ..Params::default()
+        };
+        let set = generate_set(&params, SetTag::A, 0, 0.0);
+        for o in &set {
+            assert_eq!(o.mbr.vlo[1], 0.0, "no y motion on the highway");
+            assert!(o.mbr.vlo[0].abs() > 0.0, "highway objects move");
+            assert!(o.mbr.vlo[0].abs() <= params.max_speed + 1e-9);
+        }
+        // Both directions represented.
+        assert!(set.iter().any(|o| o.mbr.vlo[0] > 0.0));
+        assert!(set.iter().any(|o| o.mbr.vlo[0] < 0.0));
+    }
+
+    #[test]
+    fn zero_speed_is_legal() {
+        let params = Params { max_speed: 0.0, dataset_size: 50, ..Params::default() };
+        let set = generate_set(&params, SetTag::A, 0, 0.0);
+        for o in &set {
+            assert_eq!(speed(&o.mbr), 0.0);
+        }
+    }
+}

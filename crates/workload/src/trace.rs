@@ -1,0 +1,340 @@
+//! Trace import/export: plain-text serialization of object sets and
+//! update streams.
+//!
+//! The paper evaluates on synthetic data, but a system a downstream user
+//! would adopt must accept *their* traces. The format is deliberately
+//! boring — one record per line, comma-separated, `#` comments — so any
+//! GPS pipeline can produce it without libraries:
+//!
+//! ```text
+//! # objects: id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy, t_ref
+//! 17,A,103.5,44.0,104.5,45.0,2.5,-0.5,0.0
+//! ```
+//!
+//! ```text
+//! # updates: time, id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy
+//! 3.0,17,A,111.0,42.5,112.0,43.5,-1.0,0.0
+//! ```
+//!
+//! Update application (old trajectory, last-update time) is reconstructed
+//! by the replayer, so producers only state the *new* registration.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use cij_geom::{MovingRect, Rect, Time};
+use cij_tpr::ObjectId;
+
+use crate::dataset::MovingObject;
+use crate::updates::{ObjectUpdate, SetTag};
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record, with line number and description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace I/O error: {e}"),
+            Self::Parse { line, message } => write!(f, "trace line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn parse_set_tag(s: &str, line: usize) -> Result<SetTag, TraceError> {
+    match s.trim() {
+        "A" | "a" => Ok(SetTag::A),
+        "B" | "b" => Ok(SetTag::B),
+        other => Err(TraceError::Parse {
+            line,
+            message: format!("bad set tag {other:?} (expected A or B)"),
+        }),
+    }
+}
+
+fn parse_f64(s: &str, line: usize, field: &str) -> Result<f64, TraceError> {
+    s.trim().parse().map_err(|e| TraceError::Parse {
+        line,
+        message: format!("bad {field} {s:?}: {e}"),
+    })
+}
+
+fn parse_u64(s: &str, line: usize, field: &str) -> Result<u64, TraceError> {
+    s.trim().parse().map_err(|e| TraceError::Parse {
+        line,
+        message: format!("bad {field} {s:?}: {e}"),
+    })
+}
+
+/// Writes both object sets as an object trace.
+///
+/// ```
+/// use cij_workload::{generate_pair, trace, Params};
+///
+/// let params = Params { dataset_size: 50, ..Params::default() };
+/// let (a, b) = generate_pair(&params, 0.0);
+/// let mut buf = Vec::new();
+/// trace::write_objects(&mut buf, &a, &b).unwrap();
+/// let (ra, rb) = trace::read_objects(&mut buf.as_slice()).unwrap();
+/// assert_eq!((a, b), (ra, rb));
+/// ```
+pub fn write_objects(
+    w: &mut impl Write,
+    a: &[MovingObject],
+    b: &[MovingObject],
+) -> std::io::Result<()> {
+    writeln!(w, "# objects: id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy, t_ref")?;
+    for (set, tag) in [(a, 'A'), (b, 'B')] {
+        for o in set {
+            let m = &o.mbr;
+            writeln!(
+                w,
+                "{},{tag},{},{},{},{},{},{},{}",
+                o.id.0, m.lo[0], m.lo[1], m.hi[0], m.hi[1], m.vlo[0], m.vlo[1], m.t_ref
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an object trace back into the two sets.
+pub fn read_objects(
+    r: &mut impl BufRead,
+) -> Result<(Vec<MovingObject>, Vec<MovingObject>), TraceError> {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = body.split(',').collect();
+        if f.len() != 9 {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("expected 9 fields, found {}", f.len()),
+            });
+        }
+        let id = ObjectId(parse_u64(f[0], line_no, "id")?);
+        let tag = parse_set_tag(f[1], line_no)?;
+        let vals: Result<Vec<f64>, _> = f[2..]
+            .iter()
+            .map(|s| parse_f64(s, line_no, "coordinate"))
+            .collect();
+        let v = vals?;
+        if v[0] > v[2] || v[1] > v[3] {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: "inverted rectangle".into(),
+            });
+        }
+        let mbr = MovingRect::rigid(Rect::new([v[0], v[1]], [v[2], v[3]]), [v[4], v[5]], v[6]);
+        let obj = MovingObject { id, mbr };
+        match tag {
+            SetTag::A => a.push(obj),
+            SetTag::B => b.push(obj),
+        }
+    }
+    Ok((a, b))
+}
+
+/// Writes an update trace (typically produced by recording an
+/// [`UpdateStream`](crate::UpdateStream) run).
+pub fn write_updates(w: &mut impl Write, updates: &[ObjectUpdate]) -> std::io::Result<()> {
+    writeln!(w, "# updates: time, id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy")?;
+    for u in updates {
+        let m = &u.new_mbr;
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{}",
+            m.t_ref,
+            u.id.0,
+            match u.set {
+                SetTag::A => 'A',
+                SetTag::B => 'B',
+            },
+            m.lo[0],
+            m.lo[1],
+            m.hi[0],
+            m.hi[1],
+            m.vlo[0],
+            m.vlo[1],
+        )?;
+    }
+    Ok(())
+}
+
+/// Replays an update trace against initial object sets: reconstructs the
+/// `old_mbr`/`last_update` fields engines need, in trace order.
+///
+/// Update times must be non-decreasing; every updated id must exist in
+/// the initial sets.
+pub fn read_updates(
+    r: &mut impl BufRead,
+    initial_a: &[MovingObject],
+    initial_b: &[MovingObject],
+) -> Result<Vec<ObjectUpdate>, TraceError> {
+    let mut state: HashMap<ObjectId, (SetTag, MovingRect, Time)> = HashMap::new();
+    for (set, tag) in [(initial_a, SetTag::A), (initial_b, SetTag::B)] {
+        for o in set {
+            state.insert(o.id, (tag, o.mbr, o.mbr.t_ref));
+        }
+    }
+    let mut out = Vec::new();
+    let mut last_time = f64::NEG_INFINITY;
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = body.split(',').collect();
+        if f.len() != 9 {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("expected 9 fields, found {}", f.len()),
+            });
+        }
+        let now = parse_f64(f[0], line_no, "time")?;
+        if now < last_time {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("time went backwards ({now} after {last_time})"),
+            });
+        }
+        last_time = now;
+        let id = ObjectId(parse_u64(f[1], line_no, "id")?);
+        let tag = parse_set_tag(f[2], line_no)?;
+        let vals: Result<Vec<f64>, _> = f[3..]
+            .iter()
+            .map(|s| parse_f64(s, line_no, "coordinate"))
+            .collect();
+        let v = vals?;
+        let new_mbr =
+            MovingRect::rigid(Rect::new([v[0], v[1]], [v[2], v[3]]), [v[4], v[5]], now);
+        let Some(&(known_tag, old_mbr, last_update)) = state.get(&id) else {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("update for unknown object {id}"),
+            });
+        };
+        if known_tag != tag {
+            return Err(TraceError::Parse {
+                line: line_no,
+                message: format!("object {id} changed sets"),
+            });
+        }
+        out.push(ObjectUpdate { id, set: tag, old_mbr, last_update, new_mbr });
+        state.insert(id, (tag, new_mbr, now));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::generate_pair;
+    use crate::params::Params;
+    use crate::updates::UpdateStream;
+
+    #[test]
+    fn objects_roundtrip() {
+        let params = Params { dataset_size: 120, ..Params::default() };
+        let (a, b) = generate_pair(&params, 0.0);
+        let mut buf = Vec::new();
+        write_objects(&mut buf, &a, &b).unwrap();
+        let (ra, rb) = read_objects(&mut buf.as_slice()).unwrap();
+        assert_eq!(a, ra);
+        assert_eq!(b, rb);
+    }
+
+    #[test]
+    fn updates_roundtrip_through_replay() {
+        let params = Params { dataset_size: 80, ..Params::default() };
+        let (a, b) = generate_pair(&params, 0.0);
+        let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
+        let mut recorded = Vec::new();
+        for tick in 1..=40u32 {
+            recorded.extend(stream.tick(f64::from(tick)));
+        }
+        let mut buf = Vec::new();
+        write_updates(&mut buf, &recorded).unwrap();
+        let replayed = read_updates(&mut buf.as_slice(), &a, &b).unwrap();
+        assert_eq!(recorded.len(), replayed.len());
+        for (orig, rep) in recorded.iter().zip(&replayed) {
+            // The replayer reconstructs old_mbr/last_update exactly.
+            assert_eq!(orig.id, rep.id);
+            assert_eq!(orig.set, rep.set);
+            assert_eq!(orig.last_update, rep.last_update);
+            assert_eq!(orig.new_mbr, rep.new_mbr);
+            assert_eq!(orig.old_mbr, rep.old_mbr);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n1,A,0,0,1,1,0.5,0.5,0\n  # indented comment\n2,B,5,5,6,6,0,0,0\n";
+        let (a, b) = read_objects(&mut text.as_bytes()).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a[0].id, ObjectId(1));
+    }
+
+    #[test]
+    fn malformed_records_name_the_line() {
+        let text = "1,A,0,0,1,1,0.5,0.5,0\n2,X,0,0,1,1,0,0,0\n";
+        let err = read_objects(&mut text.as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("set tag"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Wrong field count.
+        let text = "1,A,0,0\n";
+        assert!(matches!(
+            read_objects(&mut text.as_bytes()),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        // Inverted rect.
+        let text = "1,A,5,0,1,1,0,0,0\n";
+        assert!(matches!(read_objects(&mut text.as_bytes()), Err(TraceError::Parse { .. })));
+    }
+
+    #[test]
+    fn replay_rejects_unknown_objects_and_time_travel() {
+        let params = Params { dataset_size: 3, ..Params::default() };
+        let (a, b) = generate_pair(&params, 0.0);
+        let text = "1.0,999999,A,0,0,1,1,0,0\n";
+        assert!(matches!(
+            read_updates(&mut text.as_bytes(), &a, &b),
+            Err(TraceError::Parse { .. })
+        ));
+        let id = a[0].id.0;
+        let text = format!("5.0,{id},A,0,0,1,1,0,0\n3.0,{id},A,0,0,1,1,0,0\n");
+        let err = read_updates(&mut text.as_bytes(), &a, &b).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err}");
+    }
+}

@@ -1,0 +1,87 @@
+//! §V beyond window queries: nearest-neighbor analytics over moving
+//! objects, TC-processed.
+//!
+//! Scenario: dispatch stations watch a fleet of couriers. Two tools from
+//! the library:
+//!
+//! * [`nn_over_interval`](cij::tpr::TprTree::nn_over_interval) — the
+//!   exact "who is nearest, when" timeline for the next `T_M` ticks
+//!   (predictions past `T_M` would be invalidated by re-registrations —
+//!   Theorem 1's reasoning applied to kNN, as §V suggests);
+//! * [`ContinuousKnn`](cij::core::knn::ContinuousKnn) — live k-nearest
+//!   monitoring with guard-radius candidate sets, re-ranked per tick
+//!   without touching the index.
+//!
+//! ```text
+//! cargo run --release --example nn_tracker
+//! ```
+
+use std::sync::Arc;
+
+use cij::core::knn::ContinuousKnn;
+use cij::core::window::QueryId;
+use cij::storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij::tpr::{TprTree, TreeConfig};
+use cij::workload::{generate_set, Params, SetTag, UpdateStream};
+
+fn main() {
+    let params = Params { dataset_size: 2_000, ..Params::default() };
+    let couriers = generate_set(&params, SetTag::A, 0, 0.0);
+
+    let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+    let mut tree = TprTree::new(
+        pool,
+        TreeConfig { capacity: params.node_capacity, ..TreeConfig::default() },
+    );
+    for c in &couriers {
+        tree.insert(c.id, c.mbr, 0.0).expect("insert");
+    }
+
+    // 1. The NN timeline of the central station over one T_M window.
+    let station = [500.0, 500.0];
+    let timeline = tree
+        .nn_over_interval(station, 0.0, params.maximum_update_interval)
+        .expect("nn timeline");
+    println!(
+        "station at {station:?}: {} handovers of 'nearest courier' predicted over the next {} ticks",
+        timeline.len().saturating_sub(1),
+        params.maximum_update_interval
+    );
+    for slice in timeline.iter().take(5) {
+        println!(
+            "  t ∈ [{:6.2}, {:6.2}]  nearest = courier {}",
+            slice.interval.start, slice.interval.end, slice.oid
+        );
+    }
+
+    // 2. Live k-nearest monitoring across three stations as couriers
+    //    send updates.
+    let stations = [([250.0, 250.0], 3usize), ([500.0, 500.0], 5), ([800.0, 300.0], 3)];
+    let mut monitor = ContinuousKnn::new(params.maximum_update_interval, params.max_speed);
+    for (i, (p, k)) in stations.iter().enumerate() {
+        monitor.add_query(QueryId(i as u32), *p, *k);
+    }
+    monitor.refresh(&tree, 0.0).expect("initial kNN");
+
+    let mut stream = UpdateStream::new(&params, &couriers, &[], 0.0);
+    for tick in 1..=30u32 {
+        let now = f64::from(tick);
+        for u in stream.tick(now) {
+            tree.update(u.id, &u.old_mbr, u.new_mbr, now).expect("tree update");
+            monitor.apply_update(u.id, &u.old_mbr, &u.new_mbr, now);
+        }
+        monitor.refresh(&tree, now).expect("refresh");
+        if tick % 10 == 0 {
+            for (i, (p, k)) in stations.iter().enumerate() {
+                let knn = monitor.result_at(QueryId(i as u32), now);
+                let nearest = knn.first().map(|(o, d2)| format!("{o} @ {:.1}", d2.sqrt()));
+                println!(
+                    "t={now:>3} station {i} ({:.0},{:.0}) k={k}: nearest {}",
+                    p[0],
+                    p[1],
+                    nearest.unwrap_or_else(|| "—".into())
+                );
+            }
+        }
+    }
+}
