@@ -27,7 +27,10 @@ fn bench_zorder(c: &mut Criterion) {
 }
 
 fn bench_update_throughput(c: &mut Criterion) {
-    let params = Params { dataset_size: 2_000, ..Params::default() };
+    let params = Params {
+        dataset_size: 2_000,
+        ..Params::default()
+    };
     let objs = generate_set(&params, SetTag::A, 0, 0.0);
     let mut group = c.benchmark_group("bx_vs_tpr_updates_2k");
     group.sample_size(10);
@@ -46,7 +49,11 @@ fn bench_update_throughput(c: &mut Criterion) {
         })
     });
     group.bench_function("bx_update_cycle", |b| {
-        let config = BxConfig { space: params.space, max_speed: params.max_speed, ..BxConfig::default() };
+        let config = BxConfig {
+            space: params.space,
+            max_speed: params.max_speed,
+            ..BxConfig::default()
+        };
         let mut bx = BxTree::new(fresh_pool(), config);
         for o in &objs {
             bx.insert(o.id, o.mbr, 0.0).expect("insert");
@@ -63,7 +70,10 @@ fn bench_update_throughput(c: &mut Criterion) {
 }
 
 fn bench_window_queries(c: &mut Criterion) {
-    let params = Params { dataset_size: 5_000, ..Params::default() };
+    let params = Params {
+        dataset_size: 5_000,
+        ..Params::default()
+    };
     let objs = generate_set(&params, SetTag::A, 0, 0.0);
     let window = cij_geom::Rect::new([400.0, 400.0], [460.0, 460.0]);
     let mut group = c.benchmark_group("bx_vs_tpr_window_5k");
@@ -76,7 +86,11 @@ fn bench_window_queries(c: &mut Criterion) {
         b.iter(|| black_box(tpr.range_at(&window, 30.0).expect("query").len()))
     });
 
-    let config = BxConfig { space: params.space, max_speed: params.max_speed, ..BxConfig::default() };
+    let config = BxConfig {
+        space: params.space,
+        max_speed: params.max_speed,
+        ..BxConfig::default()
+    };
     let mut bx = BxTree::new(fresh_pool(), config);
     for o in &objs {
         bx.insert(o.id, o.mbr, 0.0).expect("insert");
@@ -87,5 +101,10 @@ fn bench_window_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_zorder, bench_update_throughput, bench_window_queries);
+criterion_group!(
+    benches,
+    bench_zorder,
+    bench_update_throughput,
+    bench_window_queries
+);
 criterion_main!(benches);

@@ -10,7 +10,10 @@ use cij_join::techniques;
 use cij_workload::Params;
 
 fn params() -> Params {
-    Params { dataset_size: 1_000, ..Params::default() }
+    Params {
+        dataset_size: 1_000,
+        ..Params::default()
+    }
 }
 
 /// One measured iteration = advance a fresh engine through `ticks` ticks
@@ -32,10 +35,17 @@ fn run_ticks(kind: EngineKind, ticks: u32) -> usize {
 fn bench_maintenance(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_5_ticks_1k");
     group.sample_size(10);
-    for kind in [EngineKind::Tc, EngineKind::Mtb, EngineKind::Etp, EngineKind::Naive] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| black_box(run_ticks(*kind, 5)))
-        });
+    for kind in [
+        EngineKind::Tc,
+        EngineKind::Mtb,
+        EngineKind::Etp,
+        EngineKind::Naive,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| b.iter(|| black_box(run_ticks(*kind, 5))),
+        );
     }
     group.finish();
 }
@@ -43,16 +53,25 @@ fn bench_maintenance(c: &mut Criterion) {
 fn bench_initial_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_initial_1k");
     group.sample_size(10);
-    for kind in [EngineKind::Tc, EngineKind::Mtb, EngineKind::Etp, EngineKind::Naive] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
-            b.iter(|| {
-                let p = params();
-                let (mut engine, _stream, _pool) =
-                    kind.build(&p, techniques::ALL).expect("build");
-                engine.run_initial_join(0.0).expect("initial");
-                black_box(engine.result_at(0.0).len())
-            })
-        });
+    for kind in [
+        EngineKind::Tc,
+        EngineKind::Mtb,
+        EngineKind::Etp,
+        EngineKind::Naive,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let p = params();
+                    let (mut engine, _stream, _pool) =
+                        kind.build(&p, techniques::ALL).expect("build");
+                    engine.run_initial_join(0.0).expect("initial");
+                    black_box(engine.result_at(0.0).len())
+                })
+            },
+        );
     }
     group.finish();
 }

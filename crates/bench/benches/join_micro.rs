@@ -35,7 +35,10 @@ fn bench_intersect_interval(c: &mut Criterion) {
             let mut found = 0u32;
             for a in &rects[..32] {
                 for x in &rects[32..] {
-                    if black_box(a).intersect_interval(black_box(x), 0.0, 60.0).is_some() {
+                    if black_box(a)
+                        .intersect_interval(black_box(x), 0.0, 60.0)
+                        .is_some()
+                    {
                         found += 1;
                     }
                 }
@@ -99,7 +102,10 @@ fn bench_plane_sweep(c: &mut Criterion) {
 }
 
 fn bench_technique_combos(c: &mut Criterion) {
-    let params = Params { dataset_size: 2_000, ..Params::default() };
+    let params = Params {
+        dataset_size: 2_000,
+        ..Params::default()
+    };
     let pool = fresh_pool();
     let (ta, tb, _, _) = build_pair_trees(&params, &pool).expect("trees");
     let mut group = c.benchmark_group("improved_join_2k");
@@ -121,7 +127,10 @@ fn bench_technique_combos(c: &mut Criterion) {
 }
 
 fn bench_naive_vs_tc(c: &mut Criterion) {
-    let params = Params { dataset_size: 2_000, ..Params::default() };
+    let params = Params {
+        dataset_size: 2_000,
+        ..Params::default()
+    };
     let pool = fresh_pool();
     let (ta, tb, _, _) = build_pair_trees(&params, &pool).expect("trees");
     let mut group = c.benchmark_group("tc_vs_naive_2k");
@@ -130,7 +139,14 @@ fn bench_naive_vs_tc(c: &mut Criterion) {
         b.iter(|| black_box(naive_join(&ta, &tb, 0.0).expect("join").0.len()))
     });
     group.bench_function("tc_window_60", |b| {
-        b.iter(|| black_box(cij_join::tc_join(&ta, &tb, 0.0, 60.0).expect("join").0.len()))
+        b.iter(|| {
+            black_box(
+                cij_join::tc_join(&ta, &tb, 0.0, 60.0)
+                    .expect("join")
+                    .0
+                    .len(),
+            )
+        })
     });
     group.finish();
 }

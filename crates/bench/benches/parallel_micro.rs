@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the parallel join layer: the improved
+//! initial join at each worker count, and the MTB-style multi-job
+//! worklist, against the same fixed workload. `threads = 1` is the
+//! sequential kernel, so the group doubles as a scaling report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cij_bench::runner::{build_pair_trees, fresh_pool, Scale};
+use cij_join::{parallel_improved_join, parallel_improved_multi_join, techniques, JoinJob};
+use cij_workload::Params;
+
+fn bench_parallel_initial_join(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let params = scale.adjust(Params {
+        dataset_size: scale.default_size(),
+        ..Params::default()
+    });
+    let t_m = params.maximum_update_interval;
+    let pool = fresh_pool();
+    let (ta, tb, _, _) = build_pair_trees(&params, &pool).expect("build trees");
+
+    let mut group = c.benchmark_group("parallel/initial_join");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let (pairs, counters) = parallel_improved_join(
+                        black_box(&ta),
+                        black_box(&tb),
+                        0.0,
+                        t_m,
+                        techniques::ALL,
+                        threads,
+                    )
+                    .expect("join");
+                    black_box((pairs.len(), counters))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_multi_join(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let params = scale.adjust(Params {
+        dataset_size: scale.default_size(),
+        ..Params::default()
+    });
+    let t_m = params.maximum_update_interval;
+    let pool = fresh_pool();
+    let (ta, tb, _, _) = build_pair_trees(&params, &pool).expect("build trees");
+    // Four bucket-pair style jobs over the same trees with staggered
+    // windows, sharing one worklist — the MTB initial-join shape.
+    let jobs: Vec<JoinJob<'_>> = (0..4)
+        .map(|i| JoinJob {
+            tree_a: &ta,
+            tree_b: &tb,
+            t_s: f64::from(i) * 5.0,
+            t_e: f64::from(i) * 5.0 + t_m,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("parallel/multi_join");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let results =
+                        parallel_improved_multi_join(black_box(&jobs), techniques::ALL, threads)
+                            .expect("multi join");
+                    black_box(results.iter().map(|(p, _)| p.len()).sum::<usize>())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_initial_join,
+    bench_parallel_multi_join
+);
+criterion_main!(benches);

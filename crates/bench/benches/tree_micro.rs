@@ -10,7 +10,10 @@ use cij_tpr::{ObjectId, TprTree, TreeConfig};
 use cij_workload::{generate_set, Params, SetTag};
 
 fn params(n: usize) -> Params {
-    Params { dataset_size: n, ..Params::default() }
+    Params {
+        dataset_size: n,
+        ..Params::default()
+    }
 }
 
 fn bench_build(c: &mut Criterion) {
@@ -57,18 +60,20 @@ fn bench_probes(c: &mut Criterion) {
     for o in &objs {
         tree.insert(o.id, o.mbr, 0.0).expect("insert");
     }
-    let probe = MovingRect::rigid(
-        Rect::new([500.0, 500.0], [505.0, 505.0]),
-        [2.0, -1.0],
-        0.0,
-    );
+    let probe = MovingRect::rigid(Rect::new([500.0, 500.0], [505.0, 505.0]), [2.0, -1.0], 0.0);
     let mut group = c.benchmark_group("tree");
     group.bench_function("range_at_5k", |b| {
         let window = Rect::new([480.0, 480.0], [540.0, 540.0]);
         b.iter(|| black_box(tree.range_at(&window, 30.0).expect("query").len()))
     });
     group.bench_function("intersect_window_5k_tm", |b| {
-        b.iter(|| black_box(tree.intersect_window(&probe, 0.0, 60.0).expect("query").len()))
+        b.iter(|| {
+            black_box(
+                tree.intersect_window(&probe, 0.0, 60.0)
+                    .expect("query")
+                    .len(),
+            )
+        })
     });
     group.bench_function("intersect_window_5k_unbounded", |b| {
         b.iter(|| {

@@ -5,8 +5,9 @@
 //! cargo run --release -p cij-bench --bin figures -- fig9 --scale paper
 //! ```
 //!
-//! Subcommands: `table1`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
-//! `fig12`, `fig13`, `fig14`, `fig15`, `all`.
+//! Subcommands: `table1`, `validate`, `fig7` … `fig22`, `all`.
+//! (`fig16`–`fig22` are this repo's own extension experiments; `fig22`
+//! is the parallel initial-join scaling driver.)
 //!
 //! `--scale small` (default) runs the sweep at one tenth of the paper's
 //! dataset sizes so the whole suite finishes in minutes; `--scale paper`
@@ -69,6 +70,7 @@ fn main() {
         "fig19" => fig19(scale),
         "fig20" => fig20(scale),
         "fig21" => fig21(scale),
+        "fig22" => fig22(scale),
         "all" => [
             table1 as fn(Scale) -> TprResult<()>,
             fig7,
@@ -86,6 +88,7 @@ fn main() {
             fig19,
             fig20,
             fig21,
+            fig22,
         ]
         .iter()
         .try_for_each(|f| f(scale)),
@@ -113,9 +116,18 @@ fn table1(scale: Scale) -> TprResult<()> {
         &["Setting"],
     );
     let d = default_params(scale);
-    t.push(Row::new("Node capacity", vec![format!("{}*", d.node_capacity)]));
-    t.push(Row::new("Maximum update interval", vec!["60*, 120, 240".into()]));
-    t.push(Row::new("Maximum object speed", vec!["1, 2, 3*, 4, 5".into()]));
+    t.push(Row::new(
+        "Node capacity",
+        vec![format!("{}*", d.node_capacity)],
+    ));
+    t.push(Row::new(
+        "Maximum update interval",
+        vec!["60*, 120, 240".into()],
+    ));
+    t.push(Row::new(
+        "Maximum object speed",
+        vec!["1, 2, 3*, 4, 5".into()],
+    ));
     t.push(Row::new(
         "Object size (% of space side)",
         vec!["0.05%, 0.1%*, 0.2%, 0.4%, 0.8%".into()],
@@ -133,7 +145,10 @@ fn table1(scale: Scale) -> TprResult<()> {
             Scale::size_label(d.dataset_size)
         )],
     ));
-    t.push(Row::new("Dataset", vec!["Uniform*, Gaussian, Battlefield".into()]));
+    t.push(Row::new(
+        "Dataset",
+        vec!["Uniform*, Gaussian, Battlefield".into()],
+    ));
     t.push(Row::new(
         "Scale",
         vec![format!("{scale:?} (sizes {:?})", scale.size_sweep())],
@@ -157,7 +172,10 @@ fn fig7(scale: Scale) -> TprResult<()> {
         &["Non-TC time", "TC time", "ratio"],
     );
     for size in scale.size_sweep() {
-        let params = scale.adjust(Params { dataset_size: size, ..Params::default() });
+        let params = scale.adjust(Params {
+            dataset_size: size,
+            ..Params::default()
+        });
         let t_m = params.maximum_update_interval;
         let pool = fresh_pool();
         let (ta, tb, _, _) = build_pair_trees(&params, &pool)?;
@@ -178,7 +196,10 @@ fn fig7(scale: Scale) -> TprResult<()> {
             vec![
                 fmt_duration(time_n),
                 fmt_duration(time_tc),
-                format!("{:.1}×", time_n.as_secs_f64() / time_tc.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.1}×",
+                    time_n.as_secs_f64() / time_tc.as_secs_f64().max(1e-9)
+                ),
             ],
         ));
     }
@@ -238,10 +259,7 @@ type InitialCell = (String, u64, Duration);
 /// Shared body of Figs. 9–12: initial-join cost of NaiveJoin (fig 9
 /// only), ETP-Join (one TP-Join run) and MTB-Join (improved join, all
 /// techniques, `[0, T_M]` window).
-fn initial_join_row(
-    params: &Params,
-    include_naive: bool,
-) -> TprResult<(Vec<InitialCell>, usize)> {
+fn initial_join_row(params: &Params, include_naive: bool) -> TprResult<(Vec<InitialCell>, usize)> {
     let t_m = params.maximum_update_interval;
     let pool = fresh_pool();
     let (ta, tb, _, _) = build_pair_trees(params, &pool)?;
@@ -274,7 +292,10 @@ fn fig9(scale: Scale) -> TprResult<()> {
         &["NaiveJoin", "ETP-Join", "MTB-Join"],
     );
     for size in scale.size_sweep() {
-        let params = scale.adjust(Params { dataset_size: size, ..Params::default() });
+        let params = scale.adjust(Params {
+            dataset_size: size,
+            ..Params::default()
+        });
         let (cells, _) = initial_join_row(&params, true)?;
         io_t.push(Row::new(
             Scale::size_label(size),
@@ -319,7 +340,10 @@ fn sweep_initial<P: Clone + std::fmt::Display>(
             vec![
                 fmt_duration(etp_t),
                 fmt_duration(mtb_t),
-                format!("{:.0}%", 100.0 * mtb_t.as_secs_f64() / etp_t.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.0}%",
+                    100.0 * mtb_t.as_secs_f64() / etp_t.as_secs_f64().max(1e-9)
+                ),
             ],
         ));
     }
@@ -335,8 +359,15 @@ fn fig10(scale: Scale) -> TprResult<()> {
         "Fig. 10 — initial join vs data distribution: I/O",
         "Fig. 10 — initial join vs data distribution: response time",
         "distribution",
-        &[Distribution::Uniform, Distribution::Gaussian, Distribution::Battlefield],
-        |d| Params { distribution: *d, ..base },
+        &[
+            Distribution::Uniform,
+            Distribution::Gaussian,
+            Distribution::Battlefield,
+        ],
+        |d| Params {
+            distribution: *d,
+            ..base
+        },
     )
 }
 
@@ -348,7 +379,10 @@ fn fig11(scale: Scale) -> TprResult<()> {
         "Fig. 11 — initial join vs maximum object speed: response time",
         "max speed",
         &[1.0, 2.0, 3.0, 4.0, 5.0],
-        |s| Params { max_speed: *s, ..base },
+        |s| Params {
+            max_speed: *s,
+            ..base
+        },
     )
 }
 
@@ -399,8 +433,7 @@ fn sweep_maintenance<P: Clone + std::fmt::Display>(
         // warms through a full T_M first so bucket rotation is in steady
         // state, as in the paper's [T_M, 4·T_M] window.
         let etp = maintenance_cost(EngineKind::Etp, &params, techniques::ALL, 0.0, 5.0)?;
-        let mtb =
-            maintenance_cost(EngineKind::Mtb, &params, techniques::ALL, t_m, 2.0 * t_m)?;
+        let mtb = maintenance_cost(EngineKind::Mtb, &params, techniques::ALL, t_m, 2.0 * t_m)?;
         let speedup =
             etp.time_per_update.as_secs_f64() / mtb.time_per_update.as_secs_f64().max(1e-9);
         t.push(Row::new(
@@ -424,7 +457,12 @@ fn fig13(scale: Scale) -> TprResult<()> {
         "Fig. 13 — maintenance cost per update vs dataset size (measured after T_M)",
         "size",
         &scale.size_sweep(),
-        |s| scale.adjust(Params { dataset_size: *s, ..Params::default() }),
+        |s| {
+            scale.adjust(Params {
+                dataset_size: *s,
+                ..Params::default()
+            })
+        },
     )
 }
 
@@ -436,19 +474,32 @@ fn fig14(scale: Scale) -> TprResult<()> {
         "Fig. 14a — maintenance cost vs maximum update interval",
         "T_M",
         &[60.0, 120.0, 240.0],
-        |tm| Params { maximum_update_interval: *tm, ..base },
+        |tm| Params {
+            maximum_update_interval: *tm,
+            ..base
+        },
     )?;
     sweep_maintenance(
         "Fig. 14b — maintenance cost vs data distribution",
         "distribution",
-        &[Distribution::Uniform, Distribution::Gaussian, Distribution::Battlefield],
-        |d| Params { distribution: *d, ..base },
+        &[
+            Distribution::Uniform,
+            Distribution::Gaussian,
+            Distribution::Battlefield,
+        ],
+        |d| Params {
+            distribution: *d,
+            ..base
+        },
     )?;
     sweep_maintenance(
         "Fig. 14c — maintenance cost vs maximum object speed",
         "max speed",
         &[1.0, 3.0, 5.0],
-        |s| Params { max_speed: *s, ..base },
+        |s| Params {
+            max_speed: *s,
+            ..base
+        },
     )?;
     sweep_maintenance(
         "Fig. 14d — maintenance cost vs object size",
@@ -481,14 +532,8 @@ fn fig15(scale: Scale) -> TprResult<()> {
         let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
         let config = engine_config(&params, techniques::ALL, m);
         let mut engine = MtbEngine::new(pool, config, &a, &b, 0.0)?;
-        let metrics = cij_core::run_simulation(
-            &mut engine,
-            &mut stream,
-            0.0,
-            2.0 * t_m,
-            t_m,
-            |_, _| Ok(()),
-        )?;
+        let metrics =
+            cij_core::run_simulation(&mut engine, &mut stream, 0.0, 2.0 * t_m, t_m, |_, _| Ok(()))?;
         t.push(Row::new(
             m.to_string(),
             vec![
@@ -540,9 +585,8 @@ fn fig16(scale: Scale) -> TprResult<()> {
     {
         let mut path = std::env::temp_dir();
         path.push(format!("cij-fig16-{}.pages", std::process::id()));
-        let store: Arc<dyn PageStore> = Arc::new(
-            FileStore::create(&path).map_err(cij_tpr::TprError::from)?,
-        );
+        let store: Arc<dyn PageStore> =
+            Arc::new(FileStore::create(&path).map_err(cij_tpr::TprError::from)?);
         let pool = BufferPool::new(store, BufferPoolConfig::default());
         let t0 = std::time::Instant::now();
         let (ta, tb, _, _) = build_pair_trees(&params, &pool)?;
@@ -604,14 +648,17 @@ fn fig17(scale: Scale) -> TprResult<()> {
         // Join at build time and again halfway through the horizon —
         // motion-blind trees age badly, which is the point of the
         // integral metrics.
-        let (_, io_now, _) =
-            measure(&pool, || improved_join(&ta, &tb, 0.0, t_m, techniques::ALL))?;
+        let (_, io_now, _) = measure(&pool, || improved_join(&ta, &tb, 0.0, t_m, techniques::ALL))?;
         let ((_, _), io_later, time_later) = measure(&pool, || {
             improved_join(&ta, &tb, t_m / 2.0, 3.0 * t_m / 2.0, techniques::ALL)
         })?;
         t.push(Row::new(
             name,
-            vec![io_now.to_string(), io_later.to_string(), fmt_duration(time_later)],
+            vec![
+                io_now.to_string(),
+                io_later.to_string(),
+                fmt_duration(time_later),
+            ],
         ));
     }
     t.print();
@@ -632,7 +679,10 @@ fn fig18(scale: Scale) -> TprResult<()> {
         &["tree I/O", "tree time", "PBSM time", "pairs"],
     );
     for size in scale.size_sweep() {
-        let params = scale.adjust(Params { dataset_size: size, ..Params::default() });
+        let params = scale.adjust(Params {
+            dataset_size: size,
+            ..Params::default()
+        });
         let t_m = params.maximum_update_interval;
         let pool = fresh_pool();
         let (ta, tb, a, b) = build_pair_trees(&params, &pool)?;
@@ -681,7 +731,13 @@ fn fig19(scale: Scale) -> TprResult<()> {
             Scale::size_label(params.dataset_size)
         ),
         "substrate",
-        &["build", "1000 updates", "upd I/O/op", "100 window queries", "qry I/O/op"],
+        &[
+            "build",
+            "1000 updates",
+            "upd I/O/op",
+            "100 window queries",
+            "qry I/O/op",
+        ],
     );
 
     // Workload: build, then 1000 update cycles, then 100 window queries.
@@ -792,7 +848,13 @@ fn fig20(scale: Scale) -> TprResult<()> {
     let mut t = Table::new(
         "Fig. 20 — dimension selection vs axis-skewed motion (TC initial join)",
         "workload",
-        &["PS comparisons", "DS+PS comparisons", "saved", "PS time", "DS+PS time"],
+        &[
+            "PS comparisons",
+            "DS+PS comparisons",
+            "saved",
+            "PS time",
+            "DS+PS time",
+        ],
     );
     for dist in [Distribution::Uniform, Distribution::Highway] {
         let params = scale.adjust(Params {
@@ -805,9 +867,11 @@ fn fig20(scale: Scale) -> TprResult<()> {
         let (ta, tb, _, _) = build_pair_trees(&params, &pool)?;
         let ((_, ps), _, ps_time) =
             measure(&pool, || improved_join(&ta, &tb, 0.0, t_m, techniques::PS))?;
-        let ((_, ds), _, ds_time) =
-            measure(&pool, || improved_join(&ta, &tb, 0.0, t_m, techniques::DS_PS))?;
-        let saved = 100.0 * (1.0 - ds.entry_comparisons as f64 / ps.entry_comparisons.max(1) as f64);
+        let ((_, ds), _, ds_time) = measure(&pool, || {
+            improved_join(&ta, &tb, 0.0, t_m, techniques::DS_PS)
+        })?;
+        let saved =
+            100.0 * (1.0 - ds.entry_comparisons as f64 / ps.entry_comparisons.max(1) as f64);
         t.push(Row::new(
             dist.to_string(),
             vec![
@@ -847,7 +911,11 @@ fn fig21(scale: Scale) -> TprResult<()> {
         engine.run_initial_join(0.0)?;
         let mut hist = LatencyHistogram::new();
         // ETP is orders slower per tick; bound its tick count.
-        let ticks = if kind == EngineKind::Etp { 10 } else { 2 * t_m as u32 };
+        let ticks = if kind == EngineKind::Etp {
+            10
+        } else {
+            2 * t_m as u32
+        };
         for tick in 1..=ticks {
             let now = f64::from(tick);
             let updates = stream.tick(now);
@@ -873,6 +941,79 @@ fn fig21(scale: Scale) -> TprResult<()> {
     Ok(())
 }
 
+/// Fig. 22 (ours) — parallel initial-join scaling: the MTB-Join initial
+/// join (ImprovedJoin with all techniques, window `[0, T_M]`) fanned out
+/// over worker threads via `parallel_improved_join`, reading through a
+/// lock-striped (64-shard) buffer pool sized to hold both trees — the
+/// paper's 50-page pool measures I/O, this figure measures CPU
+/// parallelism, so the disk is taken out of the equation. `1 thread`
+/// runs the exact sequential kernel; every parallel run is checked
+/// bit-identical to it before its time is reported, so the speedup
+/// column never trades correctness for wall-clock. Each cell is the
+/// best of three runs (the usual guard against scheduler noise).
+/// Speedup is bounded by the host's cores, printed in the title.
+fn fig22(scale: Scale) -> TprResult<()> {
+    use cij_join::parallel_improved_join;
+    use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+    use std::sync::Arc;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    const REPS: usize = 3;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut t = Table::new(
+        format!("Fig. 22 — parallel initial-join scaling (best of 3; host has {cores} core(s))"),
+        "size",
+        &[
+            "1 thread",
+            "2 threads",
+            "4 threads",
+            "8 threads",
+            "speedup @4",
+        ],
+    );
+    for size in scale.size_sweep() {
+        let params = scale.adjust(Params {
+            dataset_size: size,
+            ..Params::default()
+        });
+        let t_m = params.maximum_update_interval;
+        // Both trees resident: ~size/20 leaf pages per tree plus
+        // internals, doubled for slack.
+        let frames = (size / 5).max(256);
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::sharded(frames, 64.min(frames)),
+        );
+        let (ta, tb, _, _) = build_pair_trees(&params, &pool)?;
+        let (seq_pairs, seq_counters) = improved_join(&ta, &tb, 0.0, t_m, techniques::ALL)?;
+        let mut best: Vec<Duration> = Vec::with_capacity(THREADS.len());
+        for threads in THREADS {
+            let mut fastest = Duration::MAX;
+            for _ in 0..REPS {
+                let ((pairs, counters), _, time) = measure(&pool, || {
+                    parallel_improved_join(&ta, &tb, 0.0, t_m, techniques::ALL, threads)
+                })?;
+                assert_eq!(
+                    pairs, seq_pairs,
+                    "parallel result diverged at {threads} threads"
+                );
+                assert_eq!(
+                    counters, seq_counters,
+                    "counters diverged at {threads} threads"
+                );
+                fastest = fastest.min(time);
+            }
+            best.push(fastest);
+        }
+        let speedup = best[0].as_secs_f64() / best[2].as_secs_f64().max(f64::EPSILON);
+        let mut cells: Vec<String> = best.iter().map(|d| fmt_duration(*d)).collect();
+        cells.push(format!("{speedup:.2}x"));
+        t.push(Row::new(Scale::size_label(size), cells));
+    }
+    t.print();
+    Ok(())
+}
+
 /// `validate` — a fast self-check: MTB-Join vs the brute-force oracle
 /// over a short continuous run. For users who want evidence before
 /// trusting figure output ("is this build producing correct answers?").
@@ -888,8 +1029,13 @@ fn validate(_scale: Scale) -> TprResult<()> {
         ..Params::default()
     };
     let (a, b) = generate_pair(&params, 0.0);
-    let mut engine =
-        MtbEngine::new(fresh_pool(), engine_config(&params, techniques::ALL, 2), &a, &b, 0.0)?;
+    let mut engine = MtbEngine::new(
+        fresh_pool(),
+        engine_config(&params, techniques::ALL, 2),
+        &a,
+        &b,
+        0.0,
+    )?;
     let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
     engine.run_initial_join(0.0)?;
     let mut checked = 0usize;

@@ -29,7 +29,11 @@ impl LatencyHistogram {
     /// An empty histogram.
     #[must_use]
     pub fn new() -> Self {
-        Self { counts: vec![0; BUCKETS_PER_DECADE * DECADES], total: 0, max: Duration::ZERO }
+        Self {
+            counts: vec![0; BUCKETS_PER_DECADE * DECADES],
+            total: 0,
+            max: Duration::ZERO,
+        }
     }
 
     fn bucket_of(d: Duration) -> usize {

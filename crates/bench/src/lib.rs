@@ -18,6 +18,4 @@ pub mod runner;
 
 pub use histogram::LatencyHistogram;
 pub use report::{Row, Table};
-pub use runner::{
-    build_pair_trees, fresh_pool, measure, EngineKind, MaintenanceCost, Scale,
-};
+pub use runner::{build_pair_trees, fresh_pool, measure, EngineKind, MaintenanceCost, Scale};

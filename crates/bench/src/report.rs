@@ -13,7 +13,10 @@ pub struct Row {
 impl Row {
     /// Builds a row from a label and formatted cells.
     pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
-        Self { label: label.into(), cells }
+        Self {
+            label: label.into(),
+            cells,
+        }
     }
 }
 
@@ -32,11 +35,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        key_header: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, key_header: impl Into<String>, headers: &[&str]) -> Self {
         Self {
             title: title.into(),
             key_header: key_header.into(),

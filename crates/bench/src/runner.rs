@@ -5,8 +5,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cij_core::{
-    run_simulation, ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, NaiveEngine,
-    TcEngine,
+    run_simulation, ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, NaiveEngine, TcEngine,
 };
 use cij_geom::Time;
 use cij_join::Techniques;
@@ -57,7 +56,10 @@ impl Scale {
     /// Default parameters at this scale.
     #[must_use]
     pub fn params(self) -> Params {
-        self.adjust(Params { dataset_size: self.default_size(), ..Params::default() })
+        self.adjust(Params {
+            dataset_size: self.default_size(),
+            ..Params::default()
+        })
     }
 
     /// Label for a size in the paper's K-notation.
@@ -96,6 +98,7 @@ pub fn engine_config(params: &Params, techniques: Techniques, buckets_per_tm: u3
         tree: tree_config(params),
         techniques,
         buckets_per_tm,
+        threads: 1,
     }
 }
 
@@ -202,8 +205,14 @@ pub fn maintenance_cost(
     end: Time,
 ) -> TprResult<MaintenanceCost> {
     let (mut engine, mut stream, _pool) = kind.build(params, techniques)?;
-    let metrics =
-        run_simulation(engine.as_mut(), &mut stream, 0.0, end, measure_from, |_, _| Ok(()))?;
+    let metrics = run_simulation(
+        engine.as_mut(),
+        &mut stream,
+        0.0,
+        end,
+        measure_from,
+        |_, _| Ok(()),
+    )?;
     Ok(MaintenanceCost {
         io_per_update: metrics.io_per_update(),
         time_per_update: metrics.time_per_update(),
@@ -217,7 +226,12 @@ mod tests {
     use cij_join::techniques;
 
     fn tiny() -> Params {
-        Params { dataset_size: 200, space: 300.0, object_size_pct: 1.0, ..Params::default() }
+        Params {
+            dataset_size: 200,
+            space: 300.0,
+            object_size_pct: 1.0,
+            ..Params::default()
+        }
     }
 
     #[test]
@@ -235,7 +249,12 @@ mod tests {
     #[test]
     fn engine_kinds_build_and_join() {
         let params = tiny();
-        for kind in [EngineKind::Naive, EngineKind::Etp, EngineKind::Tc, EngineKind::Mtb] {
+        for kind in [
+            EngineKind::Naive,
+            EngineKind::Etp,
+            EngineKind::Tc,
+            EngineKind::Mtb,
+        ] {
             let (mut engine, _stream, _pool) = kind.build(&params, techniques::ALL).unwrap();
             engine.run_initial_join(0.0).unwrap();
             let r0 = engine.result_at(0.0);
@@ -247,8 +266,7 @@ mod tests {
     #[test]
     fn maintenance_cost_collects() {
         let params = tiny();
-        let cost =
-            maintenance_cost(EngineKind::Mtb, &params, techniques::ALL, 10.0, 30.0).unwrap();
+        let cost = maintenance_cost(EngineKind::Mtb, &params, techniques::ALL, 10.0, 30.0).unwrap();
         assert!(cost.updates > 0);
         assert!(cost.io_per_update >= 0.0);
     }

@@ -78,8 +78,19 @@ impl<const V: usize> BPlusTree<V> {
     pub fn new(pool: BufferPool) -> StorageResult<Self> {
         assert!(Self::leaf_capacity() >= 4, "value too large for a page");
         let root = pool.allocate();
-        let tree = Self { pool, root, height: 1, len: 0 };
-        tree.write_leaf(root, &LeafNode { next: PageId::INVALID, entries: Vec::new() })?;
+        let tree = Self {
+            pool,
+            root,
+            height: 1,
+            len: 0,
+        };
+        tree.write_leaf(
+            root,
+            &LeafNode {
+                next: PageId::INVALID,
+                entries: Vec::new(),
+            },
+        )?;
         Ok(tree)
     }
 
@@ -184,7 +195,10 @@ impl<const V: usize> BPlusTree<V> {
         if let Some((sep, right)) = self.insert_rec(self.root, key, value)? {
             // Root split.
             let new_root = self.pool.allocate();
-            let node = InternalNode { keys: vec![sep], children: vec![self.root, right] };
+            let node = InternalNode {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
             self.write_internal(new_root, &node)?;
             self.root = new_root;
             self.height += 1;
@@ -213,7 +227,10 @@ impl<const V: usize> BPlusTree<V> {
                 let mid = leaf.entries.len() / 2;
                 let right_entries = leaf.entries.split_off(mid);
                 let right_page = self.pool.allocate();
-                let right = LeafNode { next: leaf.next, entries: right_entries };
+                let right = LeafNode {
+                    next: leaf.next,
+                    entries: right_entries,
+                };
                 leaf.next = right_page;
                 let sep = right.entries[0].0;
                 self.write_leaf(right_page, &right)?;
@@ -240,7 +257,10 @@ impl<const V: usize> BPlusTree<V> {
                 let right_page = self.pool.allocate();
                 self.write_internal(
                     right_page,
-                    &InternalNode { keys: right_keys, children: right_children },
+                    &InternalNode {
+                        keys: right_keys,
+                        children: right_children,
+                    },
                 )?;
                 self.write_internal(page, &node)?;
                 Ok(Some((up, right_page)))
@@ -251,11 +271,7 @@ impl<const V: usize> BPlusTree<V> {
     /// Deletes the first entry with `key` whose value satisfies
     /// `matches`. Returns whether something was removed. Lazy: no
     /// rebalancing (see module docs).
-    pub fn delete(
-        &mut self,
-        key: u64,
-        matches: impl Fn(&[u8; V]) -> bool,
-    ) -> StorageResult<bool> {
+    pub fn delete(&mut self, key: u64, matches: impl Fn(&[u8; V]) -> bool) -> StorageResult<bool> {
         let mut page = self.leftmost_leaf_for(key)?;
         // Walk the leaf chain while keys could still match.
         loop {
@@ -373,8 +389,10 @@ mod tests {
     use std::sync::Arc;
 
     fn tree() -> BPlusTree<8> {
-        let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(128),
+        );
         BPlusTree::new(pool).unwrap()
     }
 
@@ -402,7 +420,10 @@ mod tests {
         assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
         // Point-ish range.
         let some = t.range_scan(100, 110).unwrap();
-        assert_eq!(some.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![100, 102, 104, 106, 108, 110]);
+        assert_eq!(
+            some.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![100, 102, 104, 106, 108, 110]
+        );
     }
 
     #[test]
@@ -481,8 +502,7 @@ mod tests {
         for (k, vs) in &shadow {
             let got = t.range_scan(*k, *k).unwrap();
             assert_eq!(got.len(), vs.len(), "key {k}");
-            let mut got_vals: Vec<u64> =
-                got.iter().map(|(_, v)| u64::from_le_bytes(*v)).collect();
+            let mut got_vals: Vec<u64> = got.iter().map(|(_, v)| u64::from_le_bytes(*v)).collect();
             let mut want = vs.clone();
             got_vals.sort_unstable();
             want.sort_unstable();
@@ -493,7 +513,7 @@ mod tests {
     #[test]
     fn free_all_releases_pages() {
         let store = Arc::new(InMemoryStore::new());
-        let pool = BufferPool::new(store.clone(), BufferPoolConfig { capacity: 64 });
+        let pool = BufferPool::new(store.clone(), BufferPoolConfig::with_capacity(64));
         let mut t = BPlusTree::<8>::new(pool).unwrap();
         for k in 0..5000u64 {
             t.insert(k, val(k)).unwrap();

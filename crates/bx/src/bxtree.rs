@@ -100,10 +100,19 @@ impl BxTree {
     #[must_use]
     pub fn new(pool: BufferPool, config: BxConfig) -> Self {
         assert!(config.t_m > 0.0, "T_M must be positive");
-        assert!(config.buckets_per_tm > 0, "need at least one bucket per T_M");
+        assert!(
+            config.buckets_per_tm > 0,
+            "need at least one bucket per T_M"
+        );
         assert!(config.space > 0.0, "degenerate space");
         let bucket_len = config.t_m / f64::from(config.buckets_per_tm);
-        Self { pool, config, bucket_len, partitions: BTreeMap::new(), len: 0 }
+        Self {
+            pool,
+            config,
+            bucket_len,
+            partitions: BTreeMap::new(),
+            len: 0,
+        }
     }
 
     /// Number of indexed objects.
@@ -180,9 +189,10 @@ impl BxTree {
         let pool = self.pool.clone();
         let partition = match self.partitions.entry(bucket) {
             std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
-            std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(Partition { tree: BPlusTree::new(pool)?, label })
-            }
+            std::collections::btree_map::Entry::Vacant(v) => v.insert(Partition {
+                tree: BPlusTree::new(pool)?,
+                label,
+            }),
         };
         partition.tree.insert(key, Self::encode_value(oid, &mbr))?;
         self.len += 1;
@@ -191,7 +201,12 @@ impl BxTree {
 
     /// Removes `oid`, located via its previous trajectory and update
     /// time (which names its partition and key).
-    pub fn remove(&mut self, oid: ObjectId, old_mbr: &MovingRect, updated_at: Time) -> TprResult<()> {
+    pub fn remove(
+        &mut self,
+        oid: ObjectId,
+        old_mbr: &MovingRect,
+        updated_at: Time,
+    ) -> TprResult<()> {
         let bucket = self.bucket_of(updated_at);
         let key = self.key_for(old_mbr, bucket);
         let partition = self
@@ -234,8 +249,8 @@ impl BxTree {
             // Enlarge by worst-case drift between label time and query
             // time, plus half the maximal extent on each side (keys are
             // center-based).
-            let drift = self.config.max_speed * (partition.label - t).abs()
-                + self.config.max_extent / 2.0;
+            let drift =
+                self.config.max_speed * (partition.label - t).abs() + self.config.max_extent / 2.0;
             let grown = Rect::new(
                 [window.lo[0] - drift, window.lo[1] - drift],
                 [window.hi[0] + drift, window.hi[1] + drift],
@@ -274,7 +289,9 @@ impl BxTree {
             [r0.hi[0].max(r1.hi[0]), r0.hi[1].max(r1.hi[1])],
         );
         for partition in self.partitions.values() {
-            let worst_gap = (partition.label - t_s).abs().max((partition.label - t_e).abs());
+            let worst_gap = (partition.label - t_s)
+                .abs()
+                .max((partition.label - t_e).abs());
             let drift = self.config.max_speed * worst_gap + self.config.max_extent / 2.0;
             let grown = Rect::new(
                 [swept.lo[0] - drift, swept.lo[1] - drift],
@@ -319,7 +336,10 @@ mod tests {
     use std::sync::Arc;
 
     fn pool() -> BufferPool {
-        BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 })
+        BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(256),
+        )
     }
 
     fn obj(x: f64, y: f64, vx: f64, vy: f64, t: Time) -> MovingRect {
@@ -333,10 +353,14 @@ mod tests {
         bx.insert(ObjectId(1), m, 0.0).unwrap();
         assert_eq!(bx.len(), 1);
         bx.validate().unwrap();
-        let hits = bx.range_at(&Rect::new([99.0, 199.0], [102.0, 202.0]), 0.0).unwrap();
+        let hits = bx
+            .range_at(&Rect::new([99.0, 199.0], [102.0, 202.0]), 0.0)
+            .unwrap();
         assert_eq!(hits, vec![ObjectId(1)]);
         // At t = 30 the object is near (130, 170).
-        let hits = bx.range_at(&Rect::new([129.0, 169.0], [132.0, 172.0]), 30.0).unwrap();
+        let hits = bx
+            .range_at(&Rect::new([129.0, 169.0], [132.0, 172.0]), 30.0)
+            .unwrap();
         assert_eq!(hits, vec![ObjectId(1)]);
         bx.remove(ObjectId(1), &m, 0.0).unwrap();
         assert!(bx.is_empty());
@@ -361,8 +385,10 @@ mod tests {
     #[test]
     fn partitions_rotate_with_update_time() {
         let mut bx = BxTree::new(pool(), BxConfig::default());
-        bx.insert(ObjectId(1), obj(10.0, 10.0, 0.0, 0.0, 0.0), 0.0).unwrap();
-        bx.insert(ObjectId(2), obj(20.0, 20.0, 0.0, 0.0, 35.0), 35.0).unwrap();
+        bx.insert(ObjectId(1), obj(10.0, 10.0, 0.0, 0.0, 0.0), 0.0)
+            .unwrap();
+        bx.insert(ObjectId(2), obj(20.0, 20.0, 0.0, 0.0, 35.0), 35.0)
+            .unwrap();
         assert_eq!(bx.partition_count(), 2);
         // Object 1 re-registers at t = 40: partition 0 empties and drops.
         bx.update(
@@ -462,7 +488,13 @@ mod tests {
         let mut bx = BxTree::new(pool(), BxConfig::default());
         let mut state: Vec<(ObjectId, MovingRect, Time)> = (0..100u64)
             .map(|i| {
-                let m = obj(rng.gen_range(0.0..990.0), rng.gen_range(0.0..990.0), 1.0, 0.0, 0.0);
+                let m = obj(
+                    rng.gen_range(0.0..990.0),
+                    rng.gen_range(0.0..990.0),
+                    1.0,
+                    0.0,
+                    0.0,
+                );
                 (ObjectId(i), m, 0.0)
             })
             .collect();
@@ -485,7 +517,11 @@ mod tests {
                     *t = now;
                 }
             }
-            assert!(bx.partition_count() <= 3, "{} partitions at t={now}", bx.partition_count());
+            assert!(
+                bx.partition_count() <= 3,
+                "{} partitions at t={now}",
+                bx.partition_count()
+            );
         }
         bx.validate().unwrap();
         assert_eq!(bx.len(), 100);

@@ -53,13 +53,7 @@ fn compact1by1(mut v: u32) -> u32 {
 /// its whole contiguous Z-interval; a partial quadrant recurses until
 /// the budget would be exceeded, then is emitted whole.
 #[must_use]
-pub fn z_decompose(
-    x0: u16,
-    x1: u16,
-    y0: u16,
-    y1: u16,
-    max_ranges: usize,
-) -> Vec<(u32, u32)> {
+pub fn z_decompose(x0: u16, x1: u16, y0: u16, y1: u16, max_ranges: usize) -> Vec<(u32, u32)> {
     assert!(x0 <= x1 && y0 <= y1, "inverted cell rect");
     let mut out = Vec::new();
     // (cell-space quadrant: origin + size exponent)
@@ -108,7 +102,13 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip_corners() {
-        for (x, y) in [(0, 0), (u16::MAX, 0), (0, u16::MAX), (u16::MAX, u16::MAX), (12345, 54321)] {
+        for (x, y) in [
+            (0, 0),
+            (u16::MAX, 0),
+            (0, u16::MAX),
+            (u16::MAX, u16::MAX),
+            (12345, 54321),
+        ] {
             assert_eq!(z_decode(z_encode(x, y)), (x, y));
         }
     }

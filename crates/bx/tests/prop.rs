@@ -15,9 +15,22 @@ const MAX_SPEED: f64 = 4.0;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { x: f64, y: f64, vx: f64, vy: f64 },
-    Update { pick: usize, x: f64, y: f64, vx: f64, vy: f64 },
-    Remove { pick: usize },
+    Insert {
+        x: f64,
+        y: f64,
+        vx: f64,
+        vy: f64,
+    },
+    Update {
+        pick: usize,
+        x: f64,
+        y: f64,
+        vx: f64,
+        vy: f64,
+    },
+    Remove {
+        pick: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -45,7 +58,7 @@ proptest! {
         probe in (0.0..400.0f64, 0.0..400.0f64, 0.0..59.0f64),
     ) {
         let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::with_capacity(128));
         let config = BxConfig { space: SPACE, max_speed: MAX_SPEED, max_extent: 1.0, ..BxConfig::default() };
         let mut bx = BxTree::new(pool, config);
         let mut shadow: HashMap<ObjectId, (MovingRect, Time)> = HashMap::new();

@@ -19,7 +19,10 @@
 use std::collections::HashSet;
 
 use cij_geom::{Time, INFINITE_TIME};
-use cij_join::{improved_join, naive_join, tp_join, tp_object_probe, JoinCounters, Techniques};
+use cij_join::{
+    parallel_improved_join, parallel_improved_multi_join, parallel_naive_join, tp_join,
+    tp_object_probe, JoinCounters, JoinJob, Techniques,
+};
 use cij_storage::BufferPool;
 use cij_tpr::{ObjectId, TprResult, TprTree, TreeConfig};
 use cij_workload::{MovingObject, ObjectUpdate, SetTag};
@@ -40,6 +43,12 @@ pub struct EngineConfig {
     pub techniques: Techniques,
     /// MTB buckets per `T_M` (the paper follows the Bˣ-tree: 2).
     pub buckets_per_tm: u32,
+    /// Worker threads for tree-vs-tree join traversals. `1` (the
+    /// default) runs the exact sequential code paths of the paper's
+    /// single-disk testbed; `> 1` fans the traversal worklist out over
+    /// scoped threads, with results guaranteed bit-identical to the
+    /// sequential runs (see `cij_join::parallel_improved_join`).
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +58,7 @@ impl Default for EngineConfig {
             tree: TreeConfig::default(),
             techniques: cij_join::techniques::ALL,
             buckets_per_tm: 2,
+            threads: 1,
         }
     }
 }
@@ -122,6 +132,7 @@ pub struct NaiveEngine {
     tree_b: TprTree,
     buffer: ResultBuffer,
     counters: JoinCounters,
+    threads: usize,
 }
 
 impl NaiveEngine {
@@ -135,7 +146,14 @@ impl NaiveEngine {
     ) -> TprResult<Self> {
         let tree_a = build_tree(&pool, config.tree, set_a, now)?;
         let tree_b = build_tree(&pool, config.tree, set_b, now)?;
-        Ok(Self { pool, tree_a, tree_b, buffer: ResultBuffer::new(), counters: JoinCounters::new() })
+        Ok(Self {
+            pool,
+            tree_a,
+            tree_b,
+            buffer: ResultBuffer::new(),
+            counters: JoinCounters::new(),
+            threads: config.threads,
+        })
     }
 }
 
@@ -145,7 +163,7 @@ impl ContinuousJoinEngine for NaiveEngine {
     }
 
     fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
-        let (pairs, counters) = naive_join(&self.tree_a, &self.tree_b, now)?;
+        let (pairs, counters) = parallel_naive_join(&self.tree_a, &self.tree_b, now, self.threads)?;
         self.counters = self.counters.merged(counters);
         for p in pairs {
             self.buffer.add(p.a, p.b, p.interval);
@@ -213,7 +231,14 @@ impl TcEngine {
     ) -> TprResult<Self> {
         let tree_a = build_tree(&pool, config.tree, set_a, now)?;
         let tree_b = build_tree(&pool, config.tree, set_b, now)?;
-        Ok(Self { config, pool, tree_a, tree_b, buffer: ResultBuffer::new(), counters: JoinCounters::new() })
+        Ok(Self {
+            config,
+            pool,
+            tree_a,
+            tree_b,
+            buffer: ResultBuffer::new(),
+            counters: JoinCounters::new(),
+        })
     }
 }
 
@@ -224,8 +249,14 @@ impl ContinuousJoinEngine for TcEngine {
 
     fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
         let window_end = now + self.config.t_m;
-        let (pairs, counters) =
-            improved_join(&self.tree_a, &self.tree_b, now, window_end, self.config.techniques)?;
+        let (pairs, counters) = parallel_improved_join(
+            &self.tree_a,
+            &self.tree_b,
+            now,
+            window_end,
+            self.config.techniques,
+            self.config.threads,
+        )?;
         self.counters = self.counters.merged(counters);
         for p in pairs {
             self.buffer.add(p.a, p.b, p.interval);
@@ -242,9 +273,7 @@ impl ContinuousJoinEngine for TcEngine {
         self.buffer.remove_object(update.id);
         // Theorem 1: the result for this object only needs to be valid
         // until its own next update, at most T_M away.
-        for (partner, iv) in
-            other.intersect_window(&update.new_mbr, now, now + self.config.t_m)?
-        {
+        for (partner, iv) in other.intersect_window(&update.new_mbr, now, now + self.config.t_m)? {
             let (a, b) = orient(update.set, update.id, partner);
             self.buffer.add(a, b, iv);
         }
@@ -353,7 +382,8 @@ impl ContinuousJoinEngine for EtpEngine {
             SetTag::B => (&mut self.tree_b, &self.tree_a),
         };
         own.update(update.id, &update.old_mbr, update.new_mbr, now)?;
-        self.current.retain(|&(a, b)| a != update.id && b != update.id);
+        self.current
+            .retain(|&(a, b)| a != update.id && b != update.id);
         // One traversal of the other tree: the object's current partners
         // and its influence time (§III).
         let probe = tp_object_probe(other, &update.new_mbr, now)?;
@@ -406,17 +436,32 @@ impl MtbEngine {
         set_b: &[MovingObject],
         now: Time,
     ) -> TprResult<Self> {
-        let mut mtb_a =
-            MtbTree::with_buckets_per_tm(pool.clone(), config.tree, config.t_m, config.buckets_per_tm);
-        let mut mtb_b =
-            MtbTree::with_buckets_per_tm(pool.clone(), config.tree, config.t_m, config.buckets_per_tm);
+        let mut mtb_a = MtbTree::with_buckets_per_tm(
+            pool.clone(),
+            config.tree,
+            config.t_m,
+            config.buckets_per_tm,
+        );
+        let mut mtb_b = MtbTree::with_buckets_per_tm(
+            pool.clone(),
+            config.tree,
+            config.t_m,
+            config.buckets_per_tm,
+        );
         for o in set_a {
             mtb_a.insert(o.id, o.mbr, now, now)?;
         }
         for o in set_b {
             mtb_b.insert(o.id, o.mbr, now, now)?;
         }
-        Ok(Self { config, pool, mtb_a, mtb_b, buffer: ResultBuffer::new(), counters: JoinCounters::new() })
+        Ok(Self {
+            config,
+            pool,
+            mtb_a,
+            mtb_b,
+            buffer: ResultBuffer::new(),
+            counters: JoinCounters::new(),
+        })
     }
 
     /// Access to the A-side MTB-tree (diagnostics).
@@ -447,20 +492,29 @@ impl ContinuousJoinEngine for MtbEngine {
         // after construction both MTBs hold a single bucket — exactly
         // the paper's "initial join on two single TPR-trees".
         let t_m = self.config.t_m;
-        let mut results = Vec::new();
+        let mut jobs = Vec::new();
         for (eb_a, tree_a) in self.mtb_a.buckets() {
             for (eb_b, tree_b) in self.mtb_b.buckets() {
                 let window_end = eb_a.min(eb_b).min(now) + t_m;
                 if window_end <= now {
                     continue;
                 }
-                let (pairs, counters) =
-                    improved_join(tree_a, tree_b, now, window_end, self.config.techniques)?;
-                self.counters = self.counters.merged(counters);
-                results.push(pairs);
+                jobs.push(JoinJob {
+                    tree_a,
+                    tree_b,
+                    t_s: now,
+                    t_e: window_end,
+                });
             }
         }
-        for pairs in results {
+        // All bucket pairs share one traversal worklist, so even a single
+        // large pair (the initial-join case: one bucket per side) fans
+        // out across every worker. `threads == 1` runs the jobs
+        // sequentially in order — the exact pre-parallel code path.
+        let results =
+            parallel_improved_multi_join(&jobs, self.config.techniques, self.config.threads)?;
+        for (pairs, counters) in results {
+            self.counters = self.counters.merged(counters);
             for p in pairs {
                 self.buffer.add(p.a, p.b, p.interval);
             }
@@ -481,9 +535,7 @@ impl ContinuousJoinEngine for MtbEngine {
         // Per-bucket windows [now, min(t_eb, now) + T_M] (§IV-C plus
         // the lut ≤ now clamp, which tightens the current bucket from
         // the paper's t_eb + T_M to Theorem 1's now + T_M).
-        for (partner, iv) in
-            other.join_object(&update.new_mbr, now, |t_eb| t_eb.min(now) + t_m)?
-        {
+        for (partner, iv) in other.join_object(&update.new_mbr, now, |t_eb| t_eb.min(now) + t_m)? {
             let (a, b) = orient(update.set, update.id, partner);
             self.buffer.add(a, b, iv);
         }
@@ -555,7 +607,15 @@ impl BxEngine {
         for o in set_b {
             bx_b.insert(o.id, o.mbr, now)?;
         }
-        Ok(Self { config, pool, bx_a, bx_b, reg_a, buffer: ResultBuffer::new(), counters: JoinCounters::new() })
+        Ok(Self {
+            config,
+            pool,
+            bx_a,
+            bx_b,
+            reg_a,
+            buffer: ResultBuffer::new(),
+            counters: JoinCounters::new(),
+        })
     }
 
     /// The A-side index (diagnostics).
@@ -587,7 +647,13 @@ impl ContinuousJoinEngine for BxEngine {
             SetTag::A => (&mut self.bx_a, &self.bx_b),
             SetTag::B => (&mut self.bx_b, &self.bx_a),
         };
-        own.update(update.id, &update.old_mbr, update.last_update, update.new_mbr, now)?;
+        own.update(
+            update.id,
+            &update.old_mbr,
+            update.last_update,
+            update.new_mbr,
+            now,
+        )?;
         if update.set == SetTag::A {
             self.reg_a.insert(update.id, update.new_mbr);
         }

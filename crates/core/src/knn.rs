@@ -92,7 +92,12 @@ impl ContinuousKnn {
     pub fn new(t_m: Time, v_max: f64) -> Self {
         assert!(t_m > 0.0, "T_M must be positive");
         assert!(v_max >= 0.0, "v_max cannot be negative");
-        Self { t_m, v_max, queries: HashMap::new(), states: HashMap::new() }
+        Self {
+            t_m,
+            v_max,
+            queries: HashMap::new(),
+            states: HashMap::new(),
+        }
     }
 
     /// Registers a kNN query at `point`.
@@ -103,7 +108,13 @@ impl ContinuousKnn {
         assert!(k > 0, "k must be positive");
         let prev = self.queries.insert(id, KnnQuery { point, k });
         assert!(prev.is_none(), "duplicate query id {id:?}");
-        self.states.insert(id, QueryState { dirty: true, ..QueryState::default() });
+        self.states.insert(
+            id,
+            QueryState {
+                dirty: true,
+                ..QueryState::default()
+            },
+        );
     }
 
     /// Number of registered queries.
@@ -117,9 +128,8 @@ impl ContinuousKnn {
     pub fn refresh(&mut self, tree: &TprTree, now: Time) -> TprResult<()> {
         for (id, q) in &self.queries {
             let state = self.states.get_mut(id).expect("state per query");
-            let stale = state.dirty
-                || state.candidates.len() < q.k
-                || now - state.eval_time >= self.t_m;
+            let stale =
+                state.dirty || state.candidates.len() < q.k || now - state.eval_time >= self.t_m;
             if !stale {
                 continue;
             }
@@ -227,8 +237,10 @@ mod tests {
     const T_M: f64 = 60.0;
 
     fn build(objects: &[(ObjectId, MovingRect)]) -> TprTree {
-        let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 });
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(256),
+        );
         let mut tree = TprTree::new(pool, TreeConfig::default());
         for &(oid, mbr) in objects {
             tree.insert(oid, mbr, 0.0).unwrap();
@@ -261,8 +273,10 @@ mod tests {
         k: usize,
         t: Time,
     ) -> Vec<(ObjectId, f64)> {
-        let mut scored: Vec<(ObjectId, f64)> =
-            objects.iter().map(|(o, m)| (*o, m.at(t).min_dist_sq(q))).collect();
+        let mut scored: Vec<(ObjectId, f64)> = objects
+            .iter()
+            .map(|(o, m)| (*o, m.at(t).min_dist_sq(q)))
+            .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
@@ -283,9 +297,10 @@ mod tests {
         // Within one T_M, re-ranking the candidates is exact at every
         // sampled instant — no index access needed.
         for t in [0.0, 10.0, 30.0, 59.0] {
-            for (qid, point, k) in
-                [(QueryId(0), [500.0, 500.0], 5), (QueryId(1), [100.0, 900.0], 10)]
-            {
+            for (qid, point, k) in [
+                (QueryId(0), [500.0, 500.0], 5),
+                (QueryId(1), [100.0, 900.0], 10),
+            ] {
                 let got = monitor.result_at(qid, t);
                 let expect = brute_knn(&shadow, point, k, t);
                 for (g, e) in got.iter().zip(&expect) {
@@ -353,9 +368,18 @@ mod tests {
         // The nearest object teleports far away via an update; the
         // monitor must promote the next-nearest.
         let objects = vec![
-            (ObjectId(1), MovingRect::stationary(Rect::square([500.0, 500.0], 1.0), 0.0)),
-            (ObjectId(2), MovingRect::stationary(Rect::square([510.0, 500.0], 1.0), 0.0)),
-            (ObjectId(3), MovingRect::stationary(Rect::square([900.0, 900.0], 1.0), 0.0)),
+            (
+                ObjectId(1),
+                MovingRect::stationary(Rect::square([500.0, 500.0], 1.0), 0.0),
+            ),
+            (
+                ObjectId(2),
+                MovingRect::stationary(Rect::square([510.0, 500.0], 1.0), 0.0),
+            ),
+            (
+                ObjectId(3),
+                MovingRect::stationary(Rect::square([900.0, 900.0], 1.0), 0.0),
+            ),
         ];
         let mut tree = build(&objects);
         let mut monitor = ContinuousKnn::new(T_M, V_MAX);
@@ -374,8 +398,14 @@ mod tests {
     #[test]
     fn knn_monitor_removed_object() {
         let objects = vec![
-            (ObjectId(1), MovingRect::stationary(Rect::square([500.0, 500.0], 1.0), 0.0)),
-            (ObjectId(2), MovingRect::stationary(Rect::square([510.0, 500.0], 1.0), 0.0)),
+            (
+                ObjectId(1),
+                MovingRect::stationary(Rect::square([500.0, 500.0], 1.0), 0.0),
+            ),
+            (
+                ObjectId(2),
+                MovingRect::stationary(Rect::square([510.0, 500.0], 1.0), 0.0),
+            ),
         ];
         let tree = build(&objects);
         let mut monitor = ContinuousKnn::new(T_M, V_MAX);

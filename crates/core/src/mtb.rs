@@ -71,15 +71,16 @@ impl MtbTree {
     /// # Panics
     /// Panics when `m == 0` or `t_m <= 0`.
     #[must_use]
-    pub fn with_buckets_per_tm(
-        pool: BufferPool,
-        config: TreeConfig,
-        t_m: Time,
-        m: u32,
-    ) -> Self {
+    pub fn with_buckets_per_tm(pool: BufferPool, config: TreeConfig, t_m: Time, m: u32) -> Self {
         assert!(m > 0, "at least one bucket per T_M");
         assert!(t_m > 0.0, "T_M must be positive");
-        Self { pool, config, bucket_len: t_m / f64::from(m), buckets: BTreeMap::new(), len: 0 }
+        Self {
+            pool,
+            config,
+            bucket_len: t_m / f64::from(m),
+            buckets: BTreeMap::new(),
+            len: 0,
+        }
     }
 
     /// Bucket index for an update at time `t`.
@@ -114,7 +115,9 @@ impl MtbTree {
 
     /// The live buckets as `(bucket_end, tree)` pairs, oldest first.
     pub fn buckets(&self) -> impl Iterator<Item = (Time, &TprTree)> {
-        self.buckets.iter().map(|(idx, tree)| (self.bucket_end(*idx), tree))
+        self.buckets
+            .iter()
+            .map(|(idx, tree)| (self.bucket_end(*idx), tree))
     }
 
     /// Inserts `oid` whose last update happened at `updated_at`
@@ -127,9 +130,10 @@ impl MtbTree {
         now: Time,
     ) -> TprResult<()> {
         let idx = self.bucket_of(updated_at);
-        let tree = self.buckets.entry(idx).or_insert_with(|| {
-            TprTree::new(self.pool.clone(), self.config)
-        });
+        let tree = self
+            .buckets
+            .entry(idx)
+            .or_insert_with(|| TprTree::new(self.pool.clone(), self.config));
         tree.insert(oid, mbr, now)?;
         self.len += 1;
         Ok(())
@@ -206,7 +210,10 @@ mod tests {
     use std::sync::Arc;
 
     fn pool() -> BufferPool {
-        BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 })
+        BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(256),
+        )
     }
 
     fn mbr(x: f64, t: Time) -> MovingRect {
@@ -311,6 +318,9 @@ mod tests {
         // now = 95 > bucket_end(0) + T_M = 90: nothing can be valid.
         let probe = mbr(0.0, 95.0);
         let got = m.join_object(&probe, 95.0, |t_eb| t_eb + 60.0).unwrap();
-        assert!(got.is_empty(), "window entirely in the past must be skipped");
+        assert!(
+            got.is_empty(),
+            "window entirely in the past must be skipped"
+        );
     }
 }

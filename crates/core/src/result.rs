@@ -88,10 +88,8 @@ impl ResultBuffer {
                 out.push(iv);
             } else {
                 // Overlapping or touching: absorb.
-                merged = TimeInterval::new_unchecked(
-                    merged.start.min(iv.start),
-                    merged.end.max(iv.end),
-                );
+                merged =
+                    TimeInterval::new_unchecked(merged.start.min(iv.start), merged.end.max(iv.end));
             }
         }
         if !placed {
@@ -104,7 +102,9 @@ impl ResultBuffer {
     /// updates: all predictions involving it are invalidated from that
     /// moment on, and the follow-up join re-adds what still holds.
     pub fn remove_object(&mut self, oid: ObjectId) {
-        let Some(keys) = self.by_object.remove(&oid) else { return };
+        let Some(keys) = self.by_object.remove(&oid) else {
+            return;
+        };
         for key in keys {
             self.pairs.remove(&key);
             let partner = if key.0 == oid { key.1 } else { key.0 };

@@ -63,7 +63,11 @@ impl ContinuousWindowQueries {
     #[must_use]
     pub fn new(t_m: Time) -> Self {
         assert!(t_m > 0.0, "T_M must be positive");
-        Self { t_m, queries: Vec::new(), matches: HashMap::new() }
+        Self {
+            t_m,
+            queries: Vec::new(),
+            matches: HashMap::new(),
+        }
     }
 
     /// Registers a static window query.
@@ -108,11 +112,7 @@ impl ContinuousWindowQueries {
     /// MTB-Join". Each bucket tree is probed over `[now, t_eb + T_M]`
     /// (Theorem 2), which is tighter than `[now, now + T_M]` for every
     /// bucket but the current one.
-    pub fn initial_evaluate_mtb(
-        &mut self,
-        mtb: &crate::mtb::MtbTree,
-        now: Time,
-    ) -> TprResult<()> {
+    pub fn initial_evaluate_mtb(&mut self, mtb: &crate::mtb::MtbTree, now: Time) -> TprResult<()> {
         let t_m = self.t_m;
         for (qid, window) in &self.queries {
             let entry = self.matches.get_mut(qid).expect("registered query");
@@ -150,7 +150,9 @@ impl ContinuousWindowQueries {
     /// The objects inside query `qid`'s window at instant `t`, sorted.
     #[must_use]
     pub fn result_at(&self, qid: QueryId, t: Time) -> Vec<ObjectId> {
-        let Some(entry) = self.matches.get(&qid) else { return Vec::new() };
+        let Some(entry) = self.matches.get(&qid) else {
+            return Vec::new();
+        };
         let mut out: Vec<ObjectId> = entry
             .iter()
             .filter(|(_, ivs)| ivs.iter().any(|iv| iv.contains(t)))
@@ -170,8 +172,10 @@ mod tests {
 
     fn tree_with(objects: &[(u64, f64, f64, f64)]) -> TprTree {
         // (id, x, y, vx)
-        let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 64 });
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(64),
+        );
         let mut tree = TprTree::new(pool, TreeConfig::default());
         for &(id, x, y, vx) in objects {
             let mbr = MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [vx, 0.0], 0.0);
@@ -183,15 +187,18 @@ mod tests {
     #[test]
     fn initial_evaluation_finds_current_and_upcoming() {
         let tree = tree_with(&[
-            (1, 5.0, 5.0, 0.0),   // inside the window now
-            (2, 50.0, 5.0, -1.0), // reaches the window at t ≈ 40
+            (1, 5.0, 5.0, 0.0),     // inside the window now
+            (2, 50.0, 5.0, -1.0),   // reaches the window at t ≈ 40
             (3, 500.0, 500.0, 0.0), // never
         ]);
         let mut q = ContinuousWindowQueries::new(60.0);
         q.add_query(QueryId(0), Rect::new([0.0, 0.0], [10.0, 10.0]));
         q.initial_evaluate(&tree, 0.0).unwrap();
         assert_eq!(q.result_at(QueryId(0), 0.0), vec![ObjectId(1)]);
-        assert_eq!(q.result_at(QueryId(0), 45.0), vec![ObjectId(1), ObjectId(2)]);
+        assert_eq!(
+            q.result_at(QueryId(0), 45.0),
+            vec![ObjectId(1), ObjectId(2)]
+        );
         assert!(q.result_at(QueryId(0), 45.0).len() == 2);
     }
 
@@ -257,8 +264,10 @@ mod tests {
             })
             .collect();
         let tree = tree_with(&objects);
-        let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 64 });
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(64),
+        );
         let mut mtb = MtbTree::new(pool, TreeConfig::default(), 60.0);
         for &(id, x, y, vx) in &objects {
             let mbr = MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [vx, 0.0], 0.0);

@@ -5,10 +5,7 @@
 
 use std::sync::Arc;
 
-use cij_core::{
-    ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, NaiveEngine,
-    TcEngine,
-};
+use cij_core::{ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, NaiveEngine, TcEngine};
 use cij_geom::Time;
 use cij_join::brute;
 use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
@@ -16,7 +13,10 @@ use cij_tpr::TprResult;
 use cij_workload::{generate_pair, Distribution, Params, SetTag, UpdateStream};
 
 fn pool() -> BufferPool {
-    BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 })
+    BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(128),
+    )
 }
 
 fn small_params(distribution: Distribution, seed: u64) -> Params {
@@ -93,7 +93,10 @@ fn tc_engine_matches_oracle() {
 fn tc_engine_without_techniques_matches_oracle() {
     let params = small_params(Distribution::Uniform, 103);
     let (a, b) = generate_pair(&params, 0.0);
-    let config = EngineConfig { techniques: cij_join::techniques::NONE, ..Default::default() };
+    let config = EngineConfig {
+        techniques: cij_join::techniques::NONE,
+        ..Default::default()
+    };
     let mut e = TcEngine::new(pool(), config, &a, &b, 0.0).unwrap();
     run_with_oracle(&mut e, &params, 70).unwrap();
 }
@@ -139,7 +142,10 @@ fn mtb_engine_matches_oracle_battlefield() {
 fn mtb_engine_with_more_buckets_matches_oracle() {
     let params = small_params(Distribution::Uniform, 108);
     let (a, b) = generate_pair(&params, 0.0);
-    let config = EngineConfig { buckets_per_tm: 4, ..Default::default() };
+    let config = EngineConfig {
+        buckets_per_tm: 4,
+        ..Default::default()
+    };
     let mut e = MtbEngine::new(pool(), config, &a, &b, 0.0).unwrap();
     run_with_oracle(&mut e, &params, 70).unwrap();
 }
@@ -180,6 +186,144 @@ fn all_engines_agree_with_each_other() {
     }
 }
 
+// ----------------------------------------------------------------------
+// Differential determinism: `threads > 1` must be bit-identical to the
+// sequential engine — same result set at every tick of a continuous run
+// and the same traversal counters (`pairs_emitted` included) — for every
+// workload distribution.
+// ----------------------------------------------------------------------
+
+/// A pool for the parallel engines: lock-striped, so the differential
+/// runs exercise the sharded buffer pool under real thread interleaving.
+fn sharded_pool(shards: usize) -> BufferPool {
+    BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::sharded(128, shards),
+    )
+}
+
+/// Runs one engine per thread count `{1, 2, 4, 8}` in lockstep over the
+/// same update stream — initial join plus `ticks` maintenance ticks —
+/// asserting after every step that each parallel engine reports exactly
+/// the sequential result set, and at the end that the counters
+/// (`pairs_emitted` among them) are identical.
+fn assert_threads_equivalent(
+    params: &Params,
+    a: &[cij_workload::MovingObject],
+    b: &[cij_workload::MovingObject],
+    ticks: u32,
+    make: impl Fn(usize) -> Box<dyn ContinuousJoinEngine>,
+) {
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut engines: Vec<Box<dyn ContinuousJoinEngine>> =
+        thread_counts.iter().map(|&t| make(t)).collect();
+    let mut stream = UpdateStream::new(params, a, b, 0.0);
+
+    for e in &mut engines {
+        e.run_initial_join(0.0).unwrap();
+    }
+    let seq_initial = engines[0].result_at(0.0);
+    let seq_counters = engines[0].counters();
+    for (e, &t) in engines.iter().zip(&thread_counts).skip(1) {
+        assert_eq!(
+            e.result_at(0.0),
+            seq_initial,
+            "initial join differs at threads={t}"
+        );
+        assert_eq!(
+            e.counters(),
+            seq_counters,
+            "initial counters differ at threads={t}"
+        );
+    }
+
+    for tick in 1..=ticks {
+        let now = Time::from(tick);
+        let updates = stream.tick(now);
+        for e in &mut engines {
+            e.advance_time(now).unwrap();
+            for u in &updates {
+                e.apply_update(u, now).unwrap();
+            }
+        }
+        let seq = engines[0].result_at(now);
+        for (e, &t) in engines.iter().zip(&thread_counts).skip(1) {
+            assert_eq!(
+                e.result_at(now),
+                seq,
+                "results differ at threads={t}, t={now}"
+            );
+        }
+    }
+    let seq_counters = engines[0].counters();
+    // Guard against a vacuous run: the workload must have produced pairs
+    // at some point (battlefield starts with none at t = 0).
+    assert!(
+        seq_counters.pairs_emitted > 0,
+        "workload never produced pairs"
+    );
+    for (e, &t) in engines.iter().zip(&thread_counts).skip(1) {
+        assert_eq!(
+            e.counters(),
+            seq_counters,
+            "final counters (incl. pairs_emitted) differ at threads={t}"
+        );
+    }
+}
+
+fn differential_for_distribution(distribution: Distribution, seed: u64) {
+    let params = small_params(distribution, seed);
+    let (a, b) = generate_pair(&params, 0.0);
+    assert_threads_equivalent(&params, &a, &b, 60, |threads| {
+        let config = EngineConfig {
+            threads,
+            ..Default::default()
+        };
+        Box::new(MtbEngine::new(sharded_pool(8), config, &a, &b, 0.0).unwrap())
+    });
+}
+
+#[test]
+fn mtb_parallel_threads_match_sequential_uniform() {
+    differential_for_distribution(Distribution::Uniform, 201);
+}
+
+#[test]
+fn mtb_parallel_threads_match_sequential_gaussian() {
+    differential_for_distribution(Distribution::Gaussian, 202);
+}
+
+#[test]
+fn mtb_parallel_threads_match_sequential_battlefield() {
+    differential_for_distribution(Distribution::Battlefield, 203);
+}
+
+#[test]
+fn tc_parallel_threads_match_sequential() {
+    let params = small_params(Distribution::Uniform, 204);
+    let (a, b) = generate_pair(&params, 0.0);
+    assert_threads_equivalent(&params, &a, &b, 60, |threads| {
+        let config = EngineConfig {
+            threads,
+            ..Default::default()
+        };
+        Box::new(TcEngine::new(sharded_pool(8), config, &a, &b, 0.0).unwrap())
+    });
+}
+
+#[test]
+fn naive_parallel_threads_match_sequential() {
+    let params = small_params(Distribution::Uniform, 205);
+    let (a, b) = generate_pair(&params, 0.0);
+    assert_threads_equivalent(&params, &a, &b, 60, |threads| {
+        let config = EngineConfig {
+            threads,
+            ..Default::default()
+        };
+        Box::new(NaiveEngine::new(sharded_pool(8), config, &a, &b, 0.0).unwrap())
+    });
+}
+
 #[test]
 fn sim_driver_collects_metrics() {
     let params = small_params(Distribution::Uniform, 110);
@@ -207,15 +351,8 @@ fn bx_engine_matches_oracle() {
         max_extent: params.object_side(),
         ..Default::default()
     };
-    let mut e = cij_core::BxEngine::new(
-        pool(),
-        EngineConfig::default(),
-        bx_config,
-        &a,
-        &b,
-        0.0,
-    )
-    .unwrap();
+    let mut e =
+        cij_core::BxEngine::new(pool(), EngineConfig::default(), bx_config, &a, &b, 0.0).unwrap();
     run_with_oracle(&mut e, &params, 130).unwrap();
     e.bx_a().validate().unwrap();
 }

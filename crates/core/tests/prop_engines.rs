@@ -13,7 +13,10 @@ use cij_workload::{generate_pair, Distribution, Params, SetTag, UpdateStream};
 use proptest::prelude::*;
 
 fn pool(cap: usize) -> BufferPool {
-    BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: cap })
+    BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(cap),
+    )
 }
 
 fn arb_params() -> impl Strategy<Value = Params> {
@@ -107,10 +110,13 @@ proptest! {
 
 #[test]
 fn update_for_unknown_object_errors_cleanly() {
-    let params = Params { dataset_size: 20, space: 100.0, ..Params::default() };
+    let params = Params {
+        dataset_size: 20,
+        space: 100.0,
+        ..Params::default()
+    };
     let (a, b) = generate_pair(&params, 0.0);
-    let mut engine =
-        MtbEngine::new(pool(32), EngineConfig::default(), &a, &b, 0.0).unwrap();
+    let mut engine = MtbEngine::new(pool(32), EngineConfig::default(), &a, &b, 0.0).unwrap();
     engine.run_initial_join(0.0).unwrap();
 
     // Forge an update for an object that was never inserted.
@@ -138,7 +144,12 @@ fn update_for_unknown_object_errors_cleanly() {
 #[test]
 fn etp_engine_single_object_sets() {
     // Degenerate cardinalities through the event machinery.
-    let params = Params { dataset_size: 1, space: 50.0, object_size_pct: 4.0, ..Params::default() };
+    let params = Params {
+        dataset_size: 1,
+        space: 50.0,
+        object_size_pct: 4.0,
+        ..Params::default()
+    };
     let (a, b) = generate_pair(&params, 0.0);
     let mut engine = EtpEngine::new(pool(8), EngineConfig::default(), &a, &b, 0.0).unwrap();
     let mut stream = UpdateStream::new(&params, &a, &b, 0.0);

@@ -33,13 +33,31 @@ impl Linear {
 /// The two candidate gap lines of one dimension (`loA−hiB`, `loB−hiA`);
 /// the realized gap is `max(0, l1, l2)`.
 fn gap_lines(a: &MovingRect, b: &MovingRect, d: usize) -> (Linear, Linear) {
-    let lo_a = Linear { b: a.lo[d] - a.vlo[d] * a.t_ref, v: a.vlo[d] };
-    let hi_a = Linear { b: a.hi[d] - a.vhi[d] * a.t_ref, v: a.vhi[d] };
-    let lo_b = Linear { b: b.lo[d] - b.vlo[d] * b.t_ref, v: b.vlo[d] };
-    let hi_b = Linear { b: b.hi[d] - b.vhi[d] * b.t_ref, v: b.vhi[d] };
+    let lo_a = Linear {
+        b: a.lo[d] - a.vlo[d] * a.t_ref,
+        v: a.vlo[d],
+    };
+    let hi_a = Linear {
+        b: a.hi[d] - a.vhi[d] * a.t_ref,
+        v: a.vhi[d],
+    };
+    let lo_b = Linear {
+        b: b.lo[d] - b.vlo[d] * b.t_ref,
+        v: b.vlo[d],
+    };
+    let hi_b = Linear {
+        b: b.hi[d] - b.vhi[d] * b.t_ref,
+        v: b.vhi[d],
+    };
     (
-        Linear { b: lo_a.b - hi_b.b, v: lo_a.v - hi_b.v },
-        Linear { b: lo_b.b - hi_a.b, v: lo_b.v - hi_a.v },
+        Linear {
+            b: lo_a.b - hi_b.b,
+            v: lo_a.v - hi_b.v,
+        },
+        Linear {
+            b: lo_b.b - hi_a.b,
+            v: lo_b.v - hi_a.v,
+        },
     )
 }
 
@@ -99,8 +117,7 @@ impl MovingRect {
         cuts.push(t1);
         cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
 
-        let lines: Vec<(Linear, Linear)> =
-            (0..DIMS).map(|d| gap_lines(self, other, d)).collect();
+        let lines: Vec<(Linear, Linear)> = (0..DIMS).map(|d| gap_lines(self, other, d)).collect();
 
         let mut best = f64::INFINITY;
         let mut best_t = t0;
@@ -214,12 +231,7 @@ impl MovingRect {
     /// Exact minimum squared distance from a static point over
     /// `[t0, t1]` (with witness time).
     #[must_use]
-    pub fn min_dist_sq_to_point_interval(
-        &self,
-        q: [f64; DIMS],
-        t0: Time,
-        t1: Time,
-    ) -> (f64, Time) {
+    pub fn min_dist_sq_to_point_interval(&self, q: [f64; DIMS], t0: Time, t1: Time) -> (f64, Time) {
         let point = MovingRect::stationary(crate::Rect::point(q), t0);
         self.min_dist_sq_interval(&point, t0, t1)
     }
@@ -228,7 +240,8 @@ impl MovingRect {
     /// `[t0, t1]` (convex ⇒ endpoint).
     #[must_use]
     pub fn max_dist_sq_to_point_interval(&self, q: [f64; DIMS], t0: Time, t1: Time) -> f64 {
-        self.dist_sq_to_point_at(q, t0).max(self.dist_sq_to_point_at(q, t1))
+        self.dist_sq_to_point_at(q, t0)
+            .max(self.dist_sq_to_point_at(q, t1))
     }
 }
 

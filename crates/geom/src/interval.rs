@@ -51,14 +51,20 @@ impl TimeInterval {
     /// The half-open-at-infinity interval `[start, ∞)`.
     #[inline]
     pub fn from(start: Time) -> Self {
-        Self { start, end: INFINITE_TIME }
+        Self {
+            start,
+            end: INFINITE_TIME,
+        }
     }
 
     /// The full time axis `(-∞, ∞)` — used as the identity for interval
     /// intersection when accumulating per-dimension constraints.
     #[inline]
     pub fn all() -> Self {
-        Self { start: f64::NEG_INFINITY, end: INFINITE_TIME }
+        Self {
+            start: f64::NEG_INFINITY,
+            end: INFINITE_TIME,
+        }
     }
 
     /// Intersection of two closed intervals; `None` when disjoint.

@@ -53,7 +53,13 @@ impl MovingRect {
             (0..DIMS).all(|d| lo[d] <= hi[d]),
             "inverted moving rect at t_ref: lo={lo:?} hi={hi:?}"
         );
-        Self { lo, hi, vlo, vhi, t_ref }
+        Self {
+            lo,
+            hi,
+            vlo,
+            vhi,
+            t_ref,
+        }
     }
 
     /// A rigid moving rectangle: the whole MBR translates with one
@@ -103,7 +109,13 @@ impl MovingRect {
     #[inline]
     pub fn rebase(&self, t: Time) -> Self {
         let r = self.at(t);
-        Self { lo: r.lo, hi: r.hi, vlo: self.vlo, vhi: self.vhi, t_ref: t }
+        Self {
+            lo: r.lo,
+            hi: r.hi,
+            vlo: self.vlo,
+            vhi: self.vhi,
+            t_ref: t,
+        }
     }
 
     /// Whether `self` bounds `other` at every instant `t >= from`.
@@ -139,7 +151,13 @@ impl MovingRect {
             vlo[d] = self.vlo[d].min(other.vlo[d]);
             vhi[d] = self.vhi[d].max(other.vhi[d]);
         }
-        Self { lo, hi, vlo, vhi, t_ref: t }
+        Self {
+            lo,
+            hi,
+            vlo,
+            vhi,
+            t_ref: t,
+        }
     }
 
     /// The paper's `intersect(e_A, e_B, t_s, t_e)` primitive: the
@@ -151,12 +169,7 @@ impl MovingRect {
     /// half-line; their intersection with the query window is a single
     /// closed interval. `t_e` may be [`INFINITE_TIME`] (that is exactly
     /// what `NaiveJoin` passes).
-    pub fn intersect_interval(
-        &self,
-        other: &Self,
-        t_s: Time,
-        t_e: Time,
-    ) -> Option<TimeInterval> {
+    pub fn intersect_interval(&self, other: &Self, t_s: Time, t_e: Time) -> Option<TimeInterval> {
         let mut acc = TimeInterval::new(t_s, t_e)?;
         for d in 0..DIMS {
             // self.lo_d(t) <= other.hi_d(t)
@@ -235,8 +248,7 @@ impl MovingRect {
         // ∫ (e0 + de0·u)(e1 + de1·u) du
         //   = e0·e1·u + (e0·de1 + e1·de0)·u²/2 + de0·de1·u³/3
         let poly = |u: f64| {
-            e0 * e1 * u + (e0 * de1 + e1 * de0) * u * u / 2.0
-                + de0 * de1 * u * u * u / 3.0
+            e0 * e1 * u + (e0 * de1 + e1 * de0) * u * u / 2.0 + de0 * de1 * u * u * u / 3.0
         };
         poly(u1) - poly(u0)
     }
@@ -488,26 +500,14 @@ mod tests {
     #[test]
     fn area_integral_expanding_rect() {
         // Extents (1 + t) × (1 + t): ∫₀¹ (1+t)² dt = 7/3.
-        let m = MovingRect::new(
-            [0.0, 0.0],
-            [1.0, 1.0],
-            [0.0, 0.0],
-            [1.0, 1.0],
-            0.0,
-        );
+        let m = MovingRect::new([0.0, 0.0], [1.0, 1.0], [0.0, 0.0], [1.0, 1.0], 0.0);
         assert!((m.area_integral(0.0, 1.0) - 7.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn margin_integral_expanding_rect() {
         // margin(t) = 2 + 2t; ∫₀² = 4 + 4 = 8.
-        let m = MovingRect::new(
-            [0.0, 0.0],
-            [1.0, 1.0],
-            [0.0, 0.0],
-            [1.0, 1.0],
-            0.0,
-        );
+        let m = MovingRect::new([0.0, 0.0], [1.0, 1.0], [0.0, 0.0], [1.0, 1.0], 0.0);
         assert!((m.margin_integral(0.0, 2.0) - 8.0).abs() < 1e-12);
     }
 
@@ -543,7 +543,10 @@ mod tests {
             let t = (k as f64 + 0.5) * h;
             numeric += a.at(t).overlap_area(&b.at(t)) * h;
         }
-        assert!((exact - numeric).abs() < 1e-4, "exact={exact} numeric={numeric}");
+        assert!(
+            (exact - numeric).abs() < 1e-4,
+            "exact={exact} numeric={numeric}"
+        );
     }
 
     #[test]

@@ -189,3 +189,52 @@ proptest! {
         }
     }
 }
+
+/// Pinned regression, promoted from `prop.proptest-regressions` so it
+/// always runs (the offline proptest shim does not replay recorded
+/// shrinks): a pair with **mismatched `t_ref`s** — one rectangle sweeping
+/// down from `t_ref = 0`, the other stationary and referenced at
+/// `t ≈ 8.275` — once made `intersect_interval` disagree with sampling,
+/// because positions were compared without rebasing to a common
+/// reference time. This is the shrunken witness from
+/// `intersect_interval_matches_sampling`, checked with the same body.
+#[test]
+fn regression_mismatched_t_ref_interval_matches_sampling() {
+    let a = MovingRect::rigid(
+        Rect::new([0.0, 0.0], [0.01, 0.01]),
+        [0.0, -4.585113918007131],
+        0.0,
+    );
+    let b = MovingRect::rigid(
+        Rect::new([0.0, 0.0], [0.01, 0.01]),
+        [0.0, 0.0],
+        8.275216375486172,
+    );
+    assert_eq!(a.t_ref, 0.0);
+    assert_eq!(b.t_ref, 8.275216375486172);
+
+    let window = (10.0, 200.0);
+    match a.intersect_interval(&b, window.0, window.1) {
+        Some(TimeInterval { start, end }) => {
+            assert!(start >= window.0 - EPS && end <= window.1 + EPS);
+            if end - start > 4.0 * EPS {
+                for frac in [0.25, 0.5, 0.75] {
+                    let t = start + (end - start) * frac;
+                    assert!(a.intersects_at(&b, t), "inside t={t}");
+                }
+            }
+            if start - window.0 > 1e-3 {
+                assert!(!a.intersects_at(&b, start - 1e-3));
+            }
+            if window.1 - end > 1e-3 {
+                assert!(!a.intersects_at(&b, end + 1e-3));
+            }
+        }
+        None => {
+            for k in 0..40 {
+                let t = window.0 + (window.1 - window.0) * (k as f64 + 0.5) / 40.0;
+                assert!(!a.intersects_at(&b, t), "t={t} should not intersect");
+            }
+        }
+    }
+}

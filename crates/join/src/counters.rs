@@ -41,8 +41,18 @@ mod tests {
 
     #[test]
     fn merged_adds_fields() {
-        let a = JoinCounters { node_pairs: 1, entry_comparisons: 2, ic_pruned: 3, pairs_emitted: 4 };
-        let b = JoinCounters { node_pairs: 10, entry_comparisons: 20, ic_pruned: 30, pairs_emitted: 40 };
+        let a = JoinCounters {
+            node_pairs: 1,
+            entry_comparisons: 2,
+            ic_pruned: 3,
+            pairs_emitted: 4,
+        };
+        let b = JoinCounters {
+            node_pairs: 10,
+            entry_comparisons: 20,
+            ic_pruned: 30,
+            pairs_emitted: 40,
+        };
         let m = a.merged(b);
         assert_eq!(m.node_pairs, 11);
         assert_eq!(m.entry_comparisons, 22);

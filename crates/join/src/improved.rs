@@ -18,6 +18,7 @@ use cij_tpr::{Entry, Node, TprResult, TprTree};
 
 use crate::counters::JoinCounters;
 use crate::pair::JoinPair;
+use crate::parallel::{SpillSink, NO_SPILL_BUDGET};
 use crate::sweep::{ps_intersection, SweepItem};
 
 /// Toggle set for the §IV-D improvement techniques.
@@ -38,23 +39,41 @@ pub mod techniques {
     use super::Techniques;
 
     /// No improvement techniques (TC-Join's plain traversal).
-    pub const NONE: Techniques =
-        Techniques { plane_sweep: false, dim_selection: false, intersection_check: false };
+    pub const NONE: Techniques = Techniques {
+        plane_sweep: false,
+        dim_selection: false,
+        intersection_check: false,
+    };
     /// Intersection check only.
-    pub const IC: Techniques =
-        Techniques { plane_sweep: false, dim_selection: false, intersection_check: true };
+    pub const IC: Techniques = Techniques {
+        plane_sweep: false,
+        dim_selection: false,
+        intersection_check: true,
+    };
     /// Plane sweep only.
-    pub const PS: Techniques =
-        Techniques { plane_sweep: true, dim_selection: false, intersection_check: false };
+    pub const PS: Techniques = Techniques {
+        plane_sweep: true,
+        dim_selection: false,
+        intersection_check: false,
+    };
     /// Dimension selection + plane sweep.
-    pub const DS_PS: Techniques =
-        Techniques { plane_sweep: true, dim_selection: true, intersection_check: false };
+    pub const DS_PS: Techniques = Techniques {
+        plane_sweep: true,
+        dim_selection: true,
+        intersection_check: false,
+    };
     /// Intersection check + plane sweep.
-    pub const IC_PS: Techniques =
-        Techniques { plane_sweep: true, dim_selection: false, intersection_check: true };
+    pub const IC_PS: Techniques = Techniques {
+        plane_sweep: true,
+        dim_selection: false,
+        intersection_check: true,
+    };
     /// All techniques — the configuration MTB-Join runs with.
-    pub const ALL: Techniques =
-        Techniques { plane_sweep: true, dim_selection: true, intersection_check: true };
+    pub const ALL: Techniques = Techniques {
+        plane_sweep: true,
+        dim_selection: true,
+        intersection_check: true,
+    };
 }
 
 /// `ImprovedJoin`: all join pairs within `[t_s, t_e]`, computed with the
@@ -93,7 +112,10 @@ pub fn improved_join(
     t_e: Time,
     tech: Techniques,
 ) -> TprResult<(Vec<JoinPair>, JoinCounters)> {
-    assert!(t_e.is_finite(), "ImprovedJoin requires a time-constrained window");
+    assert!(
+        t_e.is_finite(),
+        "ImprovedJoin requires a time-constrained window"
+    );
     let mut out = Vec::new();
     let mut counters = JoinCounters::new();
     let (Some(root_a), Some(root_b)) = (tree_a.root_page(), tree_b.root_page()) else {
@@ -101,12 +123,28 @@ pub fn improved_join(
     };
     let na = tree_a.read_node(root_a)?;
     let nb = tree_b.read_node(root_b)?;
-    join_nodes(tree_a, &na, tree_b, &nb, t_s, t_e, tech, &mut out, &mut counters)?;
+    join_nodes(
+        tree_a,
+        &na,
+        tree_b,
+        &nb,
+        t_s,
+        t_e,
+        tech,
+        &mut out,
+        &mut counters,
+        NO_SPILL_BUDGET,
+        &mut Vec::new(),
+    )?;
     Ok((out, counters))
 }
 
+/// Recursive Fig. 6 traversal. `budget` / `spill` serve the parallel
+/// layer exactly as in [`crate::naive`]: once the budget is exhausted,
+/// the would-be recursive call (nodes already read, window already
+/// tightened) is pushed onto `spill` instead of executed.
 #[allow(clippy::too_many_arguments)] // recursive kernel, all state is hot
-fn join_nodes(
+pub(crate) fn join_nodes(
     tree_a: &TprTree,
     na: &Node,
     tree_b: &TprTree,
@@ -116,6 +154,8 @@ fn join_nodes(
     tech: Techniques,
     out: &mut Vec<JoinPair>,
     counters: &mut JoinCounters,
+    budget: usize,
+    spill: &mut SpillSink,
 ) -> TprResult<()> {
     counters.node_pairs += 1;
 
@@ -129,8 +169,28 @@ fn join_nodes(
             counters.entry_comparisons += 1;
             if let Some(iv) = ea.mbr.intersect_interval(&nb_mbr, t_s, t_e) {
                 let child = tree_a.read_node(ea.child.page())?;
-                let (ws, we) = if tech.intersection_check { (iv.start, iv.end) } else { (t_s, t_e) };
-                join_nodes(tree_a, &child, tree_b, nb, ws, we, tech, out, counters)?;
+                let (ws, we) = if tech.intersection_check {
+                    (iv.start, iv.end)
+                } else {
+                    (t_s, t_e)
+                };
+                if budget == 0 {
+                    spill.push((child, nb.clone(), ws, we));
+                } else {
+                    join_nodes(
+                        tree_a,
+                        &child,
+                        tree_b,
+                        nb,
+                        ws,
+                        we,
+                        tech,
+                        out,
+                        counters,
+                        budget - 1,
+                        spill,
+                    )?;
+                }
             }
         }
         return Ok(());
@@ -140,8 +200,28 @@ fn join_nodes(
             counters.entry_comparisons += 1;
             if let Some(iv) = eb.mbr.intersect_interval(&na_mbr, t_s, t_e) {
                 let child = tree_b.read_node(eb.child.page())?;
-                let (ws, we) = if tech.intersection_check { (iv.start, iv.end) } else { (t_s, t_e) };
-                join_nodes(tree_a, na, tree_b, &child, ws, we, tech, out, counters)?;
+                let (ws, we) = if tech.intersection_check {
+                    (iv.start, iv.end)
+                } else {
+                    (t_s, t_e)
+                };
+                if budget == 0 {
+                    spill.push((na.clone(), child, ws, we));
+                } else {
+                    join_nodes(
+                        tree_a,
+                        na,
+                        tree_b,
+                        &child,
+                        ws,
+                        we,
+                        tech,
+                        out,
+                        counters,
+                        budget - 1,
+                        spill,
+                    )?;
+                }
             }
         }
         return Ok(());
@@ -161,7 +241,11 @@ fn join_nodes(
         ) -> Vec<&'e Entry> {
             entries
                 .iter()
-                .filter(|e| e.mbr.intersect_interval(other, win.start, win.end).is_some())
+                .filter(|e| {
+                    e.mbr
+                        .intersect_interval(other, win.start, win.end)
+                        .is_some()
+                })
                 .collect()
         }
         // Safety of the filter: an entry pair can only intersect at an
@@ -170,8 +254,7 @@ fn join_nodes(
         // region at that instant.
         let sa: Vec<&Entry> = filter(&na.entries, &nb_mbr, win);
         let sb: Vec<&Entry> = filter(&nb.entries, &na_mbr, win);
-        counters.ic_pruned +=
-            (na.entries.len() - sa.len() + nb.entries.len() - sb.len()) as u64;
+        counters.ic_pruned += (na.entries.len() - sa.len() + nb.entries.len() - sb.len()) as u64;
         (win, sa, sb)
     } else {
         (
@@ -188,9 +271,8 @@ fn join_nodes(
     let candidates: Vec<(usize, usize, TimeInterval)> = if tech.plane_sweep {
         // Dimension selection: smallest total speed mass (§IV-D2).
         let dim = if tech.dim_selection {
-            let mass = |d: usize| -> f64 {
-                sa.iter().chain(sb.iter()).map(|e| e.mbr.speed_sum(d)).sum()
-            };
+            let mass =
+                |d: usize| -> f64 { sa.iter().chain(sb.iter()).map(|e| e.mbr.speed_sum(d)).sum() };
             if mass(0) <= mass(1) {
                 0
             } else {
@@ -226,7 +308,11 @@ fn join_nodes(
     if na.is_leaf() {
         for (i, j, iv) in candidates {
             counters.pairs_emitted += 1;
-            out.push(JoinPair::new(sa[i].child.object(), sb[j].child.object(), iv));
+            out.push(JoinPair::new(
+                sa[i].child.object(),
+                sb[j].child.object(),
+                iv,
+            ));
         }
         return Ok(());
     }
@@ -235,8 +321,28 @@ fn join_nodes(
         let cb = tree_b.read_node(sb[j].child.page())?;
         // Fig. 6 passes the pair's own interval down — with IC the window
         // tightens monotonically as the traversal descends.
-        let (ws, we) = if tech.intersection_check { (iv.start, iv.end) } else { (t_s, t_e) };
-        join_nodes(tree_a, &ca, tree_b, &cb, ws, we, tech, out, counters)?;
+        let (ws, we) = if tech.intersection_check {
+            (iv.start, iv.end)
+        } else {
+            (t_s, t_e)
+        };
+        if budget == 0 {
+            spill.push((ca, cb, ws, we));
+        } else {
+            join_nodes(
+                tree_a,
+                &ca,
+                tree_b,
+                &cb,
+                ws,
+                we,
+                tech,
+                out,
+                counters,
+                budget - 1,
+                spill,
+            )?;
+        }
     }
     Ok(())
 }

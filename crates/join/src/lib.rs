@@ -17,6 +17,12 @@
 //!   of the `ETP-Join` competitor (assembled in `cij-core`).
 //! * [`brute`] — the `O(|A|·|B|)` oracle every algorithm is tested
 //!   against.
+//! * [`parallel_naive_join`] / [`parallel_tc_join`] /
+//!   [`parallel_improved_join`] / [`parallel_improved_multi_join`] —
+//!   multi-threaded drivers for the above traversals: the worklist is
+//!   split at a top node-pair frontier and fanned out over scoped
+//!   threads, with outputs merged in traversal order so results (and
+//!   counter totals) are bit-identical to the sequential runs.
 //!
 //! All algorithms read nodes strictly through the trees' buffer pools, so
 //! their I/O is accounted exactly like the paper's.
@@ -29,6 +35,7 @@ mod counters;
 mod improved;
 mod naive;
 mod pair;
+mod parallel;
 mod partition;
 mod sweep;
 mod tp;
@@ -37,6 +44,10 @@ pub use counters::JoinCounters;
 pub use improved::{improved_join, techniques, Techniques};
 pub use naive::{naive_join, tc_join};
 pub use pair::{assert_pairs_equal, JoinPair};
+pub use parallel::{
+    parallel_improved_join, parallel_improved_multi_join, parallel_naive_join, parallel_tc_join,
+    JoinJob,
+};
 pub use partition::{partition_join, partition_join_auto, swept_region};
 pub use sweep::{ps_intersection, SweepItem};
 pub use tp::{tp_join, tp_join_best_first, tp_object_probe, TpAnswer, TpProbe};

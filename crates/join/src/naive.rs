@@ -15,6 +15,7 @@ use cij_tpr::{Node, TprResult, TprTree};
 
 use crate::counters::JoinCounters;
 use crate::pair::JoinPair;
+use crate::parallel::{SpillSink, NO_SPILL_BUDGET};
 
 /// `NaiveJoin`: every join pair from `t_c` to the infinite timestamp.
 pub fn naive_join(
@@ -82,14 +83,31 @@ fn join_window(
     };
     let na = tree_a.read_node(root_a)?;
     let nb = tree_b.read_node(root_b)?;
-    join_nodes(tree_a, &na, tree_b, &nb, t_s, t_e, &mut out, &mut counters)?;
+    join_nodes(
+        tree_a,
+        &na,
+        tree_b,
+        &nb,
+        t_s,
+        t_e,
+        &mut out,
+        &mut counters,
+        NO_SPILL_BUDGET,
+        &mut Vec::new(),
+    )?;
     Ok((out, counters))
 }
 
 /// Recursive synchronous traversal. Handles trees of different heights by
 /// descending only the deeper node until levels align.
+///
+/// `budget` / `spill` serve the parallel layer: every recursive descent
+/// costs one unit of budget, and once it is exhausted the would-be
+/// recursive call — its nodes already read, so I/O accounting is
+/// unchanged — is pushed onto `spill` instead of executed. Sequential
+/// entry points pass [`NO_SPILL_BUDGET`], which is never exhausted.
 #[allow(clippy::too_many_arguments)] // recursive kernel, all state is hot
-fn join_nodes(
+pub(crate) fn join_nodes(
     tree_a: &TprTree,
     na: &Node,
     tree_b: &TprTree,
@@ -98,6 +116,8 @@ fn join_nodes(
     t_e: Time,
     out: &mut Vec<JoinPair>,
     counters: &mut JoinCounters,
+    budget: usize,
+    spill: &mut SpillSink,
 ) -> TprResult<()> {
     counters.node_pairs += 1;
 
@@ -111,7 +131,22 @@ fn join_nodes(
             counters.entry_comparisons += 1;
             if ea.mbr.intersect_interval(&nb_mbr, t_s, t_e).is_some() {
                 let child = tree_a.read_node(ea.child.page())?;
-                join_nodes(tree_a, &child, tree_b, nb, t_s, t_e, out, counters)?;
+                if budget == 0 {
+                    spill.push((child, nb.clone(), t_s, t_e));
+                } else {
+                    join_nodes(
+                        tree_a,
+                        &child,
+                        tree_b,
+                        nb,
+                        t_s,
+                        t_e,
+                        out,
+                        counters,
+                        budget - 1,
+                        spill,
+                    )?;
+                }
             }
         }
         return Ok(());
@@ -125,7 +160,22 @@ fn join_nodes(
             counters.entry_comparisons += 1;
             if eb.mbr.intersect_interval(&na_mbr, t_s, t_e).is_some() {
                 let child = tree_b.read_node(eb.child.page())?;
-                join_nodes(tree_a, na, tree_b, &child, t_s, t_e, out, counters)?;
+                if budget == 0 {
+                    spill.push((na.clone(), child, t_s, t_e));
+                } else {
+                    join_nodes(
+                        tree_a,
+                        na,
+                        tree_b,
+                        &child,
+                        t_s,
+                        t_e,
+                        out,
+                        counters,
+                        budget - 1,
+                        spill,
+                    )?;
+                }
             }
         }
         return Ok(());
@@ -153,7 +203,22 @@ fn join_nodes(
                 // Faithful to Fig. 2: the recursion keeps the original
                 // window (the clipped-interval refinement is part of the
                 // §IV-D intersection check, not of NaiveJoin).
-                join_nodes(tree_a, &ca, tree_b, &cb, t_s, t_e, out, counters)?;
+                if budget == 0 {
+                    spill.push((ca, cb, t_s, t_e));
+                } else {
+                    join_nodes(
+                        tree_a,
+                        &ca,
+                        tree_b,
+                        &cb,
+                        t_s,
+                        t_e,
+                        out,
+                        counters,
+                        budget - 1,
+                        spill,
+                    )?;
+                }
             }
         }
     }

@@ -51,7 +51,11 @@ impl Grid {
             (bounds.extent(0) / per_axis as f64).max(f64::MIN_POSITIVE),
             (bounds.extent(1) / per_axis as f64).max(f64::MIN_POSITIVE),
         ];
-        Self { origin: bounds.lo, cell, per_axis }
+        Self {
+            origin: bounds.lo,
+            cell,
+            per_axis,
+        }
     }
 
     fn clamp_axis(&self, i: isize) -> usize {
@@ -164,8 +168,7 @@ pub fn partition_join(
                 .iter()
                 .map(|&i| SweepItem::new(b[i].1, i, 0, t_s, t_e))
                 .collect();
-            for (i, j, iv) in ps_intersection(&mut items_a, &mut items_b, t_s, t_e, &mut counters)
-            {
+            for (i, j, iv) in ps_intersection(&mut items_a, &mut items_b, t_s, t_e, &mut counters) {
                 // Reference point: lower-left corner of the overlap of
                 // the two swept regions — it lies in exactly one cell.
                 let o = sweep_a[i]

@@ -179,9 +179,12 @@ mod tests {
         // Widely separated static items: nested loop would do n·m = 100
         // comparisons, the sweep a handful.
         let (t0, t1) = (0.0, 1.0);
-        let mut sa: Vec<_> = (0..10).map(|i| item(i, i as f64 * 100.0, 0.0, 0, t0, t1)).collect();
-        let mut sb: Vec<_> =
-            (0..10).map(|i| item(i, i as f64 * 100.0 + 50.0, 0.0, 0, t0, t1)).collect();
+        let mut sa: Vec<_> = (0..10)
+            .map(|i| item(i, i as f64 * 100.0, 0.0, 0, t0, t1))
+            .collect();
+        let mut sb: Vec<_> = (0..10)
+            .map(|i| item(i, i as f64 * 100.0 + 50.0, 0.0, 0, t0, t1))
+            .collect();
         let mut counters = JoinCounters::new();
         let got = ps_intersection(&mut sa, &mut sb, t0, t1, &mut counters);
         assert!(got.is_empty());

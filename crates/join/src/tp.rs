@@ -129,7 +129,9 @@ fn visit(
 
     // Height alignment.
     if na.level > nb.level {
-        let Some(nb_mbr) = nb.bounding_mbr() else { return Ok(()) };
+        let Some(nb_mbr) = nb.bounding_mbr() else {
+            return Ok(());
+        };
         for ea in &na.entries {
             state.counters.entry_comparisons += 1;
             let descend = ea.mbr.intersects_at(&nb_mbr, t_c)
@@ -142,7 +144,9 @@ fn visit(
         return Ok(());
     }
     if nb.level > na.level {
-        let Some(na_mbr) = na.bounding_mbr() else { return Ok(()) };
+        let Some(na_mbr) = na.bounding_mbr() else {
+            return Ok(());
+        };
         for eb in &nb.entries {
             state.counters.entry_comparisons += 1;
             let descend = eb.mbr.intersects_at(&na_mbr, t_c)
@@ -200,11 +204,7 @@ fn visit(
 /// tightens as fast as possible — fewer node pairs expanded at the cost
 /// of a priority queue. Currently-intersecting pairs sort at `t_c`
 /// (they must always be expanded to enumerate the current result).
-pub fn tp_join_best_first(
-    tree_a: &TprTree,
-    tree_b: &TprTree,
-    t_c: Time,
-) -> TprResult<TpAnswer> {
+pub fn tp_join_best_first(tree_a: &TprTree, tree_b: &TprTree, t_c: Time) -> TprResult<TpAnswer> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -267,7 +267,11 @@ pub fn tp_join_best_first(
                 let fc = first_contact(&e.mbr, &other_mbr, t_c);
                 if fc.is_finite() {
                     let _ = deeper_tree;
-                    let (qa, qb) = if same_is_a { (e.child.page(), pb) } else { (pa, e.child.page()) };
+                    let (qa, qb) = if same_is_a {
+                        (e.child.page(), pb)
+                    } else {
+                        (pa, e.child.page())
+                    };
                     heap.push(Reverse((Key(fc), qa, qb)));
                 }
             }
@@ -337,7 +341,9 @@ pub fn tp_object_probe(tree: &TprTree, target: &MovingRect, t_c: Time) -> TprRes
         events: Vec::new(),
         counters: JoinCounters::new(),
     };
-    let Some(root) = tree.root_page() else { return Ok(probe) };
+    let Some(root) = tree.root_page() else {
+        return Ok(probe);
+    };
     probe_visit(tree, root, target, t_c, &mut probe)?;
     Ok(probe)
 }

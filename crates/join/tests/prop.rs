@@ -32,13 +32,14 @@ fn dedup_ids(mut v: Vec<(ObjectId, MovingRect)>) -> Vec<(ObjectId, MovingRect)> 
     v
 }
 
-fn build(
-    objs: &[(ObjectId, MovingRect)],
-    capacity: usize,
-    pool: &BufferPool,
-) -> TprTree {
-    let mut tree =
-        TprTree::new(pool.clone(), TreeConfig { capacity, ..TreeConfig::default() });
+fn build(objs: &[(ObjectId, MovingRect)], capacity: usize, pool: &BufferPool) -> TprTree {
+    let mut tree = TprTree::new(
+        pool.clone(),
+        TreeConfig {
+            capacity,
+            ..TreeConfig::default()
+        },
+    );
     for &(oid, mbr) in objs {
         tree.insert(oid, mbr, 0.0).unwrap();
     }
@@ -67,7 +68,7 @@ proptest! {
         let b = dedup_ids(b);
         let t_e = t_s + len;
         let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 });
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::with_capacity(256));
         let ta = build(&a, capacity, &pool);
         let tb = build(&b, capacity, &pool);
 
@@ -100,6 +101,55 @@ proptest! {
         }
     }
 
+    /// Counter conservation across thread counts: for any technique set
+    /// and any tree shape, the parallel traversal must report exactly
+    /// the sequential counters — in particular the work-accounting sum
+    /// `entry_comparisons + ic_pruned` (every entry either got compared
+    /// or was pruned by the intersection check; splitting the traversal
+    /// across workers must neither lose nor double-count either side) —
+    /// and the same `pairs_emitted` / `node_pairs`.
+    #[test]
+    fn parallel_counters_conserved(
+        a in proptest::collection::vec(arb_object(0), 0..120),
+        b in proptest::collection::vec(arb_object(1 << 32), 0..120),
+        capacity in prop_oneof![Just(4usize), Just(10), Just(30)],
+        t_s in 0.0..30.0f64,
+        len in 0.1..90.0f64,
+        threads in prop_oneof![Just(2usize), Just(4), Just(8)],
+    ) {
+        let a = dedup_ids(a);
+        let b = dedup_ids(b);
+        let t_e = t_s + len;
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::sharded(256, 8),
+        );
+        let ta = build(&a, capacity, &pool);
+        let tb = build(&b, capacity, &pool);
+
+        for tech in [
+            techniques::NONE,
+            techniques::IC,
+            techniques::PS,
+            techniques::DS_PS,
+            techniques::IC_PS,
+            techniques::ALL,
+        ] {
+            let (seq, seq_c) = improved_join(&ta, &tb, t_s, t_e, tech).unwrap();
+            let (par, par_c) =
+                cij_join::parallel_improved_join(&ta, &tb, t_s, t_e, tech, threads).unwrap();
+            prop_assert_eq!(&seq, &par, "pairs differ: {:?} threads={}", tech, threads);
+            prop_assert_eq!(seq_c, par_c, "counters differ: {:?} threads={}", tech, threads);
+            prop_assert_eq!(
+                seq_c.entry_comparisons + seq_c.ic_pruned,
+                par_c.entry_comparisons + par_c.ic_pruned,
+                "comparison+pruned conservation: {:?} threads={}", tech, threads
+            );
+            prop_assert_eq!(seq_c.pairs_emitted, par_c.pairs_emitted);
+            prop_assert_eq!(seq_c.pairs_emitted, seq.len() as u64);
+        }
+    }
+
     /// TP-Join's current result and expiry equal brute force for
     /// arbitrary datasets.
     #[test]
@@ -111,7 +161,7 @@ proptest! {
         let a = dedup_ids(a);
         let b = dedup_ids(b);
         let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 });
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::with_capacity(256));
         let ta = build(&a, 10, &pool);
         let tb = build(&b, 10, &pool);
         let ans = tp_join(&ta, &tb, t_c).unwrap();

@@ -34,7 +34,10 @@ impl<'a> PageWriter<'a> {
 
     fn claim(&mut self, n: usize) -> StorageResult<&mut [u8]> {
         if self.pos + n > PAGE_SIZE {
-            return Err(StorageError::PageOverflow { offset: self.pos, requested: n });
+            return Err(StorageError::PageOverflow {
+                offset: self.pos,
+                requested: n,
+            });
         }
         let slice = &mut self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -98,7 +101,10 @@ impl<'a> PageReader<'a> {
 
     fn take(&mut self, n: usize) -> StorageResult<&[u8]> {
         if self.pos + n > PAGE_SIZE {
-            return Err(StorageError::PageOverflow { offset: self.pos, requested: n });
+            return Err(StorageError::PageOverflow {
+                offset: self.pos,
+                requested: n,
+            });
         }
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -112,22 +118,30 @@ impl<'a> PageReader<'a> {
 
     /// Reads a `u16`.
     pub fn get_u16(&mut self) -> StorageResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> StorageResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> StorageResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `f64`.
     pub fn get_f64(&mut self) -> StorageResult<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads `n` raw bytes.
@@ -180,7 +194,10 @@ mod tests {
         assert!(w.put_u32(1).is_ok());
         assert_eq!(
             w.put_u8(1),
-            Err(StorageError::PageOverflow { offset: PAGE_SIZE, requested: 1 })
+            Err(StorageError::PageOverflow {
+                offset: PAGE_SIZE,
+                requested: 1
+            })
         );
     }
 

@@ -180,7 +180,10 @@ mod tests {
         assert_eq!(out[0], 0xCC);
         assert_eq!(store.live_pages(), 2);
         // The backing file has exactly two pages.
-        assert_eq!(std::fs::metadata(&tmp.0).unwrap().len(), 2 * PAGE_SIZE as u64);
+        assert_eq!(
+            std::fs::metadata(&tmp.0).unwrap().len(),
+            2 * PAGE_SIZE as u64
+        );
     }
 
     #[test]
@@ -205,8 +208,7 @@ mod tests {
     fn works_under_buffer_pool_and_tree_sized_load() {
         let tmp = TempFile::new("pool");
         let store = Arc::new(FileStore::create(&tmp.0).unwrap());
-        let pool =
-            crate::BufferPool::new(store, crate::BufferPoolConfig { capacity: 8 });
+        let pool = crate::BufferPool::new(store, crate::BufferPoolConfig::with_capacity(8));
         // Write/read far more pages than the pool holds.
         let ids: Vec<PageId> = (0..64).map(|_| pool.allocate()).collect();
         for (i, &id) in ids.iter().enumerate() {

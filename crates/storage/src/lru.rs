@@ -16,7 +16,10 @@ pub struct LruLink {
 
 impl Default for LruLink {
     fn default() -> Self {
-        Self { prev: NIL, next: NIL }
+        Self {
+            prev: NIL,
+            next: NIL,
+        }
     }
 }
 
@@ -43,7 +46,11 @@ impl LruList {
     /// An empty list.
     #[must_use]
     pub fn new() -> Self {
-        Self { head: NIL, tail: NIL, len: 0 }
+        Self {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 
     /// Number of linked entries.

@@ -60,7 +60,10 @@ impl InMemoryStore {
     #[must_use]
     pub fn with_stats(stats: Arc<IoStats>) -> Self {
         Self {
-            inner: Mutex::new(StoreInner { pages: Vec::new(), free_list: Vec::new() }),
+            inner: Mutex::new(StoreInner {
+                pages: Vec::new(),
+                free_list: Vec::new(),
+            }),
             stats,
         }
     }
@@ -167,7 +170,10 @@ mod tests {
         let id = store.allocate();
         store.free(id).unwrap();
         let mut out = crate::zeroed_page();
-        assert_eq!(store.read(id, &mut out), Err(StorageError::PageNotFound(id)));
+        assert_eq!(
+            store.read(id, &mut out),
+            Err(StorageError::PageNotFound(id))
+        );
         assert_eq!(store.free(id), Err(StorageError::PageNotFound(id)));
     }
 

@@ -1,0 +1,171 @@
+//! Concurrency stress for the sharded buffer pool: 8 threads × 10 000
+//! mixed read/write (pin) operations over an overlapping page set, with
+//! three invariants checked:
+//!
+//! 1. **No lost writes** — every page carries one write-count slot per
+//!    thread plus a grand total; writers do a read-modify-write under a
+//!    test-level page latch (the pool itself, like a real buffer
+//!    manager, serializes only frame access). At the end each slot must
+//!    equal the thread's own write tally and the total must equal the
+//!    slot sum — any write dropped by an eviction/reload race breaks
+//!    the count.
+//! 2. **Torn-page freedom** — the total slot always equals the sum of
+//!    the per-thread slots in *every* read snapshot, latched or not: a
+//!    page observed mid-flight must still be some complete previously
+//!    written image.
+//! 3. **Accounting exactness** — per-shard residency never exceeds the
+//!    shard's frame budget, and the pool's logical I/O counters equal
+//!    the sum of the operations the threads actually issued.
+
+use std::sync::Arc;
+use std::thread;
+
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 10_000;
+const PAGES: usize = 64;
+const POOL_CAPACITY: usize = 32;
+const POOL_SHARDS: usize = 4;
+
+/// Slot layout on each page: `u64` write count per thread, then the
+/// grand total.
+fn slot(buf: &[u8; PAGE_SIZE], i: usize) -> u64 {
+    let o = i * 8;
+    u64::from_le_bytes(buf[o..o + 8].try_into().expect("slot within page"))
+}
+
+fn set_slot(buf: &mut [u8; PAGE_SIZE], i: usize, v: u64) {
+    let o = i * 8;
+    buf[o..o + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Deterministic per-thread operation stream (xorshift64*; the pool's
+/// behaviour under test must not depend on the mix, only the checks do).
+struct OpRng(u64);
+
+impl OpRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The per-shard frame budget the pool documents: `capacity / shards`,
+/// first `capacity % shards` shards get one extra.
+fn shard_budget(shard: usize) -> usize {
+    POOL_CAPACITY / POOL_SHARDS + usize::from(shard < POOL_CAPACITY % POOL_SHARDS)
+}
+
+#[test]
+fn stress_sharded_pool_keeps_writes_counters_and_budgets_exact() {
+    let pool = BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::sharded(POOL_CAPACITY, POOL_SHARDS),
+    );
+    let pages: Vec<PageId> = (0..PAGES).map(|_| pool.allocate()).collect();
+    for &id in &pages {
+        pool.write(id, &[0u8; PAGE_SIZE]).expect("init page");
+    }
+    let latches: Vec<Mutex<()>> = (0..PAGES).map(|_| Mutex::new(())).collect();
+    let before = pool.stats().snapshot();
+
+    // (reads issued, writes issued, per-page own-write tallies).
+    let per_thread: Vec<(u64, u64, Vec<u64>)> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let pool = &pool;
+                let pages = &pages;
+                let latches = &latches;
+                s.spawn(move || {
+                    let mut rng = OpRng(0x9E37_79B9 + t as u64);
+                    let mut reads = 0u64;
+                    let mut writes = 0u64;
+                    let mut own = vec![0u64; PAGES];
+                    for op in 0..OPS_PER_THREAD {
+                        let p = (rng.next() % PAGES as u64) as usize;
+                        if rng.next() % 4 == 0 {
+                            // Write op: latched read-modify-write.
+                            let _latch = latches[p].lock();
+                            let mut buf = pool.read(pages[p], |data| *data).expect("read for rmw");
+                            let mine = slot(&buf, t) + 1;
+                            let total = slot(&buf, THREADS) + 1;
+                            set_slot(&mut buf, t, mine);
+                            set_slot(&mut buf, THREADS, total);
+                            pool.write(pages[p], &buf).expect("write back");
+                            own[p] += 1;
+                            reads += 1;
+                            writes += 1;
+                        } else {
+                            // Read op: unlatched snapshot; must be torn-free.
+                            let (total, sum) = pool
+                                .read(pages[p], |data| {
+                                    let sum: u64 = (0..THREADS).map(|i| slot(data, i)).sum();
+                                    (slot(data, THREADS), sum)
+                                })
+                                .expect("read");
+                            assert_eq!(total, sum, "torn page observed by thread {t}");
+                            reads += 1;
+                        }
+                        if op % 1_000 == 0 {
+                            for (shard, &resident) in pool.shard_residents().iter().enumerate() {
+                                assert!(
+                                    resident <= shard_budget(shard),
+                                    "shard {shard} holds {resident} frames mid-run"
+                                );
+                            }
+                        }
+                    }
+                    (reads, writes, own)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    // No lost writes: each page's slots equal the threads' own tallies.
+    for (p, &id) in pages.iter().enumerate() {
+        let _latch = latches[p].lock();
+        pool.read(id, |data| {
+            let mut sum = 0u64;
+            for (t, stats) in per_thread.iter().enumerate() {
+                assert_eq!(slot(data, t), stats.2[p], "lost write: page {p} slot {t}");
+                sum += stats.2[p];
+            }
+            assert_eq!(slot(data, THREADS), sum, "page {p} total drifted");
+        })
+        .expect("final read");
+    }
+
+    // Per-shard residency bound still holds after the dust settles.
+    let residents = pool.shard_residents();
+    assert_eq!(residents.len(), POOL_SHARDS);
+    for (shard, &resident) in residents.iter().enumerate() {
+        assert!(resident <= shard_budget(shard), "shard {shard} over budget");
+    }
+    assert_eq!(pool.resident(), residents.iter().sum::<usize>());
+
+    // Logical I/O totals equal the sum of issued operations (the final
+    // verification pass reads each page once more, latched).
+    let delta = pool.stats().snapshot().delta_since(&before);
+    let issued_reads: u64 = per_thread.iter().map(|s| s.0).sum::<u64>() + PAGES as u64;
+    let issued_writes: u64 = per_thread.iter().map(|s| s.1).sum();
+    assert_eq!(delta.logical_reads, issued_reads, "logical read accounting");
+    assert_eq!(
+        delta.logical_writes, issued_writes,
+        "logical write accounting"
+    );
+    let total_writes: u64 = per_thread.iter().map(|s| s.2.iter().sum::<u64>()).sum();
+    assert_eq!(
+        issued_writes, total_writes,
+        "every write op incremented a slot"
+    );
+}

@@ -122,7 +122,7 @@ proptest! {
         ops in proptest::collection::vec(arb_op(8), 1..120),
     ) {
         let store = Arc::new(InMemoryStore::new());
-        let pool = BufferPool::new(store.clone(), BufferPoolConfig { capacity });
+        let pool = BufferPool::new(store.clone(), BufferPoolConfig::with_capacity(capacity));
         let ids: Vec<PageId> = (0..8).map(|_| store.allocate()).collect();
         let mut model = Model { capacity, contents: HashMap::new(), lru: VecDeque::new() };
 

@@ -78,8 +78,10 @@ impl TprTree {
         }
 
         let t_mid = now + config.horizon / 2.0;
-        let mut entries: Vec<Entry> =
-            objects.iter().map(|&(oid, mbr)| Entry::object(oid, mbr)).collect();
+        let mut entries: Vec<Entry> = objects
+            .iter()
+            .map(|&(oid, mbr)| Entry::object(oid, mbr))
+            .collect();
 
         let mut level = 0u8;
         loop {
@@ -112,15 +114,17 @@ impl TprTree {
         // sort each slab by y-center, cut into runs of `per_node`.
         let slabs = (node_count as f64).sqrt().ceil() as usize;
         let slab_len = n.div_ceil(slabs);
-        let center = |e: &Entry, d: usize| {
-            (e.mbr.lo_at(d, t_mid) + e.mbr.hi_at(d, t_mid)) / 2.0
-        };
+        let center = |e: &Entry, d: usize| (e.mbr.lo_at(d, t_mid) + e.mbr.hi_at(d, t_mid)) / 2.0;
         entries.sort_by(|a, b| {
-            center(a, 0).partial_cmp(&center(b, 0)).expect("finite centers")
+            center(a, 0)
+                .partial_cmp(&center(b, 0))
+                .expect("finite centers")
         });
         for slab in entries.chunks_mut(slab_len) {
             slab.sort_by(|a, b| {
-                center(a, 1).partial_cmp(&center(b, 1)).expect("finite centers")
+                center(a, 1)
+                    .partial_cmp(&center(b, 1))
+                    .expect("finite centers")
             });
         }
         // Cut the tiled order into runs. A run below the minimum fanout
@@ -135,7 +139,10 @@ impl TprTree {
         while runs > 1 && n / runs < min {
             runs -= 1;
         }
-        debug_assert!(n.div_ceil(runs) <= cap, "even distribution overflows capacity");
+        debug_assert!(
+            n.div_ceil(runs) <= cap,
+            "even distribution overflows capacity"
+        );
         let base = n / runs;
         let extra = n % runs; // first `extra` runs hold one more entry
         let mut cuts = Vec::with_capacity(runs);
@@ -170,7 +177,10 @@ mod tests {
     use std::sync::Arc;
 
     fn pool() -> BufferPool {
-        BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 256 })
+        BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(256),
+        )
     }
 
     fn random_objects(n: usize, seed: u64) -> Vec<(ObjectId, MovingRect)> {
@@ -309,7 +319,9 @@ mod tests {
         // midpoint tiling the swarms separate spatially, so most leaves
         // are single-direction. Just assert structural validity plus a
         // correct full-space query here; the quality shows in benches.
-        let all = t.range_at(&Rect::new([-1e5, -1e5], [1e5, 1e5]), 30.0).unwrap();
+        let all = t
+            .range_at(&Rect::new([-1e5, -1e5], [1e5, 1e5]), 30.0)
+            .unwrap();
         assert_eq!(all.len(), 200);
     }
 }

@@ -50,13 +50,19 @@ impl TreeConfig {
     /// Configuration with a given node capacity, other knobs default.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { capacity, ..Self::default() }
+        Self {
+            capacity,
+            ..Self::default()
+        }
     }
 
     /// Configuration with a given horizon, other knobs default.
     #[must_use]
     pub fn with_horizon(horizon: Time) -> Self {
-        Self { horizon, ..Self::default() }
+        Self {
+            horizon,
+            ..Self::default()
+        }
     }
 
     /// Minimum entry count for a non-root node.
@@ -118,19 +124,30 @@ mod tests {
 
     #[test]
     fn min_entries_never_below_two() {
-        let c = TreeConfig { capacity: 4, ..TreeConfig::default() };
+        let c = TreeConfig {
+            capacity: 4,
+            ..TreeConfig::default()
+        };
         assert_eq!(c.min_entries(), 2);
     }
 
     #[test]
     #[should_panic(expected = "capacity")]
     fn tiny_capacity_rejected() {
-        TreeConfig { capacity: 2, ..TreeConfig::default() }.assert_valid();
+        TreeConfig {
+            capacity: 2,
+            ..TreeConfig::default()
+        }
+        .assert_valid();
     }
 
     #[test]
     #[should_panic(expected = "horizon")]
     fn zero_horizon_rejected() {
-        TreeConfig { horizon: 0.0, ..TreeConfig::default() }.assert_valid();
+        TreeConfig {
+            horizon: 0.0,
+            ..TreeConfig::default()
+        }
+        .assert_valid();
     }
 }

@@ -65,13 +65,19 @@ impl Entry {
     /// Leaf entry for a data object.
     #[must_use]
     pub fn object(oid: ObjectId, mbr: MovingRect) -> Self {
-        Self { mbr, child: ChildRef::Object(oid) }
+        Self {
+            mbr,
+            child: ChildRef::Object(oid),
+        }
     }
 
     /// Non-leaf entry for a child node.
     #[must_use]
     pub fn node(page: PageId, mbr: MovingRect) -> Self {
-        Self { mbr, child: ChildRef::Page(page) }
+        Self {
+            mbr,
+            child: ChildRef::Page(page),
+        }
     }
 
     /// Serialized size in bytes: 1 tag + 8 ref + 9 × 8 rect fields.

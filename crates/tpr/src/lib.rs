@@ -30,9 +30,9 @@
 
 mod bulk;
 mod config;
-mod nn_interval;
 mod entry;
 mod error;
+mod nn_interval;
 mod node;
 mod tree;
 

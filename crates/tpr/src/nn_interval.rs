@@ -97,12 +97,7 @@ impl TprTree {
     /// assert_eq!(owners, vec![ObjectId(1), ObjectId(2), ObjectId(1)]);
     /// # Ok::<(), cij_tpr::TprError>(())
     /// ```
-    pub fn nn_over_interval(
-        &self,
-        q: [f64; 2],
-        t0: Time,
-        t1: Time,
-    ) -> TprResult<Vec<NnSlice>> {
+    pub fn nn_over_interval(&self, q: [f64; 2], t0: Time, t1: Time) -> TprResult<Vec<NnSlice>> {
         assert!(t1 >= t0, "inverted window");
         let candidates = self.nn_candidates(q, t0, t1)?;
         if candidates.is_empty() {
@@ -133,7 +128,9 @@ impl TprTree {
             return Ok(Vec::new());
         }
         let mut out: Vec<(ObjectId, MovingRect)> = Vec::new();
-        let Some(root) = self.root_page() else { return Ok(out) };
+        let Some(root) = self.root_page() else {
+            return Ok(out);
+        };
         let qrect = MovingRect::stationary(Rect::point(q), t0);
         // The k smallest max-distances seen so far (max-heap of size k).
         let mut worst_k: BinaryHeap<HeapKey> = BinaryHeap::new();
@@ -183,7 +180,9 @@ impl TprTree {
         t1: Time,
     ) -> TprResult<Vec<(ObjectId, MovingRect)>> {
         let mut out: Vec<(ObjectId, MovingRect)> = Vec::new();
-        let Some(root) = self.root_page() else { return Ok(out) };
+        let Some(root) = self.root_page() else {
+            return Ok(out);
+        };
         let qrect = MovingRect::stationary(Rect::point(q), t0);
         // Smallest max-distance among collected objects: no NN owner can
         // have min-distance above it.
@@ -246,7 +245,10 @@ fn lower_envelope(
                 return;
             }
         }
-        slices.push(NnSlice { oid, interval: TimeInterval::new_unchecked(start, end) });
+        slices.push(NnSlice {
+            oid,
+            interval: TimeInterval::new_unchecked(start, end),
+        });
     };
 
     for w in cuts.windows(2) {
@@ -289,7 +291,7 @@ fn lower_envelope(
                 let [a1, b1, c1] = quads[owner];
                 let [a2, b2, c2] = quads[j];
                 let (da, db, dc) = (a1 - a2, b1 - b2, c1 - c2); // owner − j
-                // Roots of da·t² + db·t + dc = 0 where j goes below.
+                                                                // Roots of da·t² + db·t + dc = 0 where j goes below.
                 let mut roots: [Option<f64>; 2] = [None, None];
                 if da.abs() < 1e-30 {
                     if db.abs() > 1e-30 {
@@ -329,8 +331,10 @@ pub(crate) mod tests {
     use std::sync::Arc;
 
     pub(crate) fn tree_with(objects: &[(u64, MovingRect)]) -> TprTree {
-        let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 64 });
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(64),
+        );
         let mut tree = TprTree::new(pool, crate::TreeConfig::default());
         for &(id, mbr) in objects {
             tree.insert(ObjectId(id), mbr, 0.0).unwrap();
@@ -345,7 +349,10 @@ pub(crate) mod tests {
     #[test]
     fn empty_tree_yields_empty_timeline() {
         let tree = tree_with(&[]);
-        assert!(tree.nn_over_interval([0.0, 0.0], 0.0, 10.0).unwrap().is_empty());
+        assert!(tree
+            .nn_over_interval([0.0, 0.0], 0.0, 10.0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -366,7 +373,11 @@ pub(crate) mod tests {
         let tree = tree_with(&[(1, near), (2, flyby)]);
         let tl = tree.nn_over_interval([0.0, 0.5], 0.0, 20.0).unwrap();
         let owners: Vec<_> = tl.iter().map(|s| s.oid).collect();
-        assert_eq!(owners, vec![ObjectId(1), ObjectId(2), ObjectId(1)], "{tl:?}");
+        assert_eq!(
+            owners,
+            vec![ObjectId(1), ObjectId(2), ObjectId(1)],
+            "{tl:?}"
+        );
         // Slices tile the window.
         assert_eq!(tl[0].interval.start, 0.0);
         assert_eq!(tl.last().unwrap().interval.end, 20.0);
@@ -521,8 +532,14 @@ mod knn_candidate_tests {
     #[test]
     fn k_zero_and_empty_tree() {
         let tree = tree_with(&[]);
-        assert!(tree.knn_candidates_interval([0.0, 0.0], 3, 0.0, 10.0).unwrap().is_empty());
+        assert!(tree
+            .knn_candidates_interval([0.0, 0.0], 3, 0.0, 10.0)
+            .unwrap()
+            .is_empty());
         let tree = tree_with(&[(1, pt(5.0, 5.0, 0.0, 0.0))]);
-        assert!(tree.knn_candidates_interval([0.0, 0.0], 0, 0.0, 10.0).unwrap().is_empty());
+        assert!(tree
+            .knn_candidates_interval([0.0, 0.0], 0, 0.0, 10.0)
+            .unwrap()
+            .is_empty());
     }
 }

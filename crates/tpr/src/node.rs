@@ -32,7 +32,10 @@ impl Node {
     /// An empty node at `level`.
     #[must_use]
     pub fn new(level: u8) -> Self {
-        Self { level, entries: Vec::new() }
+        Self {
+            level,
+            entries: Vec::new(),
+        }
     }
 
     /// Whether this is a leaf node.
@@ -60,7 +63,8 @@ impl Node {
     /// parent entries produced at different times stay comparable.
     #[must_use]
     pub fn bounding_mbr_at(&self, t: Time) -> Option<MovingRect> {
-        self.bounding_mbr().map(|m| if m.t_ref < t { m.rebase(t) } else { m })
+        self.bounding_mbr()
+            .map(|m| if m.t_ref < t { m.rebase(t) } else { m })
     }
 
     /// Serializes into a fresh page buffer.
@@ -86,8 +90,7 @@ impl Node {
             }
             let m = &e.mbr;
             for v in [
-                m.lo[0], m.lo[1], m.hi[0], m.hi[1], m.vlo[0], m.vlo[1], m.vhi[0], m.vhi[1],
-                m.t_ref,
+                m.lo[0], m.lo[1], m.hi[0], m.hi[1], m.vlo[0], m.vlo[1], m.vhi[0], m.vhi[1], m.t_ref,
             ] {
                 w.put_f64(v)?;
             }
@@ -138,13 +141,7 @@ impl Node {
                     f[0], f[1], f[2], f[3]
                 )));
             }
-            let mbr = MovingRect::new(
-                [f[0], f[1]],
-                [f[2], f[3]],
-                [f[4], f[5]],
-                [f[6], f[7]],
-                f[8],
-            );
+            let mbr = MovingRect::new([f[0], f[1]], [f[2], f[3]], [f[4], f[5]], [f[6], f[7]], f[8]);
             entries.push(Entry { mbr, child });
         }
         // Levels must agree with entry kinds.
@@ -231,7 +228,10 @@ mod tests {
         let node = sample_node(0, 2);
         let mut page = node.to_page().unwrap();
         page[2] = 1;
-        assert!(matches!(Node::from_page(&page), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            Node::from_page(&page),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -241,7 +241,10 @@ mod tests {
         // lo.x is the first f64 of the first entry: header 6 + tag 1 + ref 8.
         let off = 15;
         page[off..off + 8].copy_from_slice(&1e9f64.to_le_bytes());
-        assert!(matches!(Node::from_page(&page), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            Node::from_page(&page),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -90,7 +90,13 @@ impl TprTree {
     #[must_use]
     pub fn new(pool: BufferPool, config: TreeConfig) -> Self {
         config.assert_valid();
-        Self { pool, config, root: None, height: 0, len: 0 }
+        Self {
+            pool,
+            config,
+            root: None,
+            height: 0,
+            len: 0,
+        }
     }
 
     /// The tree's configuration.
@@ -215,7 +221,11 @@ impl TprTree {
         loop {
             let node = self.read_node(page)?;
             if node.level == target_level {
-                path.push(PathStep { page, node, child_idx: usize::MAX });
+                path.push(PathStep {
+                    page,
+                    node,
+                    child_idx: usize::MAX,
+                });
                 return Ok(path);
             }
             if node.level < target_level || node.is_leaf() {
@@ -228,7 +238,11 @@ impl TprTree {
             }
             let idx = self.pick_child(&node, mbr, now);
             let next = node.entries[idx].child.page();
-            path.push(PathStep { page, node, child_idx: idx });
+            path.push(PathStep {
+                page,
+                node,
+                child_idx: idx,
+            });
             page = next;
         }
     }
@@ -249,7 +263,10 @@ impl TprTree {
                 // reference.
                 let t0 = now.max(e.mbr.t_ref);
                 let t1 = h_end.max(t0);
-                (e.mbr.enlargement_integral(mbr, t0, t1), e.mbr.area_integral(t0, t1))
+                (
+                    e.mbr.enlargement_integral(mbr, t0, t1),
+                    e.mbr.area_integral(t0, t1),
+                )
             } else {
                 let t = now.max(e.mbr.t_ref);
                 let here = e.mbr.at(t);
@@ -309,8 +326,12 @@ impl TprTree {
             let right_page = self.pool.allocate();
             self.write_node(step.page, &left)?;
             self.write_node(right_page, &right)?;
-            let left_mbr = left.bounding_mbr_at(now).expect("split halves are non-empty");
-            let right_mbr = right.bounding_mbr_at(now).expect("split halves are non-empty");
+            let left_mbr = left
+                .bounding_mbr_at(now)
+                .expect("split halves are non-empty");
+            let right_mbr = right
+                .bounding_mbr_at(now)
+                .expect("split halves are non-empty");
 
             if is_root {
                 let mut new_root = Node::new(level + 1);
@@ -337,16 +358,13 @@ impl TprTree {
     /// Refreshes the parent's bound of the just-written child (active
     /// tightening). The parent node is only mutated in memory here; it is
     /// written back when its own turn in `resolve_overflow` comes.
-    fn tighten_parent(
-        &self,
-        path: &mut [PathStep],
-        child: &Node,
-        now: Time,
-    ) -> TprResult<()> {
+    fn tighten_parent(&self, path: &mut [PathStep], child: &Node, now: Time) -> TprResult<()> {
         if let Some(parent) = path.last_mut() {
             let mbr = child
                 .bounding_mbr_at(now)
-                .ok_or_else(|| TprError::CorruptNode { detail: "empty non-root child".into() })?;
+                .ok_or_else(|| TprError::CorruptNode {
+                    detail: "empty non-root child".into(),
+                })?;
             parent.node.entries[parent.child_idx].mbr = mbr;
         }
         Ok(())
@@ -376,7 +394,10 @@ impl TprTree {
             .collect();
         // Farthest first.
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
-        let k = self.config.reinsert_count().min(node.entries.len().saturating_sub(1));
+        let k = self
+            .config
+            .reinsert_count()
+            .min(node.entries.len().saturating_sub(1));
         let mut evict_idx: Vec<usize> = scored[..k].iter().map(|&(_, i)| i).collect();
         evict_idx.sort_unstable_by(|a, b| b.cmp(a)); // remove back-to-front
         let mut evicted: Vec<Entry> = evict_idx
@@ -420,8 +441,16 @@ impl TprTree {
             for by_upper in [false, true] {
                 let mut sorted = node.entries.clone();
                 sorted.sort_by(|a, b| {
-                    let ka = if by_upper { a.mbr.hi_at(axis, now) } else { a.mbr.lo_at(axis, now) };
-                    let kb = if by_upper { b.mbr.hi_at(axis, now) } else { b.mbr.lo_at(axis, now) };
+                    let ka = if by_upper {
+                        a.mbr.hi_at(axis, now)
+                    } else {
+                        a.mbr.lo_at(axis, now)
+                    };
+                    let kb = if by_upper {
+                        b.mbr.hi_at(axis, now)
+                    } else {
+                        b.mbr.lo_at(axis, now)
+                    };
                     ka.partial_cmp(&kb).expect("finite coordinates")
                 });
                 // Margin sum decides the axis in R*; folding it into one
@@ -443,9 +472,7 @@ impl TprTree {
                     };
                     let better = match &best {
                         None => true,
-                        Some((bo, ba, _, _)) => {
-                            overlap < *bo || (overlap == *bo && area < *ba)
-                        }
+                        Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
                     };
                     if better {
                         best = Some((overlap, area, split_at, sorted.clone()));
@@ -560,16 +587,27 @@ impl TprTree {
         let node = self.read_node(page)?;
         let target = mbr.at(now);
         if node.is_leaf() {
-            let found = node.entries.iter().any(|e| e.child == ChildRef::Object(oid));
+            let found = node
+                .entries
+                .iter()
+                .any(|e| e.child == ChildRef::Object(oid));
             if found {
-                path.push(PathStep { page, node, child_idx: usize::MAX });
+                path.push(PathStep {
+                    page,
+                    node,
+                    child_idx: usize::MAX,
+                });
             }
             return Ok(found);
         }
         for (i, e) in node.entries.iter().enumerate() {
             if e.mbr.at(now).intersects(&target) {
                 let child = e.child.page();
-                path.push(PathStep { page, node: node.clone(), child_idx: i });
+                path.push(PathStep {
+                    page,
+                    node: node.clone(),
+                    child_idx: i,
+                });
                 if self.find_leaf(child, oid, mbr, now, path)? {
                     return Ok(true);
                 }
@@ -612,7 +650,9 @@ impl TprTree {
     /// (timeslice query).
     pub fn range_at(&self, window: &Rect, t: Time) -> TprResult<Vec<ObjectId>> {
         let mut out = Vec::new();
-        let Some(root) = self.root else { return Ok(out) };
+        let Some(root) = self.root else {
+            return Ok(out);
+        };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
@@ -637,7 +677,9 @@ impl TprTree {
         t: Time,
     ) -> TprResult<Vec<(ObjectId, MovingRect)>> {
         let mut out = Vec::new();
-        let Some(root) = self.root else { return Ok(out) };
+        let Some(root) = self.root else {
+            return Ok(out);
+        };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
@@ -665,7 +707,9 @@ impl TprTree {
         t_e: Time,
     ) -> TprResult<Vec<(ObjectId, TimeInterval)>> {
         let mut out = Vec::new();
-        let Some(root) = self.root else { return Ok(out) };
+        let Some(root) = self.root else {
+            return Ok(out);
+        };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
@@ -710,7 +754,9 @@ impl TprTree {
         if k == 0 {
             return Ok(out);
         }
-        let Some(root) = self.root else { return Ok(out) };
+        let Some(root) = self.root else {
+            return Ok(out);
+        };
         // Min-heap over (MINDIST, node); objects tracked in a result
         // list kept sorted (k is small).
         let mut heap: BinaryHeap<Reverse<(D, PageId)>> = BinaryHeap::new();
@@ -726,14 +772,10 @@ impl TprTree {
                     ChildRef::Object(oid) => {
                         if out.len() < k {
                             out.push((oid, dist));
-                            out.sort_by(|a, b| {
-                                a.1.partial_cmp(&b.1).expect("finite distances")
-                            });
+                            out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
                         } else if dist < out[k - 1].1 {
                             out[k - 1] = (oid, dist);
-                            out.sort_by(|a, b| {
-                                a.1.partial_cmp(&b.1).expect("finite distances")
-                            });
+                            out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
                         }
                     }
                     ChildRef::Page(p) => {
@@ -751,7 +793,9 @@ impl TprTree {
     /// and rebuild helper; a full scan, so it costs I/O like one.
     pub fn iter_objects(&self) -> TprResult<Vec<(ObjectId, MovingRect)>> {
         let mut out = Vec::with_capacity(self.len);
-        let Some(root) = self.root else { return Ok(out) };
+        let Some(root) = self.root else {
+            return Ok(out);
+        };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
@@ -789,7 +833,12 @@ impl TprTree {
                 }
             }
         }
-        Ok(TreeStats { height: self.height, nodes, leaves, objects })
+        Ok(TreeStats {
+            height: self.height,
+            nodes,
+            leaves,
+            objects,
+        })
     }
 
     /// Exhaustively checks structural invariants; returns the stats on
@@ -802,7 +851,10 @@ impl TprTree {
         let stats = self.stats()?;
         if stats.objects != self.len {
             return Err(TprError::CorruptNode {
-                detail: format!("tracked len {} != scanned objects {}", self.len, stats.objects),
+                detail: format!(
+                    "tracked len {} != scanned objects {}",
+                    self.len, stats.objects
+                ),
             });
         }
         let Some(root) = self.root else {
@@ -835,7 +887,11 @@ impl TprTree {
         is_root: bool,
     ) -> TprResult<()> {
         let cap = self.config.capacity;
-        let min = if is_root { 1 } else { self.config.min_entries() };
+        let min = if is_root {
+            1
+        } else {
+            self.config.min_entries()
+        };
         if node.entries.len() > cap || node.entries.len() < min {
             return Err(TprError::CorruptNode {
                 detail: format!(

@@ -11,9 +11,21 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { x: f64, y: f64, side: f64, vx: f64, vy: f64 },
+    Insert {
+        x: f64,
+        y: f64,
+        side: f64,
+        vx: f64,
+        vy: f64,
+    },
     /// Update the `i`-th live object (modulo population).
-    Update { pick: usize, x: f64, y: f64, vx: f64, vy: f64 },
+    Update {
+        pick: usize,
+        x: f64,
+        y: f64,
+        vx: f64,
+        vy: f64,
+    },
     /// Delete the `i`-th live object (modulo population).
     Delete { pick: usize },
 }
@@ -29,8 +41,17 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn new_tree(capacity: usize) -> TprTree {
-    let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
-    TprTree::new(pool, TreeConfig { capacity, ..TreeConfig::default() })
+    let pool = BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(128),
+    );
+    TprTree::new(
+        pool,
+        TreeConfig {
+            capacity,
+            ..TreeConfig::default()
+        },
+    )
 }
 
 proptest! {
@@ -129,7 +150,7 @@ proptest! {
             })
             .collect();
         let pool =
-            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig { capacity: 128 });
+            BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::with_capacity(128));
         let bulk = TprTree::bulk_load(pool, TreeConfig::default(), &objs, 0.0).unwrap();
         prop_assert_eq!(bulk.len(), n);
         bulk.validate(0.0).unwrap();

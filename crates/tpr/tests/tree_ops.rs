@@ -15,8 +15,14 @@ fn make_tree(capacity: usize) -> TprTree {
     let store = Arc::new(InMemoryStore::new());
     // A large pool keeps unit tests fast; I/O-sensitive tests build their
     // own pools.
-    let pool = BufferPool::new(store, BufferPoolConfig { capacity: 256 });
-    TprTree::new(pool, TreeConfig { capacity, ..TreeConfig::default() })
+    let pool = BufferPool::new(store, BufferPoolConfig::with_capacity(256));
+    TprTree::new(
+        pool,
+        TreeConfig {
+            capacity,
+            ..TreeConfig::default()
+        },
+    )
 }
 
 fn random_object(rng: &mut StdRng, now: Time) -> MovingRect {
@@ -50,7 +56,10 @@ fn empty_tree_queries() {
     let tree = make_tree(8);
     assert!(tree.is_empty());
     assert_eq!(tree.height(), 0);
-    assert!(tree.range_at(&Rect::new([0.0, 0.0], [1000.0, 1000.0]), 0.0).unwrap().is_empty());
+    assert!(tree
+        .range_at(&Rect::new([0.0, 0.0], [1000.0, 1000.0]), 0.0)
+        .unwrap()
+        .is_empty());
     assert!(tree
         .intersect_window(
             &MovingRect::stationary(Rect::new([0.0, 0.0], [10.0, 10.0]), 0.0),
@@ -70,7 +79,9 @@ fn single_insert_and_delete() {
     assert_eq!(tree.len(), 1);
     assert_eq!(tree.height(), 1);
     tree.validate(0.0).unwrap();
-    let found = tree.range_at(&Rect::new([0.0, 0.0], [10.0, 10.0]), 0.0).unwrap();
+    let found = tree
+        .range_at(&Rect::new([0.0, 0.0], [10.0, 10.0]), 0.0)
+        .unwrap();
     assert_eq!(found, vec![ObjectId(1)]);
     tree.delete(ObjectId(1), &mbr, 1.0).unwrap();
     assert!(tree.is_empty());
@@ -112,7 +123,9 @@ fn bulk_insert_validates_and_finds_everything() {
         assert!(found.contains(oid), "{oid} missing from its own region");
     }
     // Full-space query returns everything exactly once.
-    let all = tree.range_at(&Rect::new([-1e6, -1e6], [1e6, 1e6]), 0.0).unwrap();
+    let all = tree
+        .range_at(&Rect::new([-1e6, -1e6], [1e6, 1e6]), 0.0)
+        .unwrap();
     assert_eq!(all.len(), 2000);
     let unique: std::collections::HashSet<_> = all.iter().collect();
     assert_eq!(unique.len(), 2000);
@@ -244,7 +257,7 @@ fn queries_at_much_later_times_stay_correct() {
 fn small_pool_still_correct_just_more_io() {
     // A 5-page pool thrashes; results must be identical to a huge pool.
     let store = Arc::new(InMemoryStore::new());
-    let pool = BufferPool::new(store, BufferPoolConfig { capacity: 5 });
+    let pool = BufferPool::new(store, BufferPoolConfig::with_capacity(5));
     let mut tree = TprTree::new(pool.clone(), TreeConfig::default());
     let mut rng = StdRng::seed_from_u64(11);
     let mut shadow = HashMap::new();
@@ -329,7 +342,9 @@ fn zero_extent_objects_are_supported() {
         tree.insert(ObjectId(i), mbr, 0.0).unwrap();
     }
     tree.validate(0.0).unwrap();
-    let all = tree.range_at(&Rect::new([-1e3, -1e3], [1e3, 1e3]), 0.0).unwrap();
+    let all = tree
+        .range_at(&Rect::new([-1e3, -1e3], [1e3, 1e3]), 0.0)
+        .unwrap();
     assert_eq!(all.len(), 100);
 }
 
@@ -396,7 +411,10 @@ fn knn_matches_brute_force() {
 #[test]
 fn knn_edge_cases() {
     let mut tree = make_tree(8);
-    assert!(tree.knn_at([0.0, 0.0], 3, 0.0).unwrap().is_empty(), "empty tree");
+    assert!(
+        tree.knn_at([0.0, 0.0], 3, 0.0).unwrap().is_empty(),
+        "empty tree"
+    );
     let mbr = MovingRect::rigid(Rect::new([5.0, 5.0], [6.0, 6.0]), [1.0, 0.0], 0.0);
     tree.insert(ObjectId(1), mbr, 0.0).unwrap();
     assert!(tree.knn_at([0.0, 0.0], 0, 0.0).unwrap().is_empty(), "k = 0");
@@ -420,7 +438,7 @@ fn tree_on_real_file_store() {
     path.push(format!("cij-tree-{}.pages", std::process::id()));
     let result = std::panic::catch_unwind(|| {
         let store = Arc::new(FileStore::create(&path).unwrap());
-        let pool = BufferPool::new(store, BufferPoolConfig { capacity: 50 });
+        let pool = BufferPool::new(store, BufferPoolConfig::with_capacity(50));
         let mut tree = TprTree::new(pool, TreeConfig::default());
         let mut rng = StdRng::seed_from_u64(55);
         let mut shadow = HashMap::new();
@@ -459,11 +477,12 @@ fn corrupt_page_surfaces_as_error_not_panic() {
     // Failure injection: smash a node page behind the tree's back; the
     // next traversal must return a Corrupt error, never panic or hang.
     let store = Arc::new(InMemoryStore::new());
-    let pool = BufferPool::new(store.clone(), BufferPoolConfig { capacity: 4 });
+    let pool = BufferPool::new(store.clone(), BufferPoolConfig::with_capacity(4));
     let mut tree = TprTree::new(pool.clone(), TreeConfig::default());
     let mut rng = StdRng::seed_from_u64(66);
     for i in 0..100 {
-        tree.insert(ObjectId(i), random_object(&mut rng, 0.0), 0.0).unwrap();
+        tree.insert(ObjectId(i), random_object(&mut rng, 0.0), 0.0)
+            .unwrap();
     }
     pool.clear().unwrap(); // push everything to the store
 
@@ -475,9 +494,14 @@ fn corrupt_page_surfaces_as_error_not_panic() {
     garbage[1] = 0xAD;
     store.write(root, &garbage).unwrap();
 
-    let err = tree.range_at(&Rect::new([0.0, 0.0], [1e3, 1e3]), 0.0).unwrap_err();
+    let err = tree
+        .range_at(&Rect::new([0.0, 0.0], [1e3, 1e3]), 0.0)
+        .unwrap_err();
     assert!(
-        matches!(err, TprError::Storage(cij_storage::StorageError::Corrupt(_))),
+        matches!(
+            err,
+            TprError::Storage(cij_storage::StorageError::Corrupt(_))
+        ),
         "got {err:?}"
     );
 }
@@ -486,14 +510,15 @@ fn corrupt_page_surfaces_as_error_not_panic() {
 fn heuristic_toggles_never_affect_correctness() {
     // Ablation knobs change tree *quality*, never query answers.
     let mut rng = StdRng::seed_from_u64(88);
-    let objs: Vec<(ObjectId, MovingRect)> =
-        (0..500).map(|i| (ObjectId(i), random_object(&mut rng, 0.0))).collect();
+    let objs: Vec<(ObjectId, MovingRect)> = (0..500)
+        .map(|i| (ObjectId(i), random_object(&mut rng, 0.0)))
+        .collect();
     let mut answers: Vec<Vec<ObjectId>> = Vec::new();
     for integral in [true, false] {
         for reinsert in [true, false] {
             let pool = BufferPool::new(
                 Arc::new(InMemoryStore::new()),
-                BufferPoolConfig { capacity: 128 },
+                BufferPoolConfig::with_capacity(128),
             );
             let config = TreeConfig {
                 capacity: 10,

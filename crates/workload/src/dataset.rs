@@ -81,9 +81,7 @@ fn position(rng: &mut StdRng, params: &Params, tag: SetTag) -> [f64; 2] {
     let side = params.object_side();
     let clamp = |v: f64| v.clamp(0.0, s - side);
     match params.distribution {
-        Distribution::Uniform => {
-            [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)]
-        }
+        Distribution::Uniform => [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)],
         Distribution::Gaussian => {
             let sigma = s / 6.0;
             [
@@ -91,9 +89,7 @@ fn position(rng: &mut StdRng, params: &Params, tag: SetTag) -> [f64; 2] {
                 clamp(s / 2.0 + sigma * gaussian(rng)),
             ]
         }
-        Distribution::Highway => {
-            [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)]
-        }
+        Distribution::Highway => [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)],
         Distribution::Battlefield => {
             // Each side occupies the outer 20% strip of the x-axis.
             let strip = 0.2 * s;
@@ -112,7 +108,8 @@ fn position(rng: &mut StdRng, params: &Params, tag: SetTag) -> [f64; 2] {
 pub fn generate_set(params: &Params, tag: SetTag, id_base: u64, now: Time) -> Vec<MovingObject> {
     params.assert_valid();
     // Distinct stream per (seed, tag) so sets A and B are independent.
-    let mut rng = StdRng::seed_from_u64(params.seed ^ (tag as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        StdRng::seed_from_u64(params.seed ^ (tag as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let side = params.object_side();
     (0..params.dataset_size)
         .map(|i| {
@@ -124,11 +121,7 @@ pub fn generate_set(params: &Params, tag: SetTag, id_base: u64, now: Time) -> Ve
             };
             MovingObject {
                 id: ObjectId(id_base + i as u64),
-                mbr: MovingRect::rigid(
-                    Rect::new(p, [p[0] + side, p[1] + side]),
-                    v,
-                    now,
-                ),
+                mbr: MovingRect::rigid(Rect::new(p, [p[0] + side, p[1] + side]), v, now),
             }
         })
         .collect()
@@ -153,7 +146,10 @@ mod tests {
 
     #[test]
     fn uniform_set_respects_bounds() {
-        let params = Params { dataset_size: 2000, ..Params::default() };
+        let params = Params {
+            dataset_size: 2000,
+            ..Params::default()
+        };
         let set = generate_set(&params, SetTag::A, 0, 0.0);
         assert_eq!(set.len(), 2000);
         for o in &set {
@@ -169,7 +165,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let params = Params { dataset_size: 100, ..Params::default() };
+        let params = Params {
+            dataset_size: 100,
+            ..Params::default()
+        };
         let x = generate_set(&params, SetTag::A, 0, 0.0);
         let y = generate_set(&params, SetTag::A, 0, 0.0);
         assert_eq!(x, y);
@@ -177,7 +176,10 @@ mod tests {
 
     #[test]
     fn sets_a_and_b_differ() {
-        let params = Params { dataset_size: 100, ..Params::default() };
+        let params = Params {
+            dataset_size: 100,
+            ..Params::default()
+        };
         let (a, b) = generate_pair(&params, 0.0);
         assert_ne!(a[0].mbr, b[0].mbr, "A and B must be independent draws");
         // Ids are disjoint.
@@ -252,7 +254,11 @@ mod tests {
 
     #[test]
     fn zero_speed_is_legal() {
-        let params = Params { max_speed: 0.0, dataset_size: 50, ..Params::default() };
+        let params = Params {
+            max_speed: 0.0,
+            dataset_size: 50,
+            ..Params::default()
+        };
         let set = generate_set(&params, SetTag::A, 0, 0.0);
         for o in &set {
             assert_eq!(speed(&o.mbr), 0.0);

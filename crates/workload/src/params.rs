@@ -54,13 +54,19 @@ impl Params {
     /// Convenience: default parameters with a different dataset size.
     #[must_use]
     pub fn with_size(dataset_size: usize) -> Self {
-        Self { dataset_size, ..Self::default() }
+        Self {
+            dataset_size,
+            ..Self::default()
+        }
     }
 
     /// Convenience: default parameters with a different distribution.
     #[must_use]
     pub fn with_distribution(distribution: Distribution) -> Self {
-        Self { distribution, ..Self::default() }
+        Self {
+            distribution,
+            ..Self::default()
+        }
     }
 
     /// Sanity-checks the parameter combination.
@@ -98,13 +104,20 @@ mod tests {
 
     #[test]
     fn object_side_scales_with_pct() {
-        let p = Params { object_size_pct: 0.8, ..Params::default() };
+        let p = Params {
+            object_size_pct: 0.8,
+            ..Params::default()
+        };
         assert!((p.object_side() - 8.0).abs() < 1e-12);
     }
 
     #[test]
     #[should_panic(expected = "empty dataset")]
     fn zero_size_rejected() {
-        Params { dataset_size: 0, ..Params::default() }.assert_valid();
+        Params {
+            dataset_size: 0,
+            ..Params::default()
+        }
+        .assert_valid();
     }
 }

@@ -101,7 +101,10 @@ pub fn write_objects(
     a: &[MovingObject],
     b: &[MovingObject],
 ) -> std::io::Result<()> {
-    writeln!(w, "# objects: id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy, t_ref")?;
+    writeln!(
+        w,
+        "# objects: id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy, t_ref"
+    )?;
     for (set, tag) in [(a, 'A'), (b, 'B')] {
         for o in set {
             let m = &o.mbr;
@@ -161,7 +164,10 @@ pub fn read_objects(
 /// Writes an update trace (typically produced by recording an
 /// [`UpdateStream`](crate::UpdateStream) run).
 pub fn write_updates(w: &mut impl Write, updates: &[ObjectUpdate]) -> std::io::Result<()> {
-    writeln!(w, "# updates: time, id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy")?;
+    writeln!(
+        w,
+        "# updates: time, id, set(A|B), x_lo, y_lo, x_hi, y_hi, vx, vy"
+    )?;
     for u in updates {
         let m = &u.new_mbr;
         writeln!(
@@ -231,8 +237,7 @@ pub fn read_updates(
             .map(|s| parse_f64(s, line_no, "coordinate"))
             .collect();
         let v = vals?;
-        let new_mbr =
-            MovingRect::rigid(Rect::new([v[0], v[1]], [v[2], v[3]]), [v[4], v[5]], now);
+        let new_mbr = MovingRect::rigid(Rect::new([v[0], v[1]], [v[2], v[3]]), [v[4], v[5]], now);
         let Some(&(known_tag, old_mbr, last_update)) = state.get(&id) else {
             return Err(TraceError::Parse {
                 line: line_no,
@@ -245,7 +250,13 @@ pub fn read_updates(
                 message: format!("object {id} changed sets"),
             });
         }
-        out.push(ObjectUpdate { id, set: tag, old_mbr, last_update, new_mbr });
+        out.push(ObjectUpdate {
+            id,
+            set: tag,
+            old_mbr,
+            last_update,
+            new_mbr,
+        });
         state.insert(id, (tag, new_mbr, now));
     }
     Ok(out)
@@ -260,7 +271,10 @@ mod tests {
 
     #[test]
     fn objects_roundtrip() {
-        let params = Params { dataset_size: 120, ..Params::default() };
+        let params = Params {
+            dataset_size: 120,
+            ..Params::default()
+        };
         let (a, b) = generate_pair(&params, 0.0);
         let mut buf = Vec::new();
         write_objects(&mut buf, &a, &b).unwrap();
@@ -271,7 +285,10 @@ mod tests {
 
     #[test]
     fn updates_roundtrip_through_replay() {
-        let params = Params { dataset_size: 80, ..Params::default() };
+        let params = Params {
+            dataset_size: 80,
+            ..Params::default()
+        };
         let (a, b) = generate_pair(&params, 0.0);
         let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
         let mut recorded = Vec::new();
@@ -320,12 +337,18 @@ mod tests {
         ));
         // Inverted rect.
         let text = "1,A,5,0,1,1,0,0,0\n";
-        assert!(matches!(read_objects(&mut text.as_bytes()), Err(TraceError::Parse { .. })));
+        assert!(matches!(
+            read_objects(&mut text.as_bytes()),
+            Err(TraceError::Parse { .. })
+        ));
     }
 
     #[test]
     fn replay_rejects_unknown_objects_and_time_travel() {
-        let params = Params { dataset_size: 3, ..Params::default() };
+        let params = Params {
+            dataset_size: 3,
+            ..Params::default()
+        };
         let (a, b) = generate_pair(&params, 0.0);
         let text = "1.0,999999,A,0,0,1,1,0,0\n";
         assert!(matches!(

@@ -84,7 +84,14 @@ impl UpdateStream {
         let mut ids = Vec::with_capacity(a.len() + b.len());
         for (objs, tag) in [(a, SetTag::A), (b, SetTag::B)] {
             for o in objs {
-                states.insert(o.id, ObjectState { tag, mbr: o.mbr, last_update: now });
+                states.insert(
+                    o.id,
+                    ObjectState {
+                        tag,
+                        mbr: o.mbr,
+                        last_update: now,
+                    },
+                );
                 ids.push(o.id);
             }
         }
@@ -117,7 +124,13 @@ impl UpdateStream {
             let state = self.states.get_mut(&id).expect("ids track states");
             state.mbr = new_mbr;
             state.last_update = now;
-            out.push(ObjectUpdate { id, set: tag, old_mbr, last_update, new_mbr });
+            out.push(ObjectUpdate {
+                id,
+                set: tag,
+                old_mbr,
+                last_update,
+                new_mbr,
+            });
         }
         self.ids = ids;
         out
@@ -137,17 +150,21 @@ impl UpdateStream {
 
         let mut v = match self.params.distribution {
             crate::dataset::Distribution::Highway => {
-                let speed = self
-                    .rng
-                    .gen_range(0.3 * self.params.max_speed..=self.params.max_speed.max(f64::MIN_POSITIVE));
+                let speed = self.rng.gen_range(
+                    0.3 * self.params.max_speed..=self.params.max_speed.max(f64::MIN_POSITIVE),
+                );
                 let dir = if self.rng.gen_bool(0.5) { 1.0 } else { -1.0 };
                 [dir * speed, 0.0]
             }
             crate::dataset::Distribution::Battlefield => {
                 // Battlefield objects keep advancing; once they cross the
                 // space they behave like uniform movers.
-                let forward = self.rng.gen_range(0.3 * self.params.max_speed..=self.params.max_speed.max(f64::MIN_POSITIVE));
-                let lateral = self.rng.gen_range(-0.3 * self.params.max_speed..=0.3 * self.params.max_speed);
+                let forward = self.rng.gen_range(
+                    0.3 * self.params.max_speed..=self.params.max_speed.max(f64::MIN_POSITIVE),
+                );
+                let lateral = self
+                    .rng
+                    .gen_range(-0.3 * self.params.max_speed..=0.3 * self.params.max_speed);
                 match tag {
                     SetTag::A => [forward, lateral],
                     SetTag::B => [-forward, lateral],
@@ -212,18 +229,23 @@ mod tests {
     use crate::dataset::generate_pair;
 
     fn stream(n: usize) -> UpdateStream {
-        let params = Params { dataset_size: n, ..Params::default() };
+        let params = Params {
+            dataset_size: n,
+            ..Params::default()
+        };
         let (a, b) = generate_pair(&params, 0.0);
         UpdateStream::new(&params, &a, &b, 0.0)
     }
 
     #[test]
     fn every_object_updates_within_t_m() {
-        let params = Params { dataset_size: 300, ..Params::default() };
+        let params = Params {
+            dataset_size: 300,
+            ..Params::default()
+        };
         let (a, b) = generate_pair(&params, 0.0);
         let mut s = UpdateStream::new(&params, &a, &b, 0.0);
-        let mut last: HashMap<ObjectId, Time> =
-            a.iter().chain(&b).map(|o| (o.id, 0.0)).collect();
+        let mut last: HashMap<ObjectId, Time> = a.iter().chain(&b).map(|o| (o.id, 0.0)).collect();
         for tick in 1..=180 {
             let now = tick as f64;
             for u in s.tick(now) {
@@ -291,14 +313,21 @@ mod tests {
 
     #[test]
     fn objects_stay_roughly_in_domain() {
-        let params = Params { dataset_size: 200, ..Params::default() };
+        let params = Params {
+            dataset_size: 200,
+            ..Params::default()
+        };
         let (a, b) = generate_pair(&params, 0.0);
         let mut s = UpdateStream::new(&params, &a, &b, 0.0);
         for tick in 1..=240 {
             s.tick(tick as f64);
         }
         let drift_bound = params.max_speed * params.maximum_update_interval;
-        for (_, mbr) in s.snapshot(SetTag::A).iter().chain(s.snapshot(SetTag::B).iter()) {
+        for (_, mbr) in s
+            .snapshot(SetTag::A)
+            .iter()
+            .chain(s.snapshot(SetTag::B).iter())
+        {
             let r = mbr.at(240.0);
             assert!(r.lo[0] > -drift_bound && r.hi[0] < params.space + drift_bound);
             assert!(r.lo[1] > -drift_bound && r.hi[1] < params.space + drift_bound);

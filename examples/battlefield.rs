@@ -39,7 +39,12 @@ fn main() {
     let mut ever_alerted: HashSet<ObjectId> = HashSet::new();
     let mut first_contact: Option<f64> = None;
 
-    println!("fleet of {} ships vs {} bombers, closing at up to {} units/tick", ships.len(), bombers.len(), params.max_speed);
+    println!(
+        "fleet of {} ships vs {} bombers, closing at up to {} units/tick",
+        ships.len(),
+        bombers.len(),
+        params.max_speed
+    );
     for tick in 0..=120u32 {
         let now = f64::from(tick);
         if tick > 0 {
@@ -65,7 +70,11 @@ fn main() {
     }
 
     match first_contact {
-        Some(t) => println!("engagement began at t={t}; {} of {} ships saw action", ever_alerted.len(), ships.len()),
+        Some(t) => println!(
+            "engagement began at t={t}; {} of {} ships saw action",
+            ever_alerted.len(),
+            ships.len()
+        ),
         None => println!("the fleets never met (increase speed or simulation length)"),
     }
 }

@@ -20,26 +20,28 @@ use cij::tpr::{TprTree, TreeConfig};
 use cij::workload::{generate_pair, Params};
 
 fn main() {
-    let params = Params { dataset_size: 20_000, ..Params::default() };
-    let (a, b) = generate_pair(&params, 0.0);
-    let to_pairs = |set: &[cij::workload::MovingObject]| {
-        set.iter().map(|o| (o.id, o.mbr)).collect::<Vec<_>>()
+    let params = Params {
+        dataset_size: 20_000,
+        ..Params::default()
     };
+    let (a, b) = generate_pair(&params, 0.0);
+    let to_pairs =
+        |set: &[cij::workload::MovingObject]| set.iter().map(|o| (o.id, o.mbr)).collect::<Vec<_>>();
 
     let mut path = std::env::temp_dir();
     path.push(format!("cij-bulk-demo-{}.pages", std::process::id()));
-    let store: Arc<dyn PageStore> =
-        Arc::new(FileStore::create(&path).expect("create page file"));
+    let store: Arc<dyn PageStore> = Arc::new(FileStore::create(&path).expect("create page file"));
     let pool = BufferPool::new(Arc::clone(&store), BufferPoolConfig::default());
 
-    let config = TreeConfig { capacity: params.node_capacity, ..TreeConfig::default() };
+    let config = TreeConfig {
+        capacity: params.node_capacity,
+        ..TreeConfig::default()
+    };
 
     // Bulk-load both sets onto disk.
     let t0 = Instant::now();
-    let tree_a =
-        TprTree::bulk_load(pool.clone(), config, &to_pairs(&a), 0.0).expect("bulk load A");
-    let tree_b =
-        TprTree::bulk_load(pool.clone(), config, &to_pairs(&b), 0.0).expect("bulk load B");
+    let tree_a = TprTree::bulk_load(pool.clone(), config, &to_pairs(&a), 0.0).expect("bulk load A");
+    let tree_b = TprTree::bulk_load(pool.clone(), config, &to_pairs(&b), 0.0).expect("bulk load B");
     pool.flush().expect("flush");
     let build = t0.elapsed();
     println!(

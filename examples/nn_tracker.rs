@@ -25,13 +25,19 @@ use cij::tpr::{TprTree, TreeConfig};
 use cij::workload::{generate_set, Params, SetTag, UpdateStream};
 
 fn main() {
-    let params = Params { dataset_size: 2_000, ..Params::default() };
+    let params = Params {
+        dataset_size: 2_000,
+        ..Params::default()
+    };
     let couriers = generate_set(&params, SetTag::A, 0, 0.0);
 
     let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
     let mut tree = TprTree::new(
         pool,
-        TreeConfig { capacity: params.node_capacity, ..TreeConfig::default() },
+        TreeConfig {
+            capacity: params.node_capacity,
+            ..TreeConfig::default()
+        },
     );
     for c in &couriers {
         tree.insert(c.id, c.mbr, 0.0).expect("insert");
@@ -56,7 +62,11 @@ fn main() {
 
     // 2. Live k-nearest monitoring across three stations as couriers
     //    send updates.
-    let stations = [([250.0, 250.0], 3usize), ([500.0, 500.0], 5), ([800.0, 300.0], 3)];
+    let stations = [
+        ([250.0, 250.0], 3usize),
+        ([500.0, 500.0], 5),
+        ([800.0, 300.0], 3),
+    ];
     let mut monitor = ContinuousKnn::new(params.maximum_update_interval, params.max_speed);
     for (i, (p, k)) in stations.iter().enumerate() {
         monitor.add_query(QueryId(i as u32), *p, *k);
@@ -67,7 +77,8 @@ fn main() {
     for tick in 1..=30u32 {
         let now = f64::from(tick);
         for u in stream.tick(now) {
-            tree.update(u.id, &u.old_mbr, u.new_mbr, now).expect("tree update");
+            tree.update(u.id, &u.old_mbr, u.new_mbr, now)
+                .expect("tree update");
             monitor.apply_update(u.id, &u.old_mbr, &u.new_mbr, now);
         }
         monitor.refresh(&tree, now).expect("refresh");

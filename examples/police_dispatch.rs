@@ -65,7 +65,10 @@ fn main() {
         .collect();
 
     let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
-    let config = EngineConfig { t_m: T_M, ..EngineConfig::default() };
+    let config = EngineConfig {
+        t_m: T_M,
+        ..EngineConfig::default()
+    };
     let mut engine =
         MtbEngine::new(pool, config, &cars, &communities, 0.0).expect("engine construction");
     engine.run_initial_join(0.0).expect("initial join");
@@ -103,10 +106,16 @@ fn main() {
         let pairs = engine.result_at(now);
         let mut per_car: HashMap<ObjectId, Vec<&str>> = HashMap::new();
         for (car, community) in &pairs {
-            per_car.entry(*car).or_default().push(&community_names[community]);
+            per_car
+                .entry(*car)
+                .or_default()
+                .push(&community_names[community]);
         }
         let covered: usize = per_car.values().map(Vec::len).sum();
-        println!("t={now:>2}: {} cars covering {covered} community overlaps", per_car.len());
+        println!(
+            "t={now:>2}: {} cars covering {covered} community overlaps",
+            per_car.len()
+        );
         if tick % 10 == 0 {
             let mut sample: Vec<_> = per_car.iter().take(3).collect();
             sample.sort_by_key(|(id, _)| id.0);

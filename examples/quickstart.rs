@@ -14,7 +14,10 @@ use cij::workload::{generate_pair, Params, UpdateStream};
 fn main() {
     // Paper-default parameters, scaled down for a demo: 2 × 2000 square
     // objects in a 1000×1000 space, max speed 3, T_M = 60.
-    let params = Params { dataset_size: 2000, ..Params::default() };
+    let params = Params {
+        dataset_size: 2000,
+        ..Params::default()
+    };
     println!(
         "workload: 2 × {} objects, space {}², object side {}, T_M = {}",
         params.dataset_size,
@@ -60,5 +63,8 @@ fn main() {
         );
     }
 
-    println!("buffer hit ratio: {:.1}%", pool.stats().snapshot().hit_ratio().unwrap_or(0.0) * 100.0);
+    println!(
+        "buffer hit ratio: {:.1}%",
+        pool.stats().snapshot().hit_ratio().unwrap_or(0.0) * 100.0
+    );
 }

@@ -17,14 +17,20 @@ use cij::tpr::{TprTree, TreeConfig};
 use cij::workload::{generate_set, Params, SetTag, UpdateStream};
 
 fn main() {
-    let params = Params { dataset_size: 3000, ..Params::default() };
+    let params = Params {
+        dataset_size: 3000,
+        ..Params::default()
+    };
     let objects = generate_set(&params, SetTag::A, 0, 0.0);
 
     // Index the objects in a TPR-tree (used for the initial evaluation).
     let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
     let mut tree = TprTree::new(
         pool.clone(),
-        TreeConfig { capacity: params.node_capacity, ..TreeConfig::default() },
+        TreeConfig {
+            capacity: params.node_capacity,
+            ..TreeConfig::default()
+        },
     );
     for o in &objects {
         tree.insert(o.id, o.mbr, 0.0).expect("insert");
@@ -39,7 +45,9 @@ fn main() {
         QueryId(3),
         MovingRect::rigid(Rect::new([0.0, 450.0], [100.0, 550.0]), [8.0, 0.0], 0.0),
     );
-    monitor.initial_evaluate(&tree, 0.0).expect("initial evaluation");
+    monitor
+        .initial_evaluate(&tree, 0.0)
+        .expect("initial evaluation");
 
     let names = ["downtown", "midtown", "harbor", "patrol"];
     let mut stream = UpdateStream::new(&params, &objects, &[], 0.0);
@@ -55,7 +63,11 @@ fn main() {
         if tick % 10 == 0 {
             let counts: Vec<String> = (0..4)
                 .map(|q| {
-                    format!("{}={}", names[q as usize], monitor.result_at(QueryId(q), now).len())
+                    format!(
+                        "{}={}",
+                        names[q as usize],
+                        monitor.result_at(QueryId(q), now).len()
+                    )
                 })
                 .collect();
             println!("t={now:>3}: {}", counts.join("  "));

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no reachable crate registry, so the workspace
+//! vendors the slice of the criterion API its benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size` / `bench_with_input`,
+//! `BenchmarkId`, and `black_box`.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs
+//! `sample_size` samples and reports min / mean / max wall-clock time per
+//! iteration. No statistical analysis, plots, or saved baselines. When
+//! invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) every benchmark body runs exactly once, unmeasured, so
+//! the test suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Drives iteration of one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Per-sample mean iteration times recorded by `iter`.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running enough iterations per sample for a stable
+    /// wall-clock reading (one untimed run in `--test` mode).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and per-sample iteration sizing: aim for ≥ 1 ms per
+        // sample so Instant resolution noise stays below ~0.1 %.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let iters =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u32;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.times.push(t0.elapsed() / iters);
+        }
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        // First free arg (not a flag) is a name filter, as in criterion.
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-') && *a != "bench")
+            .cloned();
+        Self {
+            test_mode,
+            default_samples: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            samples,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok (bench smoke run)");
+            return;
+        }
+        if b.times.is_empty() {
+            println!("{id:<44} (no samples)");
+            return;
+        }
+        let min = *b.times.iter().min().expect("non-empty");
+        let max = *b.times.iter().max().expect("non-empty");
+        let mean = b.times.iter().sum::<Duration>() / b.times.len() as u32;
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = self.default_samples;
+        self.run_one(&id.id, samples, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&id, samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("join", 42).id, "join/42");
+        assert_eq!(BenchmarkId::from_parameter("ALL").id, "ALL");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_runs_body_in_test_mode() {
+        let mut b = Bencher {
+            test_mode: true,
+            samples: 5,
+            times: Vec::new(),
+        };
+        let mut hits = 0;
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 1);
+        assert!(b.times.is_empty());
+    }
+
+    #[test]
+    fn bencher_samples_in_bench_mode() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples: 3,
+            times: Vec::new(),
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert_eq!(b.times.len(), 3);
+    }
+}

@@ -4,8 +4,7 @@
 use std::sync::Arc;
 
 use cij::core::{
-    run_simulation, ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, NaiveEngine,
-    TcEngine,
+    run_simulation, ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, NaiveEngine, TcEngine,
 };
 use cij::join::{brute, techniques};
 use cij::storage::{BufferPool, InMemoryStore, DEFAULT_POOL_PAGES};
@@ -20,10 +19,12 @@ fn paper_pool() -> BufferPool {
 
 #[test]
 fn facade_quickstart_compiles_and_runs() {
-    let params = Params { dataset_size: 300, ..Params::default() };
+    let params = Params {
+        dataset_size: 300,
+        ..Params::default()
+    };
     let (a, b) = generate_pair(&params, 0.0);
-    let mut engine =
-        MtbEngine::new(paper_pool(), EngineConfig::default(), &a, &b, 0.0).unwrap();
+    let mut engine = MtbEngine::new(paper_pool(), EngineConfig::default(), &a, &b, 0.0).unwrap();
     engine.run_initial_join(0.0).unwrap();
     let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
     for tick in 1..=5 {
@@ -33,7 +34,11 @@ fn facade_quickstart_compiles_and_runs() {
         }
     }
     // The answer matches the oracle at the end.
-    let expect = brute::brute_pairs_at(&stream.snapshot(SetTag::A), &stream.snapshot(SetTag::B), 5.0);
+    let expect = brute::brute_pairs_at(
+        &stream.snapshot(SetTag::A),
+        &stream.snapshot(SetTag::B),
+        5.0,
+    );
     assert_eq!(engine.result_at(5.0), expect);
 }
 
@@ -51,13 +56,11 @@ fn mtb_beats_etp_on_maintenance_io() {
 
     let mut etp = EtpEngine::new(paper_pool(), EngineConfig::default(), &a, &b, 0.0).unwrap();
     let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
-    let etp_metrics =
-        run_simulation(&mut etp, &mut stream, 0.0, 15.0, 0.0, |_, _| Ok(())).unwrap();
+    let etp_metrics = run_simulation(&mut etp, &mut stream, 0.0, 15.0, 0.0, |_, _| Ok(())).unwrap();
 
     let mut mtb = MtbEngine::new(paper_pool(), EngineConfig::default(), &a, &b, 0.0).unwrap();
     let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
-    let mtb_metrics =
-        run_simulation(&mut mtb, &mut stream, 0.0, 15.0, 0.0, |_, _| Ok(())).unwrap();
+    let mtb_metrics = run_simulation(&mut mtb, &mut stream, 0.0, 15.0, 0.0, |_, _| Ok(())).unwrap();
 
     assert!(
         mtb_metrics.io_per_update() < etp_metrics.io_per_update(),
@@ -69,7 +72,10 @@ fn mtb_beats_etp_on_maintenance_io() {
 
 #[test]
 fn tc_beats_naive_on_maintenance_io() {
-    let params = Params { dataset_size: 800, ..Params::default() };
+    let params = Params {
+        dataset_size: 800,
+        ..Params::default()
+    };
     let (a, b) = generate_pair(&params, 0.0);
 
     let mut naive = NaiveEngine::new(paper_pool(), EngineConfig::default(), &a, &b, 0.0).unwrap();
@@ -79,8 +85,7 @@ fn tc_beats_naive_on_maintenance_io() {
 
     let mut tc = TcEngine::new(paper_pool(), EngineConfig::default(), &a, &b, 0.0).unwrap();
     let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
-    let tc_metrics =
-        run_simulation(&mut tc, &mut stream, 0.0, 20.0, 0.0, |_, _| Ok(())).unwrap();
+    let tc_metrics = run_simulation(&mut tc, &mut stream, 0.0, 20.0, 0.0, |_, _| Ok(())).unwrap();
 
     assert!(
         tc_metrics.maintenance_io <= naive_metrics.maintenance_io,
@@ -94,7 +99,11 @@ fn tc_beats_naive_on_maintenance_io() {
 
 #[test]
 fn all_distributions_run_end_to_end() {
-    for dist in [Distribution::Uniform, Distribution::Gaussian, Distribution::Battlefield] {
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Gaussian,
+        Distribution::Battlefield,
+    ] {
         let params = Params {
             dataset_size: 200,
             distribution: dist,
@@ -140,7 +149,10 @@ fn paper_parameter_space_all_engines_one_tick() {
                     ..Params::default()
                 };
                 let (a, b) = generate_pair(&params, 0.0);
-                let config = EngineConfig { techniques: techniques::ALL, ..Default::default() };
+                let config = EngineConfig {
+                    techniques: techniques::ALL,
+                    ..Default::default()
+                };
                 let mut engines: Vec<Box<dyn ContinuousJoinEngine>> = vec![
                     Box::new(NaiveEngine::new(paper_pool(), config, &a, &b, 0.0).unwrap()),
                     Box::new(TcEngine::new(paper_pool(), config, &a, &b, 0.0).unwrap()),

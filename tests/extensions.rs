@@ -26,12 +26,15 @@ fn one_disk_many_structures() {
     let (fleet, _) = generate_pair(&params, 0.0);
     let pool = BufferPool::new(
         Arc::new(InMemoryStore::new()),
-        BufferPoolConfig { capacity: 200 },
+        BufferPoolConfig::with_capacity(200),
     );
 
     let mut tpr = TprTree::new(
         pool.clone(),
-        TreeConfig { capacity: params.node_capacity, ..TreeConfig::default() },
+        TreeConfig {
+            capacity: params.node_capacity,
+            ..TreeConfig::default()
+        },
     );
     let mut bx = BxTree::new(
         pool.clone(),
@@ -61,7 +64,8 @@ fn one_disk_many_structures() {
         let now = f64::from(tick);
         for u in stream.tick(now) {
             tpr.update(u.id, &u.old_mbr, u.new_mbr, now).unwrap();
-            bx.update(u.id, &u.old_mbr, u.last_update, u.new_mbr, now).unwrap();
+            bx.update(u.id, &u.old_mbr, u.last_update, u.new_mbr, now)
+                .unwrap();
             windows.apply_update(u.id, &u.new_mbr, now);
             knn.apply_update(u.id, &u.old_mbr, &u.new_mbr, now);
         }
@@ -75,7 +79,11 @@ fn one_disk_many_structures() {
         assert_eq!(via_tpr, bx.range_at(&w, now).unwrap(), "t={now}");
 
         // The window monitor agrees with the direct query.
-        assert_eq!(windows.result_at(QueryId(0), now), via_tpr, "monitor t={now}");
+        assert_eq!(
+            windows.result_at(QueryId(0), now),
+            via_tpr,
+            "monitor t={now}"
+        );
 
         // The kNN monitor's nearest is at least as close as any window
         // hit (shared oracle sanity).
@@ -84,7 +92,9 @@ fn one_disk_many_structures() {
 
         // Interval-NN: the timeline's owner at `now` equals knn[0] (by
         // distance).
-        let tl = tpr.nn_over_interval([200.0, 200.0], now, now + 5.0).unwrap();
+        let tl = tpr
+            .nn_over_interval([200.0, 200.0], now, now + 5.0)
+            .unwrap();
         let owner = tl.iter().find(|s| s.interval.contains(now)).unwrap();
         let owner_mbr = stream.current(owner.oid).unwrap();
         let d_owner = owner_mbr.at(now).min_dist_sq([200.0, 200.0]);
@@ -111,7 +121,7 @@ fn mtb_engine_and_monitors_share_fleet() {
     let (a, b) = generate_pair(&params, 0.0);
     let pool = BufferPool::new(
         Arc::new(InMemoryStore::new()),
-        BufferPoolConfig { capacity: 128 },
+        BufferPoolConfig::with_capacity(128),
     );
     let mut engine = MtbEngine::new(pool, EngineConfig::default(), &a, &b, 0.0).unwrap();
     engine.run_initial_join(0.0).unwrap();
