@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks for the streaming layer: ingest → apply →
+//! delta-extraction throughput through a full service, and the marginal
+//! cost of delta extraction itself against the snapshot query it
+//! replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, MtbEngine, TcEngine};
+use cij_geom::Time;
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_stream::{IngestOutcome, StreamConfig, StreamService, SubscriptionFilter};
+use cij_tpr::TprResult;
+use cij_workload::{generate_pair, MovingObject, ObjectUpdate, Params, UpdateStream};
+
+fn bench_params() -> Params {
+    Params {
+        dataset_size: 500,
+        space: 400.0,
+        object_size_pct: 1.0,
+        ..Params::default()
+    }
+}
+
+/// Pre-generates the tick schedule once so every iteration replays the
+/// identical update sequence.
+fn schedule(params: &Params, ticks: u32) -> Vec<(Time, Vec<ObjectUpdate>)> {
+    let (a, b) = generate_pair(params, 0.0);
+    let mut stream = UpdateStream::new(params, &a, &b, 0.0);
+    (1..=ticks)
+        .map(|tick| {
+            let now = Time::from(tick);
+            (now, stream.tick(now))
+        })
+        .collect()
+}
+
+fn engine_factory(
+    kind: &'static str,
+) -> impl Fn(
+    &EngineConfig,
+    &[MovingObject],
+    &[MovingObject],
+    Time,
+) -> TprResult<Box<dyn ContinuousJoinEngine>> {
+    move |config, a, b, start| {
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(128),
+        );
+        Ok(match kind {
+            "tc" => Box::new(TcEngine::new(pool, *config, a, b, start)?),
+            _ => Box::new(MtbEngine::new(pool, *config, a, b, start)?),
+        })
+    }
+}
+
+/// Full-service ingest throughput: submit + advance over 30 ticks with
+/// one all-pairs subscriber attached, per engine.
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let params = bench_params();
+    let (a, b) = generate_pair(&params, 0.0);
+    let plan = schedule(&params, 30);
+
+    let mut group = c.benchmark_group("stream/ingest_30_ticks");
+    group.sample_size(10);
+    for kind in ["tc", "mtb"] {
+        let factory = engine_factory(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |bench, _| {
+            bench.iter(|| {
+                let config = StreamConfig::builder().batch_capacity(1 << 16).build();
+                let mut svc = StreamService::new(config, &a, &b, 0.0, &factory).expect("service");
+                let sub = svc.subscribe(SubscriptionFilter::All).expect("subscribe");
+                let mut deltas = 0usize;
+                for (now, updates) in &plan {
+                    for u in updates {
+                        assert_eq!(svc.submit(*u, *now), IngestOutcome::Accepted);
+                    }
+                    deltas += svc.advance_to(*now).expect("advance").len();
+                    deltas += svc.poll(sub).expect("poll").len();
+                }
+                black_box(deltas)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The cost the delta layer actually adds per tick: a service advance
+/// (incremental extraction) vs the full snapshot query it lets
+/// subscribers skip.
+fn bench_delta_vs_snapshot(c: &mut Criterion) {
+    let params = bench_params();
+    let (a, b) = generate_pair(&params, 0.0);
+    let plan = schedule(&params, 30);
+    let factory = engine_factory("mtb");
+
+    let mut group = c.benchmark_group("stream/per_tick");
+    group.sample_size(10);
+    group.bench_function("advance_with_deltas", |bench| {
+        bench.iter(|| {
+            let config = StreamConfig::builder().batch_capacity(1 << 16).build();
+            let mut svc = StreamService::new(config, &a, &b, 0.0, &factory).expect("service");
+            let mut n = 0usize;
+            for (now, updates) in &plan {
+                for u in updates {
+                    svc.submit(*u, *now);
+                }
+                n += svc.advance_to(*now).expect("advance").len();
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("snapshot_every_tick", |bench| {
+        bench.iter(|| {
+            // The pre-stream consumption model: re-query the full
+            // result at every tick on a bare engine.
+            let pool = BufferPool::new(
+                Arc::new(InMemoryStore::new()),
+                BufferPoolConfig::with_capacity(128),
+            );
+            let mut engine =
+                MtbEngine::new(pool, EngineConfig::default(), &a, &b, 0.0).expect("engine");
+            engine.run_initial_join(0.0).expect("initial");
+            let mut n = 0usize;
+            for (now, updates) in &plan {
+                for u in updates {
+                    engine.apply_update(u, *now).expect("update");
+                }
+                engine.gc(*now);
+                n += engine.result_at(*now).len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_throughput, bench_delta_vs_snapshot);
+criterion_main!(benches);

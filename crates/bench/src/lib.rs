@@ -2,7 +2,7 @@
 //!
 //! Shared machinery between the `figures` binary (one subcommand per
 //! table/figure of the paper) and the Criterion micro-benchmarks:
-//! dataset/engine construction from [`Params`], cold-cache measurement
+//! dataset/engine construction from [`cij_workload::Params`], cold-cache measurement
 //! helpers, and table formatting.
 //!
 //! Scale note: the paper sweeps dataset sizes 1K–100K. `Scale::Paper`

@@ -1,6 +1,6 @@
 //! # cij-bx — a disk-resident Bˣ-tree
 //!
-//! The Bˣ-tree (Jensen, Lin, Ooi — VLDB 2004, the paper's reference [8])
+//! The Bˣ-tree (Jensen, Lin, Ooi — VLDB 2004, the paper's reference \[8\])
 //! is the index whose time-bucket discipline §IV-C borrows for the
 //! MTB-tree ("a similar idea as used in the Bˣ-tree can be exploited…
 //! following the rationale of the Bˣ-tree, we used T_M/2 as the length

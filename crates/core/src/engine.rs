@@ -28,10 +28,15 @@ use cij_tpr::{ObjectId, TprResult, TprTree, TreeConfig};
 use cij_workload::{MovingObject, ObjectUpdate, SetTag};
 
 use crate::mtb::MtbTree;
-use crate::result::{PairKey, ResultBuffer};
+use crate::result::{PairKey, PairStatus, ResultBuffer};
 
 /// Shared engine configuration.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construct via [`EngineConfig::builder`] (or `..Default::default()`
+/// struct update); stream-service knobs (batch capacity, WAL path,
+/// outbox capacity) live in `cij-stream`'s `StreamConfig`, which embeds
+/// this type.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Maximum update interval `T_M`.
     pub t_m: Time,
@@ -60,6 +65,77 @@ impl Default for EngineConfig {
             buckets_per_tm: 2,
             threads: 1,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder at the paper's defaults (`T_M = 60`, Table-I
+    /// tree, all techniques, 2 buckets per `T_M`, 1 thread).
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Re-opens this configuration as a builder, so call sites can
+    /// tweak one knob without a struct literal:
+    /// `config.to_builder().threads(4).build()`.
+    #[must_use]
+    pub fn to_builder(self) -> EngineConfigBuilder {
+        EngineConfigBuilder { config: self }
+    }
+}
+
+/// Builder for [`EngineConfig`]. Every setter has a documented default
+/// (see the field docs); `build` is infallible and
+/// `config.to_builder().build()` round-trips exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Maximum update interval `T_M` (default 60).
+    #[must_use]
+    pub fn t_m(mut self, t_m: Time) -> Self {
+        self.config.t_m = t_m;
+        self
+    }
+
+    /// Index configuration (default [`TreeConfig::default`]).
+    #[must_use]
+    pub fn tree(mut self, tree: TreeConfig) -> Self {
+        self.config.tree = tree;
+        self
+    }
+
+    /// Improvement techniques (default [`cij_join::techniques::ALL`]).
+    #[must_use]
+    pub fn techniques(mut self, techniques: Techniques) -> Self {
+        self.config.techniques = techniques;
+        self
+    }
+
+    /// MTB buckets per `T_M` (default 2, the Bˣ-tree convention).
+    #[must_use]
+    pub fn buckets_per_tm(mut self, buckets: u32) -> Self {
+        self.config.buckets_per_tm = buckets;
+        self
+    }
+
+    /// Worker threads for join traversals (default 1 = the paper's
+    /// sequential code path).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -97,6 +173,46 @@ pub trait ContinuousJoinEngine {
 
     /// Accumulated traversal work.
     fn counters(&self) -> JoinCounters;
+
+    /// Turns on result change tracking so
+    /// [`take_result_changes`](Self::take_result_changes) can report
+    /// per-pair deltas. Engines without an interval buffer (ETP) leave
+    /// this a no-op and keep returning `None` below.
+    fn enable_delta_tracking(&mut self) {}
+
+    /// Drains the pairs whose predicted intersection intervals changed
+    /// since the previous call (sorted). `None` means the engine does
+    /// not track changes — the delta layer then falls back to diffing
+    /// [`result_at`](Self::result_at) snapshots.
+    fn take_result_changes(&mut self) -> Option<Vec<PairKey>> {
+        None
+    }
+
+    /// The activity of one pair at instant `t` (active interval plus
+    /// next future activation). Only meaningful for engines that return
+    /// `Some` from [`take_result_changes`](Self::take_result_changes);
+    /// the default reports "inactive, no future interval".
+    fn pair_status_at(&self, _pair: PairKey, _t: Time) -> PairStatus {
+        PairStatus::default()
+    }
+}
+
+/// The delta-tracking trait methods shared by every engine that keeps
+/// its answer in a [`ResultBuffer`].
+macro_rules! buffer_delta_methods {
+    () => {
+        fn enable_delta_tracking(&mut self) {
+            self.buffer.enable_change_tracking();
+        }
+
+        fn take_result_changes(&mut self) -> Option<Vec<PairKey>> {
+            self.buffer.take_changes()
+        }
+
+        fn pair_status_at(&self, pair: PairKey, t: Time) -> PairStatus {
+            self.buffer.status_at(pair.0, pair.1, t)
+        }
+    };
 }
 
 /// Orients an (updated object, partner) pair as (A-object, B-object).
@@ -162,6 +278,8 @@ impl ContinuousJoinEngine for NaiveEngine {
         "NaiveJoin"
     }
 
+    buffer_delta_methods!();
+
     fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
         let (pairs, counters) = parallel_naive_join(&self.tree_a, &self.tree_b, now, self.threads)?;
         self.counters = self.counters.merged(counters);
@@ -202,6 +320,36 @@ impl ContinuousJoinEngine for NaiveEngine {
 
     fn counters(&self) -> JoinCounters {
         self.counters
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(EngineConfig::builder().build(), EngineConfig::default());
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let config = EngineConfig::builder()
+            .t_m(120.0)
+            .tree(TreeConfig {
+                capacity: 12,
+                ..TreeConfig::default()
+            })
+            .techniques(cij_join::techniques::NONE)
+            .buckets_per_tm(4)
+            .threads(8)
+            .build();
+        assert_eq!(config.t_m, 120.0);
+        assert_eq!(config.tree.capacity, 12);
+        assert_eq!(config.techniques, cij_join::techniques::NONE);
+        assert_eq!(config.buckets_per_tm, 4);
+        assert_eq!(config.threads, 8);
+        assert_eq!(config.to_builder().build(), config);
     }
 }
 
@@ -246,6 +394,8 @@ impl ContinuousJoinEngine for TcEngine {
     fn name(&self) -> &'static str {
         "TC-Join"
     }
+
+    buffer_delta_methods!();
 
     fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
         let window_end = now + self.config.t_m;
@@ -482,6 +632,8 @@ impl ContinuousJoinEngine for MtbEngine {
         "MTB-Join"
     }
 
+    buffer_delta_methods!();
+
     fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
         // Tree-vs-tree improved joins between every bucket pair, each
         // with the window min(t_eb_a, t_eb_b, now) + T_M — Theorem 2
@@ -629,6 +781,8 @@ impl ContinuousJoinEngine for BxEngine {
     fn name(&self) -> &'static str {
         "Bx-TC-Join"
     }
+
+    buffer_delta_methods!();
 
     fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
         let t_m = self.config.t_m;

@@ -35,8 +35,9 @@ pub mod sim;
 pub mod window;
 
 pub use engine::{
-    BxEngine, ContinuousJoinEngine, EngineConfig, EtpEngine, MtbEngine, NaiveEngine, TcEngine,
+    BxEngine, ContinuousJoinEngine, EngineConfig, EngineConfigBuilder, EtpEngine, MtbEngine,
+    NaiveEngine, TcEngine,
 };
 pub use mtb::MtbTree;
-pub use result::{PairKey, ResultBuffer};
+pub use result::{PairKey, PairStatus, ResultBuffer};
 pub use sim::{run_simulation, SimMetrics};

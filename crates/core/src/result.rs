@@ -16,6 +16,19 @@ use cij_tpr::ObjectId;
 /// Ordered pair key: `a` from set A, `b` from set B.
 pub type PairKey = (ObjectId, ObjectId);
 
+/// Activity of one pair at a queried instant, as needed by the
+/// delta-extraction layer (`cij-stream`): the interval currently making
+/// the pair active, and the next time it will become active if it is
+/// not.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PairStatus {
+    /// The stored interval containing the queried instant, if any.
+    pub active: Option<TimeInterval>,
+    /// Start of the earliest stored interval that begins strictly after
+    /// the queried instant (a future activation to schedule).
+    pub next_start: Option<Time>,
+}
+
 /// The live join result: pair → disjoint, sorted intersection intervals.
 ///
 /// ```
@@ -40,6 +53,12 @@ pub struct ResultBuffer {
     /// Reverse index so `remove_object` is proportional to the object's
     /// own pair count, not the whole result.
     by_object: HashMap<ObjectId, HashSet<PairKey>>,
+    /// Pairs whose interval set changed since the last
+    /// [`take_changes`](Self::take_changes) — `None` until
+    /// [`enable_change_tracking`](Self::enable_change_tracking) turns
+    /// the changelog on, so engines that never stream deltas pay
+    /// nothing.
+    changed: Option<HashSet<PairKey>>,
 }
 
 impl ResultBuffer {
@@ -61,10 +80,50 @@ impl ResultBuffer {
         self.pairs.is_empty()
     }
 
+    /// Turns on the changelog consumed by
+    /// [`take_changes`](Self::take_changes). Idempotent; off by default.
+    pub fn enable_change_tracking(&mut self) {
+        if self.changed.is_none() {
+            self.changed = Some(HashSet::new());
+        }
+    }
+
+    /// Drains the changelog: every pair whose interval set was touched
+    /// by `add` / `remove_object` / `prune_before` since the previous
+    /// call, sorted for deterministic downstream processing. `None`
+    /// when change tracking was never enabled.
+    pub fn take_changes(&mut self) -> Option<Vec<PairKey>> {
+        let set = self.changed.as_mut()?;
+        let mut out: Vec<PairKey> = set.drain().collect();
+        out.sort_unstable();
+        Some(out)
+    }
+
+    fn mark_changed(&mut self, key: PairKey) {
+        if let Some(set) = self.changed.as_mut() {
+            set.insert(key);
+        }
+    }
+
+    /// The activity of `(a, b)` at instant `t`: the interval containing
+    /// `t` if the pair is active, and otherwise/additionally the start
+    /// of its next future interval (for activation scheduling).
+    #[must_use]
+    pub fn status_at(&self, a: ObjectId, b: ObjectId, t: Time) -> PairStatus {
+        let Some(ivs) = self.pairs.get(&(a, b)) else {
+            return PairStatus::default();
+        };
+        // Interval lists are sorted and disjoint.
+        let active = ivs.iter().copied().find(|iv| iv.contains(t));
+        let next_start = ivs.iter().map(|iv| iv.start).find(|&s| s > t);
+        PairStatus { active, next_start }
+    }
+
     /// Records that `(a, b)` intersect during `interval`, merging with
     /// any overlapping or touching intervals already recorded.
     pub fn add(&mut self, a: ObjectId, b: ObjectId, interval: TimeInterval) {
         let key = (a, b);
+        self.mark_changed(key);
         let list = match self.pairs.entry(key) {
             MapEntry::Occupied(o) => o.into_mut(),
             MapEntry::Vacant(v) => {
@@ -106,6 +165,7 @@ impl ResultBuffer {
             return;
         };
         for key in keys {
+            self.mark_changed(key);
             self.pairs.remove(&key);
             let partner = if key.0 == oid { key.1 } else { key.0 };
             if let Some(set) = self.by_object.get_mut(&partner) {
@@ -140,10 +200,20 @@ impl ResultBuffer {
     }
 
     /// Garbage-collects intervals that ended before `t` (history the
-    /// continuous query will never report again).
+    /// continuous query will never report again). An interval ending
+    /// *exactly* at `t` is kept: `active_at(t)` still reports it
+    /// (closed-interval semantics), so dropping it here would change
+    /// the answer at `t` itself.
     pub fn prune_before(&mut self, t: Time) {
+        let changed = &mut self.changed;
         self.pairs.retain(|key, ivs| {
+            let before = ivs.len();
             ivs.retain(|iv| iv.end >= t);
+            if ivs.len() != before {
+                if let Some(set) = changed.as_mut() {
+                    set.insert(*key);
+                }
+            }
             if ivs.is_empty() {
                 for side in [key.0, key.1] {
                     if let Some(set) = self.by_object.get_mut(&side) {
@@ -275,5 +345,120 @@ mod tests {
         buf.add(A1, B1, iv(20.0, 30.0));
         assert!(!buf.is_active(A1, B1, 5.0));
         assert!(buf.is_active(A1, B1, 25.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Edge-case semantics the delta layer (cij-stream) relies on.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn default_is_an_empty_buffer() {
+        let buf = ResultBuffer::default();
+        assert!(buf.is_empty());
+        assert_eq!(buf.pair_count(), 0);
+        assert_eq!(buf.interval_count(), 0);
+        assert!(buf.active_at(0.0).is_empty());
+    }
+
+    #[test]
+    fn empty_buffer_ops_are_noops() {
+        let mut buf = ResultBuffer::new();
+        buf.prune_before(100.0);
+        buf.remove_object(A1);
+        assert!(buf.is_empty());
+        assert_eq!(buf.status_at(A1, B1, 0.0), PairStatus::default());
+    }
+
+    #[test]
+    fn pair_removed_twice_is_a_noop() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(0.0, 10.0));
+        buf.remove_object(A1);
+        assert!(buf.is_empty());
+        // Second removal of either side of the already-gone pair.
+        buf.remove_object(A1);
+        buf.remove_object(B1);
+        assert!(buf.is_empty());
+        // The buffer stays usable afterwards.
+        buf.add(A1, B1, iv(1.0, 2.0));
+        assert!(buf.is_active(A1, B1, 1.5));
+    }
+
+    #[test]
+    fn prune_at_exact_interval_end_keeps_the_interval() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(0.0, 5.0));
+        // `active_at(5.0)` reports the pair, so pruning *at* 5.0 must
+        // not change the answer at 5.0.
+        buf.prune_before(5.0);
+        assert_eq!(buf.active_at(5.0), vec![(A1, B1)]);
+        // Strictly past the end it is history and goes away.
+        buf.prune_before(5.0 + 1e-9);
+        assert!(buf.is_empty());
+        assert!(buf.active_at(5.0).is_empty());
+    }
+
+    #[test]
+    fn status_reports_active_interval_and_next_start() {
+        let mut buf = ResultBuffer::new();
+        buf.add(A1, B1, iv(2.0, 4.0));
+        buf.add(A1, B1, iv(8.0, 9.0));
+        assert_eq!(
+            buf.status_at(A1, B1, 3.0),
+            PairStatus {
+                active: Some(iv(2.0, 4.0)),
+                next_start: Some(8.0),
+            }
+        );
+        assert_eq!(
+            buf.status_at(A1, B1, 5.0),
+            PairStatus {
+                active: None,
+                next_start: Some(8.0),
+            }
+        );
+        assert_eq!(
+            buf.status_at(A1, B1, 8.5),
+            PairStatus {
+                active: Some(iv(8.0, 9.0)),
+                next_start: None,
+            }
+        );
+        assert_eq!(buf.status_at(A1, B1, 10.0), PairStatus::default());
+        // Boundary instants are inclusive on both ends.
+        assert_eq!(buf.status_at(A1, B1, 4.0).active, Some(iv(2.0, 4.0)));
+        assert_eq!(buf.status_at(A1, B1, 4.0).next_start, Some(8.0));
+    }
+
+    #[test]
+    fn changelog_tracks_all_mutation_paths() {
+        let mut buf = ResultBuffer::new();
+        // Disabled by default: mutations report no changelog.
+        buf.add(A1, B1, iv(0.0, 1.0));
+        assert_eq!(buf.take_changes(), None);
+
+        buf.enable_change_tracking();
+        assert_eq!(buf.take_changes(), Some(vec![]));
+        buf.add(A1, B1, iv(2.0, 3.0));
+        buf.add(A1, B2, iv(0.0, 9.0));
+        assert_eq!(buf.take_changes(), Some(vec![(A1, B1), (A1, B2)]));
+
+        // remove_object dirties every pair it touches, including ones
+        // whose intervals are already in the past.
+        buf.remove_object(A1);
+        assert_eq!(buf.take_changes(), Some(vec![(A1, B1), (A1, B2)]));
+        // Removing again: nothing left to dirty.
+        buf.remove_object(A1);
+        assert_eq!(buf.take_changes(), Some(vec![]));
+
+        // prune dirties exactly the pairs it modifies.
+        buf.add(A1, B1, iv(0.0, 2.0));
+        buf.add(A1, B2, iv(0.0, 50.0));
+        let _ = buf.take_changes();
+        buf.prune_before(10.0);
+        assert_eq!(buf.take_changes(), Some(vec![(A1, B1)]));
+        // A prune that touches nothing dirties nothing.
+        buf.prune_before(10.0);
+        assert_eq!(buf.take_changes(), Some(vec![]));
     }
 }

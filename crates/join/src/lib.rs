@@ -9,9 +9,9 @@
 //! * [`tc_join`] — §IV-B: the explicit time-constrained entry point.
 //! * [`improved_join`] — §IV-D Fig. 6: NaiveJoin plus the three
 //!   TC-enabled improvement techniques, individually toggleable for the
-//!   Fig. 8 ablation: plane sweep ([`techniques::PLANE_SWEEP`]),
-//!   dimension selection ([`techniques::DIM_SELECTION`]) and intersection
-//!   check ([`techniques::INTERSECTION_CHECK`]).
+//!   Fig. 8 ablation: plane sweep ([`techniques::PS`]),
+//!   dimension selection ([`techniques::DS_PS`]) and intersection
+//!   check ([`techniques::IC`]).
 //! * [`tp_join`] — §III: Tao & Papadias' time-parameterized join
 //!   returning `(current pairs, expiry time, events)`; the building block
 //!   of the `ETP-Join` competitor (assembled in `cij-core`).

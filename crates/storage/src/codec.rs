@@ -5,6 +5,11 @@
 //! bytes; every access is bounds-checked and surfaces
 //! [`StorageError::PageOverflow`] instead of panicking, so a corrupt page
 //! turns into an error the index layer can report.
+//!
+//! Variable-length records (the [`wal`](crate::wal) frames, the stream
+//! subsystem's journal payloads) use the growable [`ByteWriter`] /
+//! bounds-checked [`ByteReader`] pair instead — the same little-endian
+//! wire format without the fixed page size.
 
 use crate::{StorageError, StorageResult, PAGE_SIZE};
 
@@ -150,6 +155,159 @@ impl<'a> PageReader<'a> {
     }
 }
 
+/// Growable little-endian writer for variable-length records.
+///
+/// Unlike [`PageWriter`] it never overflows — the buffer grows on
+/// demand — so every `put_*` is infallible.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Starts an empty record.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts an empty record with `cap` bytes preallocated.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the record bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` (IEEE-754 bits, little-endian).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian reader over a variable-length record.
+///
+/// Overruns surface as [`StorageError::PageOverflow`] (the offsets in the
+/// error are record offsets here, not page offsets), so a truncated or
+/// corrupt record decodes into an error instead of a panic.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at offset 0.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(StorageError::PageOverflow {
+                offset: self.pos,
+                requested: n,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> StorageResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> StorageResult<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> StorageResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> StorageResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> StorageResult<f64> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        self.take(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +376,46 @@ mod tests {
         assert!(w.put_u32(7).is_err());
         assert_eq!(w.position(), pos, "failed write must not consume space");
         assert!(w.put_u16(7).is_ok());
+    }
+
+    #[test]
+    fn byte_cursor_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xFE);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f64(f64::NEG_INFINITY);
+        w.put_bytes(b"stream");
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1 + 2 + 4 + 8 + 8 + 6);
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xFE);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.get_bytes(6).unwrap(), b"stream");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn byte_reader_overrun_is_an_error() {
+        let mut w = ByteWriter::with_capacity(4);
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u16().unwrap(), 7);
+        assert_eq!(
+            r.get_u32(),
+            Err(StorageError::PageOverflow {
+                offset: 2,
+                requested: 4
+            })
+        );
+        // A failed read does not advance.
+        assert_eq!(r.position(), 2);
+        assert!(r.get_u16().is_ok());
     }
 }

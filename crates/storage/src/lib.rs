@@ -15,8 +15,10 @@
 //!   dirty evictions cost a physical write).
 //! * [`IoStats`] — counters with snapshot/delta arithmetic for per-phase
 //!   accounting (initial join vs. maintenance).
-//! * [`codec`] — a bounds-checked little-endian cursor pair used to
-//!   serialize tree nodes into pages.
+//! * [`codec`] — bounds-checked little-endian cursors used to serialize
+//!   tree nodes into pages and variable-length journal records.
+//! * [`wal`] — a length+CRC framed write-ahead log with torn-tail
+//!   recovery, the durability substrate of the `cij-stream` service.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -28,12 +30,14 @@ mod lru;
 mod pool;
 mod stats;
 mod store;
+pub mod wal;
 
 pub use error::{StorageError, StorageResult};
 pub use file_store::FileStore;
 pub use pool::{BufferPool, BufferPoolConfig};
 pub use stats::{IoSnapshot, IoStats};
 pub use store::{InMemoryStore, PageStore};
+pub use wal::{Wal, WalRecovery};
 
 /// Size of a disk page in bytes (paper §VI-A: "the disk page size is 4K
 /// bytes").

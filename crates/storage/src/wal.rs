@@ -1,0 +1,323 @@
+//! Write-ahead log: length+CRC framed records in a single append-only
+//! file.
+//!
+//! The stream subsystem journals every ingested update batch here
+//! *before* applying it to the engine, so a crash can lose at most the
+//! batch whose frame never finished reaching the disk. Each record is
+//! framed as
+//!
+//! ```text
+//! [len: u32 LE][crc32(payload): u32 LE][payload: len bytes]
+//! ```
+//!
+//! Recovery ([`Wal::open`]) scans frames from the start and stops at the
+//! first incomplete or CRC-mismatching frame — the classic torn-tail
+//! rule — then truncates the file back to the durable prefix so new
+//! appends never interleave with garbage. Everything before the tear is
+//! returned to the caller for replay.
+//!
+//! Payload contents are opaque bytes; callers encode them with
+//! [`codec::ByteWriter`](crate::codec::ByteWriter).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::{StorageError, StorageResult};
+
+/// Upper bound on a single record's payload. A length field above this
+/// is treated as corruption rather than honoured with a huge allocation.
+pub const MAX_RECORD_LEN: usize = 1 << 24; // 16 MiB
+
+const FRAME_HEADER: usize = 8; // len + crc
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of `bytes` (IEEE polynomial, as in zlib/PNG).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// What [`Wal::open`] found in an existing log file.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the durable prefix (the file was truncated to
+    /// this length).
+    pub durable_len: u64,
+    /// Whether a torn or corrupt tail was found (and cut off).
+    pub tail_corrupt: bool,
+}
+
+/// An open write-ahead log, positioned for appending.
+pub struct Wal {
+    file: File,
+    len: u64,
+}
+
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Corrupt(format!("WAL I/O error: {e}"))
+}
+
+impl Wal {
+    /// Creates a fresh (truncated) log at `path`.
+    pub fn create(path: &Path) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(io_err)?;
+        Ok(Self { file, len: 0 })
+    }
+
+    /// Opens (or creates) the log at `path`, scanning it for intact
+    /// records and truncating any torn tail. The returned recovery holds
+    /// every durable record for replay.
+    pub fn open(path: &Path) -> StorageResult<(Self, WalRecovery)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io_err)?;
+
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        let mut tail_corrupt = false;
+        while bytes.len() - pos >= FRAME_HEADER {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN || bytes.len() - pos - FRAME_HEADER < len {
+                tail_corrupt = true;
+                break;
+            }
+            let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+            if crc32(payload) != crc {
+                tail_corrupt = true;
+                break;
+            }
+            records.push(payload.to_vec());
+            pos += FRAME_HEADER + len;
+        }
+        // Trailing bytes shorter than a header are also a torn tail.
+        if !tail_corrupt && pos < bytes.len() {
+            tail_corrupt = true;
+        }
+
+        let durable_len = pos as u64;
+        if durable_len < bytes.len() as u64 {
+            file.set_len(durable_len).map_err(io_err)?;
+        }
+        file.seek(SeekFrom::Start(durable_len)).map_err(io_err)?;
+        Ok((
+            Self {
+                file,
+                len: durable_len,
+            },
+            WalRecovery {
+                records,
+                durable_len,
+                tail_corrupt,
+            },
+        ))
+    }
+
+    /// Appends one record and returns the file length after the append.
+    /// The record is durable (up to OS buffering; see [`Wal::sync`])
+    /// once this returns.
+    pub fn append(&mut self, payload: &[u8]) -> StorageResult<u64> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(StorageError::Corrupt(format!(
+                "WAL record of {} bytes exceeds MAX_RECORD_LEN",
+                payload.len()
+            )));
+        }
+        let len = u32::try_from(payload.len()).expect("bounded by MAX_RECORD_LEN");
+        self.file.write_all(&len.to_le_bytes()).map_err(io_err)?;
+        self.file
+            .write_all(&crc32(payload).to_le_bytes())
+            .map_err(io_err)?;
+        self.file.write_all(payload).map_err(io_err)?;
+        self.len += (FRAME_HEADER + payload.len()) as u64;
+        Ok(self.len)
+    }
+
+    /// Flushes appended records to the OS.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.file.sync_data().map_err(io_err)
+    }
+
+    /// Current file length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    struct TempFile(PathBuf);
+    impl TempFile {
+        fn new(name: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!("cij-wal-{}-{}", std::process::id(), name));
+            let _ = std::fs::remove_file(&p);
+            Self(p)
+        }
+    }
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_recover_roundtrip() {
+        let tmp = TempFile::new("roundtrip");
+        {
+            let mut wal = Wal::create(&tmp.0).unwrap();
+            wal.append(b"alpha").unwrap();
+            wal.append(b"").unwrap(); // empty payloads are legal
+            wal.append(&[7u8; 1000]).unwrap();
+            wal.sync().unwrap();
+        }
+        let (wal, rec) = Wal::open(&tmp.0).unwrap();
+        assert!(!rec.tail_corrupt);
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[0], b"alpha");
+        assert!(rec.records[1].is_empty());
+        assert_eq!(rec.records[2], vec![7u8; 1000]);
+        assert_eq!(wal.len(), rec.durable_len);
+    }
+
+    #[test]
+    fn torn_payload_is_cut_back_to_last_record() {
+        let tmp = TempFile::new("torn-payload");
+        let keep;
+        {
+            let mut wal = Wal::create(&tmp.0).unwrap();
+            keep = wal.append(b"first").unwrap();
+            wal.append(b"second-record-payload").unwrap();
+        }
+        // Chop mid-way through the second record's payload.
+        let f = OpenOptions::new().write(true).open(&tmp.0).unwrap();
+        f.set_len(keep + FRAME_HEADER as u64 + 3).unwrap();
+        drop(f);
+
+        let (mut wal, rec) = Wal::open(&tmp.0).unwrap();
+        assert!(rec.tail_corrupt);
+        assert_eq!(rec.records, vec![b"first".to_vec()]);
+        assert_eq!(rec.durable_len, keep);
+        assert_eq!(std::fs::metadata(&tmp.0).unwrap().len(), keep);
+        // Appending after recovery continues cleanly.
+        wal.append(b"third").unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&tmp.0).unwrap();
+        assert!(!rec.tail_corrupt);
+        assert_eq!(rec.records, vec![b"first".to_vec(), b"third".to_vec()]);
+    }
+
+    #[test]
+    fn torn_header_and_flipped_bit_are_detected() {
+        let tmp = TempFile::new("torn-header");
+        let keep;
+        {
+            let mut wal = Wal::create(&tmp.0).unwrap();
+            keep = wal.append(b"solid").unwrap();
+            wal.append(b"doomed").unwrap();
+        }
+        // Case 1: only 5 bytes of the second frame's header survive.
+        let f = OpenOptions::new().write(true).open(&tmp.0).unwrap();
+        f.set_len(keep + 5).unwrap();
+        drop(f);
+        let (_, rec) = Wal::open(&tmp.0).unwrap();
+        assert!(rec.tail_corrupt);
+        assert_eq!(rec.records, vec![b"solid".to_vec()]);
+
+        // Case 2: full frame present but a payload bit flipped.
+        {
+            let mut wal = Wal::open(&tmp.0).unwrap().0;
+            wal.append(b"doomed").unwrap();
+        }
+        let mut bytes = std::fs::read(&tmp.0).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        let (_, rec) = Wal::open(&tmp.0).unwrap();
+        assert!(rec.tail_corrupt);
+        assert_eq!(rec.records, vec![b"solid".to_vec()]);
+        assert_eq!(rec.durable_len, keep);
+    }
+
+    #[test]
+    fn oversized_length_field_is_corruption_not_allocation() {
+        let tmp = TempFile::new("oversize");
+        {
+            let mut wal = Wal::create(&tmp.0).unwrap();
+            wal.append(b"good").unwrap();
+        }
+        let mut bytes = std::fs::read(&tmp.0).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd len
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+        let (_, rec) = Wal::open(&tmp.0).unwrap();
+        assert!(rec.tail_corrupt);
+        assert_eq!(rec.records, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn opening_a_missing_file_creates_an_empty_log() {
+        let tmp = TempFile::new("fresh");
+        let (wal, rec) = Wal::open(&tmp.0).unwrap();
+        assert!(wal.is_empty());
+        assert!(rec.records.is_empty());
+        assert!(!rec.tail_corrupt);
+    }
+}

@@ -1,0 +1,233 @@
+//! Delta extraction: turning engine state changes into
+//! [`ResultDelta`] events without recomputing snapshots.
+//!
+//! After each applied batch the extractor asks the engine for the pairs
+//! whose predicted intervals changed
+//! ([`take_result_changes`](cij_core::ContinuousJoinEngine::take_result_changes))
+//! and rechecks exactly those — plus the pairs whose previously-known
+//! interval boundary has passed, which it tracks in a time-ordered
+//! event heap. Work per tick is therefore proportional to the number
+//! of changed pairs, not the result size; this is precisely what the
+//! paper's bounded valid-intervals (Theorems 1–2) buy: every admitted
+//! pair carries the interval that schedules its own expiry.
+//!
+//! Engines that do not maintain interval predictions (ETP) report no
+//! changelog; for them the extractor falls back to diffing
+//! `result_at` snapshots, trading the incremental cost model for the
+//! same delta contract.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use cij_core::{ContinuousJoinEngine, PairKey};
+use cij_geom::{Time, TimeInterval};
+
+use crate::event::ResultDelta;
+
+/// Total-ordered time for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdTime(Time);
+
+impl Eq for OrdTime {}
+
+impl PartialOrd for OrdTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Why a pair is scheduled for a recheck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A future interval starts at the event time — due once the clock
+    /// reaches it (`t ≥ start`).
+    Activation,
+    /// The reported interval ends at the event time — due once the
+    /// clock passes it (`t > end`; the end instant itself is still
+    /// active under closed-interval semantics).
+    Expiry,
+}
+
+/// One scheduled recheck. The full derive order (time, kind, pair,
+/// generation) keeps heap pops deterministic when times tie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: OrdTime,
+    kind: EventKind,
+    pair: PairKey,
+    generation: u64,
+}
+
+/// Incremental delta extractor over one engine.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaExtractor {
+    /// Pairs currently reported to subscribers, with the interval they
+    /// were admitted under.
+    reported: HashMap<PairKey, TimeInterval>,
+    /// Outstanding scheduled recheck per pair: an event is live iff its
+    /// generation matches this entry. Absent entry = no live event.
+    live: HashMap<PairKey, u64>,
+    next_generation: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    last_tick: Option<Time>,
+}
+
+impl DeltaExtractor {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently-reported pairs with their admission intervals,
+    /// sorted by pair (catch-up state for new or resyncing
+    /// subscribers).
+    pub(crate) fn current(&self) -> Vec<(PairKey, TimeInterval)> {
+        let mut out: Vec<_> = self.reported.iter().map(|(&k, &iv)| (k, iv)).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Extracts the deltas at tick `t`: removals first, then additions,
+    /// each sorted by pair. `t` must be strictly greater than the
+    /// previous extraction tick.
+    pub(crate) fn extract(
+        &mut self,
+        engine: &mut dyn ContinuousJoinEngine,
+        t: Time,
+    ) -> Vec<ResultDelta> {
+        debug_assert!(
+            self.last_tick.is_none_or(|prev| t > prev),
+            "extraction ticks must be strictly increasing"
+        );
+        self.last_tick = Some(t);
+
+        let mut adds: Vec<(PairKey, TimeInterval)> = Vec::new();
+        let mut removes: Vec<PairKey> = Vec::new();
+
+        match engine.take_result_changes() {
+            Some(dirty) => {
+                // 1. Pairs the engine touched since the last extraction
+                //    (already deduplicated and sorted).
+                for pair in dirty {
+                    self.recheck(engine, pair, t, &mut adds, &mut removes);
+                }
+                // 2. Pairs whose known interval boundary has passed.
+                //    Rechecking bumps the generation, so any further
+                //    queued events for the same pair pop as stale.
+                while let Some(&Reverse(top)) = self.events.peek() {
+                    let due = match top.kind {
+                        EventKind::Activation => top.time.0 <= t,
+                        EventKind::Expiry => top.time.0 < t,
+                    };
+                    if !due {
+                        break;
+                    }
+                    self.events.pop();
+                    if self.live.get(&top.pair) == Some(&top.generation) {
+                        self.recheck(engine, top.pair, t, &mut adds, &mut removes);
+                    }
+                }
+            }
+            None => self.snapshot_diff(engine, t, &mut adds, &mut removes),
+        }
+
+        removes.sort_unstable();
+        adds.sort_unstable_by_key(|&(pair, _)| pair);
+        let mut out = Vec::with_capacity(removes.len() + adds.len());
+        out.extend(
+            removes
+                .into_iter()
+                .map(|pair| ResultDelta::PairRemoved { pair }),
+        );
+        out.extend(
+            adds.into_iter()
+                .map(|(pair, valid)| ResultDelta::PairAdded { pair, valid }),
+        );
+        out
+    }
+
+    /// Re-evaluates one pair against the engine at tick `t`, emitting
+    /// membership changes and (re)scheduling its next boundary event.
+    fn recheck(
+        &mut self,
+        engine: &dyn ContinuousJoinEngine,
+        pair: PairKey,
+        t: Time,
+        adds: &mut Vec<(PairKey, TimeInterval)>,
+        removes: &mut Vec<PairKey>,
+    ) {
+        let status = engine.pair_status_at(pair, t);
+        let was_reported = self.reported.contains_key(&pair);
+        match status.active {
+            Some(iv) => {
+                if !was_reported {
+                    adds.push((pair, iv));
+                }
+                self.reported.insert(pair, iv);
+                // The pair's own expiry wakes us to re-emit or remove;
+                // any later interval is discovered at that recheck.
+                self.schedule(EventKind::Expiry, iv.end, pair);
+            }
+            None => {
+                if was_reported {
+                    self.reported.remove(&pair);
+                    removes.push(pair);
+                }
+                match status.next_start {
+                    Some(start) => self.schedule(EventKind::Activation, start, pair),
+                    None => {
+                        // Nothing outstanding: retire the pair so the
+                        // live map does not grow with dead history.
+                        self.live.remove(&pair);
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule(&mut self, kind: EventKind, time: Time, pair: PairKey) {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.live.insert(pair, generation);
+        self.events.push(Reverse(Event {
+            time: OrdTime(time),
+            kind,
+            pair,
+            generation,
+        }));
+    }
+
+    /// Fallback for engines without a changelog: diff full snapshots.
+    /// Additions are admitted under `[t, ∞)` (see
+    /// [`ResultDelta::PairAdded`]).
+    fn snapshot_diff(
+        &mut self,
+        engine: &dyn ContinuousJoinEngine,
+        t: Time,
+        adds: &mut Vec<(PairKey, TimeInterval)>,
+        removes: &mut Vec<PairKey>,
+    ) {
+        let now: HashSet<PairKey> = engine.result_at(t).into_iter().collect();
+        removes.extend(self.reported.keys().copied().filter(|k| !now.contains(k)));
+        for &pair in removes.iter() {
+            self.reported.remove(&pair);
+        }
+        for pair in now {
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.reported.entry(pair) {
+                let valid = TimeInterval::from(t);
+                slot.insert(valid);
+                adds.push((pair, valid));
+            }
+        }
+    }
+
+    /// Number of currently reported pairs.
+    pub(crate) fn reported_len(&self) -> usize {
+        self.reported.len()
+    }
+}

@@ -1,0 +1,256 @@
+//! The ingestion front-end: a bounded queue that coalesces update
+//! events into per-tick batches and applies explicit backpressure.
+//!
+//! Producers call [`IngestQueue::submit`] and must handle the outcome:
+//! [`Accepted`](IngestOutcome::Accepted) enqueues, while
+//! [`QueueFull`](IngestOutcome::QueueFull) tells the producer to back
+//! off. Acceptance follows a high/low watermark hysteresis — the queue
+//! closes when pending updates reach the high watermark and re-opens
+//! only once a drain brings it back down to the low watermark, so a
+//! saturated service refuses work in long stretches instead of
+//! flapping per event.
+
+use std::collections::BTreeMap;
+
+use cij_geom::Time;
+use cij_workload::ObjectUpdate;
+
+/// Result of offering one update to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Enqueued; it will be applied when its tick is drained.
+    Accepted,
+    /// Backpressure: the queue is at or above its high watermark (or at
+    /// hard capacity). Retry after the service has drained.
+    QueueFull,
+    /// The update's tick has already been applied; accepting it would
+    /// reorder time. The producer should re-read state and resubmit
+    /// against a current tick.
+    Stale,
+}
+
+/// Tick key with a total order (`f64` itself is not `Ord`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TickKey(Time);
+
+impl Eq for TickKey {}
+
+impl PartialOrd for TickKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TickKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Bounded, tick-coalescing ingestion queue.
+#[derive(Debug)]
+pub struct IngestQueue {
+    batches: BTreeMap<TickKey, Vec<ObjectUpdate>>,
+    pending: usize,
+    capacity: usize,
+    high_watermark: usize,
+    low_watermark: usize,
+    accepting: bool,
+    drained_through: Time,
+}
+
+impl IngestQueue {
+    /// Creates a queue. Invariants (`low ≤ high ≤ capacity`, nonzero
+    /// capacity) are the caller's responsibility —
+    /// [`StreamConfig::builder`](crate::StreamConfig::builder) enforces
+    /// them.
+    #[must_use]
+    pub fn new(capacity: usize, high_watermark: usize, low_watermark: usize, now: Time) -> Self {
+        Self {
+            batches: BTreeMap::new(),
+            pending: 0,
+            capacity,
+            high_watermark,
+            low_watermark,
+            accepting: true,
+            drained_through: now,
+        }
+    }
+
+    /// Offers one update for tick `at`.
+    pub fn submit(&mut self, update: ObjectUpdate, at: Time) -> IngestOutcome {
+        if at <= self.drained_through {
+            return IngestOutcome::Stale;
+        }
+        if !self.accepting || self.pending >= self.capacity {
+            return IngestOutcome::QueueFull;
+        }
+        self.batches.entry(TickKey(at)).or_default().push(update);
+        self.pending += 1;
+        if self.pending >= self.high_watermark {
+            self.accepting = false;
+        }
+        IngestOutcome::Accepted
+    }
+
+    /// Removes and returns every batch with tick ≤ `t`, in tick order.
+    /// Later submissions for the drained ticks are refused as
+    /// [`Stale`](IngestOutcome::Stale).
+    pub fn drain_through(&mut self, t: Time) -> Vec<(Time, Vec<ObjectUpdate>)> {
+        let mut out = Vec::new();
+        while let Some(entry) = self.batches.first_entry() {
+            if entry.key().0 > t {
+                break;
+            }
+            let (key, updates) = entry.remove_entry();
+            self.pending -= updates.len();
+            out.push((key.0, updates));
+        }
+        if t > self.drained_through {
+            self.drained_through = t;
+        }
+        if !self.accepting && self.pending <= self.low_watermark {
+            self.accepting = true;
+        }
+        out
+    }
+
+    /// Pending (queued, unapplied) updates across all ticks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Whether the queue currently accepts submissions.
+    #[must_use]
+    pub fn is_accepting(&self) -> bool {
+        self.accepting
+    }
+
+    /// Number of distinct ticks with queued updates.
+    #[must_use]
+    pub fn pending_ticks(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The latest tick already drained (submissions at or before it are
+    /// stale).
+    #[must_use]
+    pub fn drained_through(&self) -> Time {
+        self.drained_through
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::{MovingRect, Rect};
+    use cij_tpr::ObjectId;
+    use cij_workload::SetTag;
+
+    fn update(id: u64) -> ObjectUpdate {
+        let mbr = MovingRect::stationary(Rect::new([0.0, 0.0], [1.0, 1.0]), 0.0);
+        ObjectUpdate {
+            id: ObjectId(id),
+            set: SetTag::A,
+            old_mbr: mbr,
+            last_update: 0.0,
+            new_mbr: mbr,
+        }
+    }
+
+    #[test]
+    fn coalesces_per_tick_in_order() {
+        let mut q = IngestQueue::new(100, 80, 40, 0.0);
+        assert_eq!(q.submit(update(1), 2.0), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(2), 1.0), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(3), 2.0), IngestOutcome::Accepted);
+        assert_eq!(q.pending_ticks(), 2);
+        let drained = q.drain_through(2.0);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 1.0);
+        assert_eq!(drained[0].1.len(), 1);
+        assert_eq!(drained[1].0, 2.0);
+        assert_eq!(drained[1].1.len(), 2);
+        // Batch order preserves submission order within the tick.
+        assert_eq!(drained[1].1[0].id, ObjectId(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_only_takes_due_ticks() {
+        let mut q = IngestQueue::new(100, 80, 40, 0.0);
+        q.submit(update(1), 1.0);
+        q.submit(update(2), 5.0);
+        let drained = q.drain_through(3.0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.drain_through(5.0).len(), 1);
+    }
+
+    #[test]
+    fn watermark_hysteresis() {
+        let mut q = IngestQueue::new(10, 4, 2, 0.0);
+        for i in 0..4 {
+            assert_eq!(q.submit(update(i), 1.0), IngestOutcome::Accepted);
+        }
+        // Reached the high watermark: closed.
+        assert!(!q.is_accepting());
+        assert_eq!(q.submit(update(9), 1.0), IngestOutcome::QueueFull);
+
+        // A partial drain that leaves pending above low keeps it closed.
+        q.submit_unchecked_for_test(2.0, 3);
+        assert_eq!(q.drain_through(1.0).len(), 1);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_accepting());
+        assert_eq!(q.submit(update(9), 2.5), IngestOutcome::QueueFull);
+
+        // Draining to ≤ low re-opens.
+        q.drain_through(2.0);
+        assert!(q.is_accepting());
+        assert_eq!(q.submit(update(9), 3.0), IngestOutcome::Accepted);
+    }
+
+    #[test]
+    fn hard_capacity_refuses_even_when_accepting() {
+        let mut q = IngestQueue::new(3, 3, 0, 0.0);
+        for i in 0..3 {
+            assert_eq!(q.submit(update(i), 1.0), IngestOutcome::Accepted);
+        }
+        assert_eq!(q.submit(update(9), 1.0), IngestOutcome::QueueFull);
+    }
+
+    #[test]
+    fn stale_ticks_are_refused() {
+        let mut q = IngestQueue::new(10, 8, 4, 5.0);
+        assert_eq!(q.submit(update(1), 5.0), IngestOutcome::Stale);
+        assert_eq!(q.submit(update(1), 4.0), IngestOutcome::Stale);
+        assert_eq!(q.submit(update(1), 6.0), IngestOutcome::Accepted);
+        q.drain_through(6.0);
+        assert_eq!(q.submit(update(2), 6.0), IngestOutcome::Stale);
+        // Draining past empty ticks also advances the stale frontier.
+        q.drain_through(9.0);
+        assert_eq!(q.submit(update(2), 8.0), IngestOutcome::Stale);
+        assert_eq!(q.submit(update(2), 10.0), IngestOutcome::Accepted);
+    }
+
+    impl IngestQueue {
+        /// Test helper: force-enqueue `n` updates at `at`, bypassing
+        /// the watermark gate.
+        fn submit_unchecked_for_test(&mut self, at: Time, n: usize) {
+            for i in 0..n {
+                self.batches
+                    .entry(TickKey(at))
+                    .or_default()
+                    .push(update(1000 + i as u64));
+                self.pending += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The streaming service: ingestion, journaling, delta extraction and
+//! subscription delivery around one join engine.
+//!
+//! Per [`advance_to`](StreamService::advance_to) call the service
+//! drains the due update batches in tick order and, for each: journals
+//! the batch to the write-ahead log (durability *before* application),
+//! applies it to the engine, garbage-collects, extracts the result
+//! deltas and routes them to every subscriber's outbox. A crash between
+//! the journal write and anything later is therefore recoverable: the
+//! WAL replay in [`recover`](StreamService::recover) reapplies the
+//! durable prefix and lands on exactly the state the pre-crash service
+//! had after its last completed batch.
+
+use std::collections::HashMap;
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, PairKey};
+use cij_geom::{MovingRect, Time};
+use cij_storage::{StorageError, Wal};
+use cij_tpr::{ObjectId, TprResult};
+use cij_workload::{MovingObject, ObjectUpdate};
+
+use crate::config::StreamConfig;
+use crate::delta::DeltaExtractor;
+use crate::event::{OutboxItem, StampedDelta};
+use crate::ingest::{IngestOutcome, IngestQueue};
+use crate::subscribe::{SubscriberId, SubscriptionFilter, SubscriptionRegistry};
+use crate::wire::WalRecord;
+
+/// Builds a join engine over the genesis object sets. The service calls
+/// it once at construction and once per [`StreamService::recover`]; it
+/// must be deterministic in its arguments for recovery to reproduce the
+/// pre-crash engine exactly.
+pub type EngineFactory<'a> = &'a dyn Fn(
+    &EngineConfig,
+    &[MovingObject],
+    &[MovingObject],
+    Time,
+) -> TprResult<Box<dyn ContinuousJoinEngine>>;
+
+/// What a WAL replay found and rebuilt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Update batches reapplied from the log.
+    pub batches_replayed: usize,
+    /// The tick of the last durable batch (the recovered service's
+    /// current time).
+    pub last_tick: Time,
+    /// Whether a torn record was truncated from the log tail — `true`
+    /// is the expected outcome of a mid-write crash, not an error.
+    pub tail_truncated: bool,
+    /// Subscribers restored (their outboxes restart with a gap marker
+    /// and a catch-up snapshot).
+    pub subscribers: usize,
+}
+
+/// Event-driven streaming wrapper around one [`ContinuousJoinEngine`].
+pub struct StreamService {
+    config: StreamConfig,
+    engine: Box<dyn ContinuousJoinEngine>,
+    extractor: DeltaExtractor,
+    queue: IngestQueue,
+    registry: SubscriptionRegistry,
+    /// Currently registered trajectory per object — the state the
+    /// window filters evaluate against.
+    tracks: HashMap<ObjectId, MovingRect>,
+    wal: Option<Wal>,
+    now: Time,
+}
+
+impl StreamService {
+    /// Builds the service: constructs the engine from the genesis sets
+    /// via `build_engine`, runs the initial join at `start`, and (when
+    /// [`wal_path`](StreamConfig::wal_path) is set) starts a fresh
+    /// journal whose first record is the genesis itself.
+    ///
+    /// The initial join's pairs are *not* reported here — they surface
+    /// as `PairAdded` deltas on the first [`advance_to`](Self::advance_to),
+    /// so a subscriber replaying from the beginning starts from the
+    /// empty set like any other replay.
+    ///
+    /// # Panics
+    /// Panics when `config` violates its watermark invariant (see
+    /// [`StreamConfig::is_valid`]).
+    pub fn new(
+        config: StreamConfig,
+        set_a: &[MovingObject],
+        set_b: &[MovingObject],
+        start: Time,
+        build_engine: EngineFactory<'_>,
+    ) -> TprResult<Self> {
+        assert!(config.is_valid(), "invalid stream config: {config:?}");
+        let mut engine = build_engine(&config.engine, set_a, set_b, start)?;
+        engine.enable_delta_tracking();
+        engine.run_initial_join(start)?;
+
+        let wal = match &config.wal_path {
+            Some(path) => {
+                let mut wal = Wal::create(path)?;
+                let genesis = WalRecord::Genesis {
+                    start,
+                    set_a: set_a.to_vec(),
+                    set_b: set_b.to_vec(),
+                };
+                wal.append(&genesis.encode())?;
+                wal.sync()?;
+                Some(wal)
+            }
+            None => None,
+        };
+
+        let mut tracks = HashMap::with_capacity(set_a.len() + set_b.len());
+        for o in set_a.iter().chain(set_b) {
+            tracks.insert(o.id, o.mbr);
+        }
+
+        Ok(Self {
+            queue: IngestQueue::new(
+                config.batch_capacity,
+                config.high_watermark,
+                config.low_watermark,
+                start,
+            ),
+            registry: SubscriptionRegistry::new(config.outbox_capacity),
+            config,
+            engine,
+            extractor: DeltaExtractor::new(),
+            tracks,
+            wal,
+            now: start,
+        })
+    }
+
+    /// Rebuilds a service from its write-ahead log after a crash.
+    ///
+    /// The log is opened with torn-tail truncation (a record cut short
+    /// by the crash is discarded), the engine is rebuilt from the
+    /// genesis record and every durable batch is reapplied in order.
+    /// Restored subscribers keep their ids and filters but not their
+    /// undelivered outboxes: each restarts with a
+    /// [`Gap`](OutboxItem::Gap) marker followed by a catch-up snapshot
+    /// of the currently reported pairs, after which deltas flow
+    /// incrementally again.
+    ///
+    /// # Panics
+    /// Panics when `config.wal_path` is `None` — recovery without a
+    /// journal is a programming error.
+    pub fn recover(
+        config: StreamConfig,
+        build_engine: EngineFactory<'_>,
+    ) -> TprResult<(Self, RecoveryReport)> {
+        assert!(config.is_valid(), "invalid stream config: {config:?}");
+        let path = config
+            .wal_path
+            .as_ref()
+            .expect("recovery requires a wal_path");
+        let (wal, recovery) = Wal::open(path)?;
+
+        let mut records = recovery.records.iter();
+        let genesis = records
+            .next()
+            .ok_or_else(|| StorageError::Corrupt("WAL holds no durable genesis record".into()))?;
+        let WalRecord::Genesis {
+            start,
+            set_a,
+            set_b,
+        } = WalRecord::decode(genesis)?
+        else {
+            return Err(StorageError::Corrupt("first WAL record is not a genesis".into()).into());
+        };
+
+        let mut engine = build_engine(&config.engine, &set_a, &set_b, start)?;
+        engine.enable_delta_tracking();
+        engine.run_initial_join(start)?;
+
+        let mut tracks = HashMap::with_capacity(set_a.len() + set_b.len());
+        for o in set_a.iter().chain(&set_b) {
+            tracks.insert(o.id, o.mbr);
+        }
+
+        let mut extractor = DeltaExtractor::new();
+        let mut registry = SubscriptionRegistry::new(config.outbox_capacity);
+        let mut now = start;
+        let mut batches_replayed = 0usize;
+        for payload in records {
+            match WalRecord::decode(payload)? {
+                WalRecord::Genesis { .. } => {
+                    return Err(
+                        StorageError::Corrupt("duplicate genesis record in WAL".into()).into(),
+                    );
+                }
+                WalRecord::Batch { at, updates } => {
+                    Self::apply_batch(engine.as_mut(), &mut extractor, &mut tracks, at, &updates)?;
+                    now = at;
+                    batches_replayed += 1;
+                }
+                WalRecord::Subscribe { id, filter } => registry.insert_with_id(id, filter),
+                WalRecord::Unsubscribe { id } => {
+                    registry.unsubscribe(id);
+                }
+            }
+        }
+
+        // Undelivered outboxes died with the crashed process: every
+        // restored subscriber gets a gap marker (count 1 — a lower
+        // bound, the true loss is unknowable) and a catch-up snapshot.
+        let current = extractor.current();
+        for id in registry.ids() {
+            registry.reseed(id, 1, now, &current, &tracks);
+        }
+
+        let report = RecoveryReport {
+            batches_replayed,
+            last_tick: now,
+            tail_truncated: recovery.tail_corrupt,
+            subscribers: registry.len(),
+        };
+        let service = Self {
+            queue: IngestQueue::new(
+                config.batch_capacity,
+                config.high_watermark,
+                config.low_watermark,
+                now,
+            ),
+            registry,
+            config,
+            engine,
+            extractor,
+            tracks,
+            wal: Some(wal),
+            now,
+        };
+        Ok((service, report))
+    }
+
+    /// Offers one update for tick `at`. The caller must handle the
+    /// outcome — [`QueueFull`](IngestOutcome::QueueFull) is the
+    /// backpressure signal, not an error.
+    pub fn submit(&mut self, update: ObjectUpdate, at: Time) -> IngestOutcome {
+        self.queue.submit(update, at)
+    }
+
+    /// Advances the service clock to `t`: drains every queued batch
+    /// with tick ≤ `t` (journal → apply → extract → deliver, in tick
+    /// order), then runs a final extraction at `t` itself so that
+    /// interval expiries between the last batch and `t` are reported.
+    /// Returns the full delta stream of this call in emission order —
+    /// the same stamped deltas the subscribers receive (pre-filter).
+    ///
+    /// Calls with `t` at or before the current clock are no-ops.
+    pub fn advance_to(&mut self, t: Time) -> TprResult<Vec<StampedDelta>> {
+        if t <= self.now {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut last_extracted = self.now;
+        for (at, updates) in self.queue.drain_through(t) {
+            self.journal(&WalRecord::Batch {
+                at,
+                updates: updates.clone(),
+            })?;
+            let deltas = Self::apply_batch(
+                self.engine.as_mut(),
+                &mut self.extractor,
+                &mut self.tracks,
+                at,
+                &updates,
+            )?;
+            self.emit(at, deltas, &mut out);
+            last_extracted = at;
+        }
+        if last_extracted < t {
+            // No batch exactly at `t`: still extract, so expiries and
+            // activations due by `t` reach subscribers on time.
+            let deltas = Self::apply_batch(
+                self.engine.as_mut(),
+                &mut self.extractor,
+                &mut self.tracks,
+                t,
+                &[],
+            )?;
+            self.emit(t, deltas, &mut out);
+        }
+        self.now = t;
+        Ok(out)
+    }
+
+    /// One batch through the engine: advance, apply, gc, extract.
+    /// Shared verbatim between live operation and WAL replay — the
+    /// property the recovery guarantee rests on.
+    fn apply_batch(
+        engine: &mut dyn ContinuousJoinEngine,
+        extractor: &mut DeltaExtractor,
+        tracks: &mut HashMap<ObjectId, MovingRect>,
+        at: Time,
+        updates: &[ObjectUpdate],
+    ) -> TprResult<Vec<crate::event::ResultDelta>> {
+        engine.advance_time(at)?;
+        for u in updates {
+            engine.apply_update(u, at)?;
+            tracks.insert(u.id, u.new_mbr);
+        }
+        engine.gc(at);
+        Ok(extractor.extract(engine, at))
+    }
+
+    fn emit(
+        &mut self,
+        at: Time,
+        deltas: Vec<crate::event::ResultDelta>,
+        out: &mut Vec<StampedDelta>,
+    ) {
+        let stamped: Vec<StampedDelta> = deltas
+            .into_iter()
+            .map(|delta| StampedDelta { at, delta })
+            .collect();
+        self.registry.deliver(&stamped, &self.tracks);
+        out.extend(stamped);
+    }
+
+    fn journal(&mut self, record: &WalRecord) -> TprResult<()> {
+        if let Some(wal) = &mut self.wal {
+            wal.append(&record.encode())?;
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Registers a subscriber. Its outbox starts with a catch-up
+    /// snapshot of the currently reported pairs (filtered), so replaying
+    /// its deliveries yields the live result without a full-stream
+    /// replay from genesis.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> TprResult<SubscriberId> {
+        let id = self.registry.subscribe(filter);
+        self.journal(&WalRecord::Subscribe { id, filter })?;
+        let current = self.extractor.current();
+        self.registry
+            .reseed(id, 0, self.now, &current, &self.tracks);
+        Ok(id)
+    }
+
+    /// Removes a subscriber. Returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriberId) -> TprResult<bool> {
+        let existed = self.registry.unsubscribe(id);
+        if existed {
+            self.journal(&WalRecord::Unsubscribe { id })?;
+        }
+        Ok(existed)
+    }
+
+    /// Drains a subscriber's outbox (leading with a
+    /// [`Gap`](OutboxItem::Gap) marker if deliveries were dropped).
+    /// `None` for unknown ids.
+    pub fn poll(&mut self, id: SubscriberId) -> Option<Vec<OutboxItem>> {
+        self.registry.poll(id)
+    }
+
+    /// Rebuilds a subscriber's view after it detected a gap: clears its
+    /// outbox and seeds a fresh filtered snapshot of the currently
+    /// reported pairs. Returns whether the subscriber exists.
+    pub fn resync(&mut self, id: SubscriberId) -> bool {
+        let current = self.extractor.current();
+        self.registry
+            .reseed(id, 0, self.now, &current, &self.tracks)
+    }
+
+    /// The engine's reported pairs at instant `t` (valid for `t` at or
+    /// after the current clock, like the engine method itself).
+    #[must_use]
+    pub fn result_at(&self, t: Time) -> Vec<PairKey> {
+        self.engine.result_at(t)
+    }
+
+    /// The service clock — the tick of the last completed
+    /// [`advance_to`](Self::advance_to) (or batch replay).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The wrapped engine's name.
+    #[must_use]
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Queued-but-unapplied updates.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the ingestion queue currently accepts submissions.
+    #[must_use]
+    pub fn is_accepting(&self) -> bool {
+        self.queue.is_accepting()
+    }
+
+    /// Number of registered subscribers.
+    #[must_use]
+    pub fn subscriber_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// A subscriber's filter, if registered.
+    #[must_use]
+    pub fn subscriber_filter(&self, id: SubscriberId) -> Option<SubscriptionFilter> {
+        self.registry.filter(id)
+    }
+
+    /// Number of pairs currently reported to the delta stream.
+    #[must_use]
+    pub fn reported_pairs(&self) -> usize {
+        self.extractor.reported_len()
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+}

@@ -1,0 +1,349 @@
+//! Subscriptions: per-consumer delta delivery with filters and bounded
+//! outboxes.
+//!
+//! Each subscriber declares a [`SubscriptionFilter`] and owns a bounded
+//! outbox. Deliveries beyond the bound evict the oldest queued item
+//! under a drop-oldest policy; the next poll then starts with a
+//! [`Gap`](crate::OutboxItem::Gap) marker carrying the exact drop count
+//! (drop-oldest keeps the lost region contiguous at the queue front, so
+//! one counter suffices).
+//!
+//! Filter semantics are asymmetric on purpose: a `PairAdded` is
+//! delivered only when the filter matches at the delivery tick, while a
+//! `PairRemoved` is delivered whenever the *subscriber still holds the
+//! pair* — otherwise an object drifting out of a window filter would
+//! strand pairs in the subscriber's replayed state forever.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use cij_core::PairKey;
+use cij_geom::{MovingRect, Rect, Time};
+use cij_tpr::ObjectId;
+
+use crate::event::{OutboxItem, ResultDelta, StampedDelta};
+
+/// Identifier of a registered subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriberId(pub u64);
+
+/// What subset of the result stream a subscriber wants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubscriptionFilter {
+    /// Every delta.
+    All,
+    /// Deltas whose pair involves this object (either side).
+    Object(ObjectId),
+    /// Deltas where at least one of the pair's objects is spatially
+    /// inside the window at the delivery tick — the same
+    /// rectangle-intersection predicate the continuous window queries of
+    /// §V use, evaluated against the objects' registered trajectories.
+    Window(Rect),
+}
+
+impl SubscriptionFilter {
+    /// Whether an addition of `pair` at tick `at` passes this filter.
+    /// `track` resolves an object's currently registered trajectory.
+    fn admits(&self, pair: PairKey, at: Time, tracks: &HashMap<ObjectId, MovingRect>) -> bool {
+        match self {
+            Self::All => true,
+            Self::Object(id) => pair.0 == *id || pair.1 == *id,
+            Self::Window(window) => {
+                let w = MovingRect::stationary(*window, at);
+                [pair.0, pair.1].iter().any(|oid| {
+                    tracks
+                        .get(oid)
+                        .is_some_and(|mbr| w.intersect_interval(mbr, at, at).is_some())
+                })
+            }
+        }
+    }
+}
+
+/// One subscriber's delivery state.
+#[derive(Debug)]
+struct SubscriberState {
+    filter: SubscriptionFilter,
+    outbox: VecDeque<StampedDelta>,
+    /// Deltas evicted (or lost to a crash) since the last poll. The
+    /// drop-oldest policy keeps the lost region contiguous at the front
+    /// of the queue, so this single counter describes it exactly.
+    dropped: u64,
+    /// Pairs this subscriber has been handed an (unrevoked) `PairAdded`
+    /// for — the state its replay would hold if it kept up. Removals
+    /// are routed by membership here, not by the filter.
+    delivered: HashSet<PairKey>,
+}
+
+/// The set of subscribers and their outboxes.
+#[derive(Debug)]
+pub(crate) struct SubscriptionRegistry {
+    subscribers: BTreeMap<SubscriberId, SubscriberState>,
+    next_id: u64,
+    outbox_capacity: usize,
+}
+
+impl SubscriptionRegistry {
+    pub(crate) fn new(outbox_capacity: usize) -> Self {
+        assert!(outbox_capacity > 0, "outbox capacity must be nonzero");
+        Self {
+            subscribers: BTreeMap::new(),
+            next_id: 0,
+            outbox_capacity,
+        }
+    }
+
+    /// Registers a subscriber and returns its fresh id.
+    pub(crate) fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriberId {
+        let id = SubscriberId(self.next_id);
+        self.next_id += 1;
+        self.insert_with_id(id, filter);
+        id
+    }
+
+    /// Re-registers a subscriber under a known id (WAL replay).
+    pub(crate) fn insert_with_id(&mut self, id: SubscriberId, filter: SubscriptionFilter) {
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.subscribers.insert(
+            id,
+            SubscriberState {
+                filter,
+                outbox: VecDeque::new(),
+                dropped: 0,
+                delivered: HashSet::new(),
+            },
+        );
+    }
+
+    /// Drops a subscriber. Returns whether it existed.
+    pub(crate) fn unsubscribe(&mut self, id: SubscriberId) -> bool {
+        self.subscribers.remove(&id).is_some()
+    }
+
+    /// Routes one extraction's deltas to every subscriber.
+    pub(crate) fn deliver(
+        &mut self,
+        deltas: &[StampedDelta],
+        tracks: &HashMap<ObjectId, MovingRect>,
+    ) {
+        let capacity = self.outbox_capacity;
+        for state in self.subscribers.values_mut() {
+            for item in deltas {
+                let wanted = match item.delta {
+                    ResultDelta::PairAdded { pair, .. } => {
+                        state.filter.admits(pair, item.at, tracks) && state.delivered.insert(pair)
+                    }
+                    ResultDelta::PairRemoved { pair } => state.delivered.remove(&pair),
+                };
+                if wanted {
+                    Self::push_bounded(state, *item, capacity);
+                }
+            }
+        }
+    }
+
+    fn push_bounded(state: &mut SubscriberState, item: StampedDelta, capacity: usize) {
+        if state.outbox.len() >= capacity {
+            state.outbox.pop_front();
+            state.dropped += 1;
+        }
+        state.outbox.push_back(item);
+    }
+
+    /// Drains a subscriber's outbox. A [`Gap`](OutboxItem::Gap) marker
+    /// leads when deliveries were lost since the previous poll. `None`
+    /// for unknown subscribers.
+    pub(crate) fn poll(&mut self, id: SubscriberId) -> Option<Vec<OutboxItem>> {
+        let state = self.subscribers.get_mut(&id)?;
+        let mut out = Vec::with_capacity(state.outbox.len() + 1);
+        if state.dropped > 0 {
+            out.push(OutboxItem::Gap {
+                dropped: std::mem::take(&mut state.dropped),
+            });
+        }
+        out.extend(state.outbox.drain(..).map(OutboxItem::Delta));
+        Some(out)
+    }
+
+    /// Rebuilds a subscriber's view from authoritative state: clears the
+    /// outbox, records `lost` dropped deliveries (0 for a voluntary
+    /// resync), and seeds filtered `PairAdded`s for the currently
+    /// reported pairs. Returns whether the subscriber exists.
+    pub(crate) fn reseed(
+        &mut self,
+        id: SubscriberId,
+        lost: u64,
+        at: Time,
+        current: &[(PairKey, cij_geom::TimeInterval)],
+        tracks: &HashMap<ObjectId, MovingRect>,
+    ) -> bool {
+        let capacity = self.outbox_capacity;
+        let Some(state) = self.subscribers.get_mut(&id) else {
+            return false;
+        };
+        state.outbox.clear();
+        state.delivered.clear();
+        state.dropped += lost;
+        for &(pair, valid) in current {
+            if state.filter.admits(pair, at, tracks) && state.delivered.insert(pair) {
+                Self::push_bounded(
+                    state,
+                    StampedDelta {
+                        at,
+                        delta: ResultDelta::PairAdded { pair, valid },
+                    },
+                    capacity,
+                );
+            }
+        }
+        true
+    }
+
+    /// All subscriber ids, ascending.
+    pub(crate) fn ids(&self) -> Vec<SubscriberId> {
+        self.subscribers.keys().copied().collect()
+    }
+
+    /// Number of subscribers.
+    pub(crate) fn len(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// A subscriber's filter, if registered.
+    pub(crate) fn filter(&self, id: SubscriberId) -> Option<SubscriptionFilter> {
+        self.subscribers.get(&id).map(|s| s.filter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cij_geom::TimeInterval;
+
+    fn pair(a: u64, b: u64) -> PairKey {
+        (ObjectId(a), ObjectId(b))
+    }
+
+    fn add(at: Time, a: u64, b: u64) -> StampedDelta {
+        StampedDelta {
+            at,
+            delta: ResultDelta::PairAdded {
+                pair: pair(a, b),
+                valid: TimeInterval::from(at),
+            },
+        }
+    }
+
+    fn remove(at: Time, a: u64, b: u64) -> StampedDelta {
+        StampedDelta {
+            at,
+            delta: ResultDelta::PairRemoved { pair: pair(a, b) },
+        }
+    }
+
+    fn tracks(entries: &[(u64, f64, f64)]) -> HashMap<ObjectId, MovingRect> {
+        entries
+            .iter()
+            .map(|&(id, x, y)| {
+                let mbr = MovingRect::stationary(Rect::new([x, y], [x + 1.0, y + 1.0]), 0.0);
+                (ObjectId(id), mbr)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn object_filter_delivers_both_sides() {
+        let mut reg = SubscriptionRegistry::new(16);
+        let s = reg.subscribe(SubscriptionFilter::Object(ObjectId(7)));
+        let t = tracks(&[]);
+        reg.deliver(&[add(1.0, 7, 100), add(1.0, 8, 100), add(1.0, 3, 7)], &t);
+        let items = reg.poll(s).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], OutboxItem::Delta(add(1.0, 7, 100)));
+        assert_eq!(items[1], OutboxItem::Delta(add(1.0, 3, 7)));
+        // Polling again yields nothing new.
+        assert!(reg.poll(s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn window_filter_uses_object_positions() {
+        let mut reg = SubscriptionRegistry::new(16);
+        let s = reg.subscribe(SubscriptionFilter::Window(Rect::new(
+            [0.0, 0.0],
+            [10.0, 10.0],
+        )));
+        // Object 1 inside the window, objects 2 and 3 far away.
+        let t = tracks(&[(1, 5.0, 5.0), (2, 100.0, 100.0), (3, 200.0, 200.0)]);
+        reg.deliver(&[add(1.0, 1, 2), add(1.0, 2, 3)], &t);
+        let items = reg.poll(s).unwrap();
+        assert_eq!(items, vec![OutboxItem::Delta(add(1.0, 1, 2))]);
+    }
+
+    #[test]
+    fn removal_reaches_holders_even_outside_the_filter() {
+        let mut reg = SubscriptionRegistry::new(16);
+        let s = reg.subscribe(SubscriptionFilter::Window(Rect::new(
+            [0.0, 0.0],
+            [10.0, 10.0],
+        )));
+        let inside = tracks(&[(1, 5.0, 5.0), (2, 5.0, 5.0)]);
+        reg.deliver(&[add(1.0, 1, 2)], &inside);
+        // Both objects have left the window by the time the pair ends.
+        let outside = tracks(&[(1, 500.0, 500.0), (2, 500.0, 500.0)]);
+        reg.deliver(&[remove(9.0, 1, 2)], &outside);
+        let items = reg.poll(s).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1], OutboxItem::Delta(remove(9.0, 1, 2)));
+        // A removal of a never-delivered pair is filtered out entirely.
+        reg.deliver(&[remove(10.0, 3, 4)], &outside);
+        assert!(reg.poll(s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn slow_consumer_gets_gap_marker_with_exact_count() {
+        let mut reg = SubscriptionRegistry::new(3);
+        let s = reg.subscribe(SubscriptionFilter::All);
+        let t = tracks(&[]);
+        for i in 0..5 {
+            reg.deliver(&[add(i as f64, i, 100 + i)], &t);
+        }
+        let items = reg.poll(s).unwrap();
+        assert_eq!(items[0], OutboxItem::Gap { dropped: 2 });
+        assert_eq!(items.len(), 4); // gap + the 3 newest deliveries
+        assert_eq!(items[1], OutboxItem::Delta(add(2.0, 2, 102)));
+        // The gap is reported once.
+        assert!(reg.poll(s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reseed_replaces_outbox_with_current_state() {
+        let mut reg = SubscriptionRegistry::new(16);
+        let s = reg.subscribe(SubscriptionFilter::All);
+        let t = tracks(&[]);
+        reg.deliver(&[add(1.0, 1, 2), add(1.0, 3, 4)], &t);
+        let current = vec![(pair(5, 6), TimeInterval::from(2.0))];
+        assert!(reg.reseed(s, 7, 2.0, &current, &t));
+        let items = reg.poll(s).unwrap();
+        assert_eq!(items[0], OutboxItem::Gap { dropped: 7 });
+        assert_eq!(items.len(), 2);
+        assert!(
+            matches!(items[1], OutboxItem::Delta(d) if d.delta.pair() == pair(5, 6) && d.delta.is_add())
+        );
+        assert!(!reg.reseed(SubscriberId(99), 0, 2.0, &current, &t));
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery_and_ids_stay_unique() {
+        let mut reg = SubscriptionRegistry::new(16);
+        let a = reg.subscribe(SubscriptionFilter::All);
+        let b = reg.subscribe(SubscriptionFilter::All);
+        assert_ne!(a, b);
+        assert!(reg.unsubscribe(a));
+        assert!(!reg.unsubscribe(a));
+        assert!(reg.poll(a).is_none());
+        assert_eq!(reg.ids(), vec![b]);
+        // Replayed ids never collide with fresh ones.
+        reg.insert_with_id(SubscriberId(10), SubscriptionFilter::All);
+        let c = reg.subscribe(SubscriptionFilter::All);
+        assert!(c.0 > 10);
+    }
+}

@@ -1,0 +1,339 @@
+//! Wire format of the service's write-ahead log records.
+//!
+//! Each WAL payload (the framing — length prefix and CRC — lives in
+//! [`cij_storage::Wal`]) is one tagged record encoded with the
+//! byte-slice codec from `cij_storage::codec`. Everything an engine
+//! needs to be rebuilt deterministically is journaled: the genesis
+//! object sets, every applied update batch, and the subscription
+//! control operations.
+
+use cij_geom::{MovingRect, Rect, Time};
+use cij_storage::codec::{ByteReader, ByteWriter};
+use cij_storage::{StorageError, StorageResult};
+use cij_tpr::ObjectId;
+use cij_workload::{MovingObject, ObjectUpdate, SetTag};
+
+use crate::subscribe::{SubscriberId, SubscriptionFilter};
+
+const TAG_GENESIS: u8 = 0x01;
+const TAG_BATCH: u8 = 0x02;
+const TAG_SUBSCRIBE: u8 = 0x03;
+const TAG_UNSUBSCRIBE: u8 = 0x04;
+
+const FILTER_ALL: u8 = 0;
+const FILTER_OBJECT: u8 = 1;
+const FILTER_WINDOW: u8 = 2;
+
+/// One journaled service operation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WalRecord {
+    /// The initial object sets and start time — written once, first.
+    Genesis {
+        /// Service start time.
+        start: Time,
+        /// Initial A-side objects.
+        set_a: Vec<MovingObject>,
+        /// Initial B-side objects.
+        set_b: Vec<MovingObject>,
+    },
+    /// One coalesced update batch, journaled before it is applied.
+    Batch {
+        /// The batch's tick.
+        at: Time,
+        /// The updates, in application order.
+        updates: Vec<ObjectUpdate>,
+    },
+    /// A subscriber registration.
+    Subscribe {
+        /// The id handed to the subscriber.
+        id: SubscriberId,
+        /// Its filter.
+        filter: SubscriptionFilter,
+    },
+    /// A subscriber removal.
+    Unsubscribe {
+        /// The removed id.
+        id: SubscriberId,
+    },
+}
+
+fn put_mrect(w: &mut ByteWriter, r: &MovingRect) {
+    for d in 0..cij_geom::DIMS {
+        w.put_f64(r.lo[d]);
+        w.put_f64(r.hi[d]);
+        w.put_f64(r.vlo[d]);
+        w.put_f64(r.vhi[d]);
+    }
+    w.put_f64(r.t_ref);
+}
+
+fn get_mrect(r: &mut ByteReader<'_>) -> StorageResult<MovingRect> {
+    let mut m = MovingRect {
+        lo: [0.0; cij_geom::DIMS],
+        hi: [0.0; cij_geom::DIMS],
+        vlo: [0.0; cij_geom::DIMS],
+        vhi: [0.0; cij_geom::DIMS],
+        t_ref: 0.0,
+    };
+    for d in 0..cij_geom::DIMS {
+        m.lo[d] = r.get_f64()?;
+        m.hi[d] = r.get_f64()?;
+        m.vlo[d] = r.get_f64()?;
+        m.vhi[d] = r.get_f64()?;
+    }
+    m.t_ref = r.get_f64()?;
+    Ok(m)
+}
+
+fn put_objects(w: &mut ByteWriter, objects: &[MovingObject]) {
+    w.put_u32(objects.len() as u32);
+    for o in objects {
+        w.put_u64(o.id.0);
+        put_mrect(w, &o.mbr);
+    }
+}
+
+fn get_objects(r: &mut ByteReader<'_>) -> StorageResult<Vec<MovingObject>> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let id = ObjectId(r.get_u64()?);
+        let mbr = get_mrect(r)?;
+        out.push(MovingObject { id, mbr });
+    }
+    Ok(out)
+}
+
+fn set_to_byte(set: SetTag) -> u8 {
+    match set {
+        SetTag::A => 1,
+        SetTag::B => 2,
+    }
+}
+
+fn set_from_byte(b: u8) -> StorageResult<SetTag> {
+    match b {
+        1 => Ok(SetTag::A),
+        2 => Ok(SetTag::B),
+        other => Err(StorageError::Corrupt(format!("invalid set tag {other}"))),
+    }
+}
+
+impl WalRecord {
+    /// Serializes the record into a WAL payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Self::Genesis {
+                start,
+                set_a,
+                set_b,
+            } => {
+                w.put_u8(TAG_GENESIS);
+                w.put_f64(*start);
+                put_objects(&mut w, set_a);
+                put_objects(&mut w, set_b);
+            }
+            Self::Batch { at, updates } => {
+                w.put_u8(TAG_BATCH);
+                w.put_f64(*at);
+                w.put_u32(updates.len() as u32);
+                for u in updates {
+                    w.put_u64(u.id.0);
+                    w.put_u8(set_to_byte(u.set));
+                    put_mrect(&mut w, &u.old_mbr);
+                    w.put_f64(u.last_update);
+                    put_mrect(&mut w, &u.new_mbr);
+                }
+            }
+            Self::Subscribe { id, filter } => {
+                w.put_u8(TAG_SUBSCRIBE);
+                w.put_u64(id.0);
+                match filter {
+                    SubscriptionFilter::All => w.put_u8(FILTER_ALL),
+                    SubscriptionFilter::Object(oid) => {
+                        w.put_u8(FILTER_OBJECT);
+                        w.put_u64(oid.0);
+                    }
+                    SubscriptionFilter::Window(rect) => {
+                        w.put_u8(FILTER_WINDOW);
+                        for d in 0..cij_geom::DIMS {
+                            w.put_f64(rect.lo[d]);
+                            w.put_f64(rect.hi[d]);
+                        }
+                    }
+                }
+            }
+            Self::Unsubscribe { id } => {
+                w.put_u8(TAG_UNSUBSCRIBE);
+                w.put_u64(id.0);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes one WAL payload. Trailing bytes are rejected — a
+    /// record is exactly one frame.
+    pub(crate) fn decode(payload: &[u8]) -> StorageResult<Self> {
+        let mut r = ByteReader::new(payload);
+        let record = match r.get_u8()? {
+            TAG_GENESIS => {
+                let start = r.get_f64()?;
+                let set_a = get_objects(&mut r)?;
+                let set_b = get_objects(&mut r)?;
+                Self::Genesis {
+                    start,
+                    set_a,
+                    set_b,
+                }
+            }
+            TAG_BATCH => {
+                let at = r.get_f64()?;
+                let n = r.get_u32()? as usize;
+                let mut updates = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let id = ObjectId(r.get_u64()?);
+                    let set = set_from_byte(r.get_u8()?)?;
+                    let old_mbr = get_mrect(&mut r)?;
+                    let last_update = r.get_f64()?;
+                    let new_mbr = get_mrect(&mut r)?;
+                    updates.push(ObjectUpdate {
+                        id,
+                        set,
+                        old_mbr,
+                        last_update,
+                        new_mbr,
+                    });
+                }
+                Self::Batch { at, updates }
+            }
+            TAG_SUBSCRIBE => {
+                let id = SubscriberId(r.get_u64()?);
+                let filter = match r.get_u8()? {
+                    FILTER_ALL => SubscriptionFilter::All,
+                    FILTER_OBJECT => SubscriptionFilter::Object(ObjectId(r.get_u64()?)),
+                    FILTER_WINDOW => {
+                        let mut lo = [0.0; cij_geom::DIMS];
+                        let mut hi = [0.0; cij_geom::DIMS];
+                        for d in 0..cij_geom::DIMS {
+                            lo[d] = r.get_f64()?;
+                            hi[d] = r.get_f64()?;
+                        }
+                        SubscriptionFilter::Window(Rect::new(lo, hi))
+                    }
+                    other => {
+                        return Err(StorageError::Corrupt(format!(
+                            "invalid subscription filter tag {other}"
+                        )))
+                    }
+                };
+                Self::Subscribe { id, filter }
+            }
+            TAG_UNSUBSCRIBE => Self::Unsubscribe {
+                id: SubscriberId(r.get_u64()?),
+            },
+            other => {
+                return Err(StorageError::Corrupt(format!(
+                    "unknown WAL record tag {other:#04x}"
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "{} trailing bytes after WAL record",
+                r.remaining()
+            )));
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mrect(seed: f64) -> MovingRect {
+        MovingRect {
+            lo: [seed, seed + 1.0],
+            hi: [seed + 2.0, seed + 3.0],
+            vlo: [-seed, 0.5],
+            vhi: [-seed, 0.75],
+            t_ref: seed * 10.0,
+        }
+    }
+
+    #[test]
+    fn all_record_kinds_round_trip() {
+        let records = vec![
+            WalRecord::Genesis {
+                start: 3.5,
+                set_a: vec![MovingObject {
+                    id: ObjectId(1),
+                    mbr: mrect(1.0),
+                }],
+                set_b: vec![
+                    MovingObject {
+                        id: ObjectId(2),
+                        mbr: mrect(2.0),
+                    },
+                    MovingObject {
+                        id: ObjectId(3),
+                        mbr: mrect(3.0),
+                    },
+                ],
+            },
+            WalRecord::Batch {
+                at: 7.0,
+                updates: vec![ObjectUpdate {
+                    id: ObjectId(9),
+                    set: SetTag::B,
+                    old_mbr: mrect(4.0),
+                    last_update: 2.0,
+                    new_mbr: mrect(5.0),
+                }],
+            },
+            WalRecord::Batch {
+                at: 8.0,
+                updates: Vec::new(),
+            },
+            WalRecord::Subscribe {
+                id: SubscriberId(11),
+                filter: SubscriptionFilter::All,
+            },
+            WalRecord::Subscribe {
+                id: SubscriberId(12),
+                filter: SubscriptionFilter::Object(ObjectId(77)),
+            },
+            WalRecord::Subscribe {
+                id: SubscriberId(13),
+                filter: SubscriptionFilter::Window(Rect::new([0.0, 1.0], [10.0, 11.0])),
+            },
+            WalRecord::Unsubscribe {
+                id: SubscriberId(12),
+            },
+        ];
+        for record in records {
+            let bytes = record.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), record, "{record:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_misparsed() {
+        assert!(WalRecord::decode(&[]).is_err());
+        assert!(WalRecord::decode(&[0xFF]).is_err());
+        // Truncated batch: claims one update, carries none.
+        let mut w = ByteWriter::new();
+        w.put_u8(0x02);
+        w.put_f64(1.0);
+        w.put_u32(1);
+        assert!(WalRecord::decode(&w.into_bytes()).is_err());
+        // Trailing junk after a valid record.
+        let mut bytes = WalRecord::Unsubscribe {
+            id: SubscriberId(1),
+        }
+        .encode();
+        bytes.push(0);
+        assert!(WalRecord::decode(&bytes).is_err());
+    }
+}

@@ -10,7 +10,7 @@ use cij_geom::Time;
 /// rebuilds/updates; with TC processing every query window is at most `T_M`
 /// long, so integrating penalties past `t + T_M` would optimize for
 /// queries that never run).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
     /// Maximum number of entries per node (paper: 30).
     pub capacity: usize,

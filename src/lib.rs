@@ -17,6 +17,7 @@
 //! | [`core`] | `cij-core` | continuous engines, MTB-tree, window queries |
 //! | [`bx`] | `cij-bx` | the Bˣ-tree (the index the MTB bucketing derives from) |
 //! | [`workload`] | `cij-workload` | the paper's synthetic workloads |
+//! | [`stream`] | `cij-stream` | update ingestion, result-delta subscriptions, WAL recovery |
 //!
 //! ## Quickstart
 //!
@@ -56,5 +57,6 @@ pub use cij_core as core;
 pub use cij_geom as geom;
 pub use cij_join as join;
 pub use cij_storage as storage;
+pub use cij_stream as stream;
 pub use cij_tpr as tpr;
 pub use cij_workload as workload;
