@@ -5,9 +5,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cij_bench::runner::{build_pair_trees, fresh_pool};
+use std::sync::Arc;
+
+use cij_bench::runner::{build_pair_trees, build_pair_trees_with, fresh_pool, tree_config};
 use cij_geom::{MovingRect, Rect};
-use cij_join::{improved_join, naive_join, ps_intersection, techniques, JoinCounters, SweepItem};
+use cij_join::{
+    improved_join, improved_join_into, naive_join, ps_intersection, ps_intersection_soa,
+    techniques, JoinCounters, JoinScratch, SweepItem, SweepSoa,
+};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
 use cij_workload::Params;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -98,6 +104,62 @@ fn bench_plane_sweep(c: &mut Criterion) {
             black_box(ps_intersection(&mut sa, &mut sb, 0.0, 60.0, &mut counters))
         })
     });
+    // The allocation-free SoA twin: buffers persist across iterations.
+    group.bench_function("plane_sweep_soa_30x30", |b| {
+        let mut sa = SweepSoa::new();
+        let mut sb = SweepSoa::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            sa.clear();
+            sb.clear();
+            for (i, m) in ra.iter().enumerate() {
+                sa.push(*m, i as u32, 0, 0.0, 60.0);
+            }
+            for (i, m) in rb.iter().enumerate() {
+                sb.push(*m, i as u32, 0, 0.0, 60.0);
+            }
+            let mut counters = JoinCounters::new();
+            ps_intersection_soa(&mut sa, &mut sb, 0.0, 60.0, &mut counters, &mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+/// The PR's headline comparison: warm `improved_join` over a pool large
+/// enough that every read is a pool hit, with the decoded-node cache off
+/// (every read re-decodes the page) vs on (every read is an `Arc`
+/// clone). The delta is pure decode + allocation cost.
+fn bench_node_cache(c: &mut Criterion) {
+    let params = Params {
+        dataset_size: 2_000,
+        ..Params::default()
+    };
+    let big_pool = || {
+        BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(8192),
+        )
+    };
+    let mut group = c.benchmark_group("improved_join_2k_pool_hit");
+    group.sample_size(20);
+    for (name, cache) in [("cache_off", 0usize), ("cache_on_4k", 4096)] {
+        let pool = big_pool();
+        let config = tree_config(&params).with_node_cache(cache);
+        let (ta, tb, _, _) = build_pair_trees_with(&params, &pool, config).expect("trees");
+        let mut scratch = JoinScratch::new();
+        let mut out = Vec::new();
+        // Warm the pool (and cache) so the measured loop is steady-state.
+        improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)
+            .expect("warm-up");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)
+                    .expect("join");
+                black_box(out.len())
+            })
+        });
+    }
     group.finish();
 }
 
@@ -155,6 +217,7 @@ criterion_group!(
     benches,
     bench_intersect_interval,
     bench_plane_sweep,
+    bench_node_cache,
     bench_technique_combos,
     bench_naive_vs_tc
 );

@@ -56,34 +56,38 @@ fn bench_update_cycle(c: &mut Criterion) {
 
 fn bench_probes(c: &mut Criterion) {
     let objs = generate_set(&params(5_000), SetTag::A, 0, 0.0);
-    let mut tree = TprTree::new(fresh_pool(), TreeConfig::default());
-    for o in &objs {
-        tree.insert(o.id, o.mbr, 0.0).expect("insert");
-    }
     let probe = MovingRect::rigid(Rect::new([500.0, 500.0], [505.0, 505.0]), [2.0, -1.0], 0.0);
+    let window = Rect::new([480.0, 480.0], [540.0, 540.0]);
     let mut group = c.benchmark_group("tree");
-    group.bench_function("range_at_5k", |b| {
-        let window = Rect::new([480.0, 480.0], [540.0, 540.0]);
-        b.iter(|| black_box(tree.range_at(&window, 30.0).expect("query").len()))
-    });
-    group.bench_function("intersect_window_5k_tm", |b| {
-        b.iter(|| {
-            black_box(
-                tree.intersect_window(&probe, 0.0, 60.0)
-                    .expect("query")
-                    .len(),
-            )
-        })
-    });
-    group.bench_function("intersect_window_5k_unbounded", |b| {
-        b.iter(|| {
-            black_box(
-                tree.intersect_window(&probe, 0.0, cij_geom::INFINITE_TIME)
-                    .expect("query")
-                    .len(),
-            )
-        })
-    });
+    // Cache-off (the paper's I/O-faithful mode) vs cache-on: the delta on
+    // a warm pool is the per-read page-decode cost the cache removes.
+    for (suffix, cache) in [("", 0usize), ("_cached", 1024)] {
+        let mut tree = TprTree::new(fresh_pool(), TreeConfig::default().with_node_cache(cache));
+        for o in &objs {
+            tree.insert(o.id, o.mbr, 0.0).expect("insert");
+        }
+        group.bench_function(format!("range_at_5k{suffix}"), |b| {
+            b.iter(|| black_box(tree.range_at(&window, 30.0).expect("query").len()))
+        });
+        group.bench_function(format!("intersect_window_5k_tm{suffix}"), |b| {
+            b.iter(|| {
+                black_box(
+                    tree.intersect_window(&probe, 0.0, 60.0)
+                        .expect("query")
+                        .len(),
+                )
+            })
+        });
+        group.bench_function(format!("intersect_window_5k_unbounded{suffix}"), |b| {
+            b.iter(|| {
+                black_box(
+                    tree.intersect_window(&probe, 0.0, cij_geom::INFINITE_TIME)
+                        .expect("query")
+                        .len(),
+                )
+            })
+        });
+    }
     group.finish();
     let _ = ObjectId(0);
 }

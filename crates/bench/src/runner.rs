@@ -108,8 +108,17 @@ pub fn build_pair_trees(
     params: &Params,
     pool: &BufferPool,
 ) -> TprResult<(TprTree, TprTree, Vec<MovingObject>, Vec<MovingObject>)> {
+    build_pair_trees_with(params, pool, tree_config(params))
+}
+
+/// [`build_pair_trees`] with an explicit tree configuration (e.g. a
+/// decoded-node cache enabled for the cache-on benchmark variants).
+pub fn build_pair_trees_with(
+    params: &Params,
+    pool: &BufferPool,
+    config: TreeConfig,
+) -> TprResult<(TprTree, TprTree, Vec<MovingObject>, Vec<MovingObject>)> {
     let (a, b) = generate_pair(params, 0.0);
-    let config = tree_config(params);
     let mut ta = TprTree::new(pool.clone(), config);
     for o in &a {
         ta.insert(o.id, o.mbr, 0.0)?;
@@ -168,10 +177,19 @@ impl EngineKind {
         params: &Params,
         techniques: Techniques,
     ) -> TprResult<(Box<dyn ContinuousJoinEngine>, UpdateStream, BufferPool)> {
+        self.build_with_config(params, engine_config(params, techniques, 2))
+    }
+
+    /// [`EngineKind::build`] with an explicit engine configuration (e.g.
+    /// threads or the decoded-node cache set by the caller).
+    pub fn build_with_config(
+        self,
+        params: &Params,
+        config: EngineConfig,
+    ) -> TprResult<(Box<dyn ContinuousJoinEngine>, UpdateStream, BufferPool)> {
         let pool = fresh_pool();
         let (a, b) = generate_pair(params, 0.0);
         let stream = UpdateStream::new(params, &a, &b, 0.0);
-        let config = engine_config(params, techniques, 2);
         let engine: Box<dyn ContinuousJoinEngine> = match self {
             Self::Naive => Box::new(NaiveEngine::new(pool.clone(), config, &a, &b, 0.0)?),
             Self::Etp => Box::new(EtpEngine::new(pool.clone(), config, &a, &b, 0.0)?),

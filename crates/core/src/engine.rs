@@ -23,7 +23,7 @@ use cij_join::{
     parallel_improved_join, parallel_improved_multi_join, parallel_naive_join, tp_join,
     tp_object_probe, JoinCounters, JoinJob, Techniques,
 };
-use cij_storage::BufferPool;
+use cij_storage::{BufferPool, CacheSnapshot};
 use cij_tpr::{ObjectId, TprResult, TprTree, TreeConfig};
 use cij_workload::{MovingObject, ObjectUpdate, SetTag};
 
@@ -132,6 +132,16 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Capacity of the decoded-node cache above the buffer pool, in
+    /// nodes per tree (default 0 = disabled, the paper-faithful mode —
+    /// see [`TreeConfig::node_cache_capacity`]). Shorthand for setting
+    /// the same field on the embedded tree configuration.
+    #[must_use]
+    pub fn node_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.tree.node_cache_capacity = capacity;
+        self
+    }
+
     /// Finishes the configuration.
     #[must_use]
     pub fn build(self) -> EngineConfig {
@@ -194,6 +204,24 @@ pub trait ContinuousJoinEngine {
     /// the default reports "inactive, no future interval".
     fn pair_status_at(&self, _pair: PairKey, _t: Time) -> PairStatus {
         PairStatus::default()
+    }
+
+    /// Aggregate decoded-node-cache counters across the engine's indexes
+    /// (both trees; for MTB, every live bucket). `None` when the engine
+    /// runs without a node cache — the default, and always the case for
+    /// engines whose indexes have none (Bˣ).
+    fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
+        None
+    }
+}
+
+/// Merges two optional cache snapshots (per-tree stats into a per-engine
+/// total).
+fn merge_cache_stats(a: Option<CacheSnapshot>, b: Option<CacheSnapshot>) -> Option<CacheSnapshot> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.merged(&y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -321,35 +349,12 @@ impl ContinuousJoinEngine for NaiveEngine {
     fn counters(&self) -> JoinCounters {
         self.counters
     }
-}
 
-#[cfg(test)]
-mod config_tests {
-    use super::*;
-
-    #[test]
-    fn builder_defaults_match_default() {
-        assert_eq!(EngineConfig::builder().build(), EngineConfig::default());
-    }
-
-    #[test]
-    fn builder_round_trips_every_knob() {
-        let config = EngineConfig::builder()
-            .t_m(120.0)
-            .tree(TreeConfig {
-                capacity: 12,
-                ..TreeConfig::default()
-            })
-            .techniques(cij_join::techniques::NONE)
-            .buckets_per_tm(4)
-            .threads(8)
-            .build();
-        assert_eq!(config.t_m, 120.0);
-        assert_eq!(config.tree.capacity, 12);
-        assert_eq!(config.techniques, cij_join::techniques::NONE);
-        assert_eq!(config.buckets_per_tm, 4);
-        assert_eq!(config.threads, 8);
-        assert_eq!(config.to_builder().build(), config);
+    fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
+        merge_cache_stats(
+            self.tree_a.node_cache_stats(),
+            self.tree_b.node_cache_stats(),
+        )
     }
 }
 
@@ -444,6 +449,13 @@ impl ContinuousJoinEngine for TcEngine {
 
     fn counters(&self) -> JoinCounters {
         self.counters
+    }
+
+    fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
+        merge_cache_stats(
+            self.tree_a.node_cache_stats(),
+            self.tree_b.node_cache_stats(),
+        )
     }
 }
 
@@ -559,6 +571,13 @@ impl ContinuousJoinEngine for EtpEngine {
 
     fn counters(&self) -> JoinCounters {
         self.counters
+    }
+
+    fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
+        merge_cache_stats(
+            self.tree_a.node_cache_stats(),
+            self.tree_b.node_cache_stats(),
+        )
     }
 }
 
@@ -709,6 +728,10 @@ impl ContinuousJoinEngine for MtbEngine {
     fn counters(&self) -> JoinCounters {
         self.counters
     }
+
+    fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
+        merge_cache_stats(self.mtb_a.node_cache_stats(), self.mtb_b.node_cache_stats())
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -833,5 +856,37 @@ impl ContinuousJoinEngine for BxEngine {
 
     fn counters(&self) -> JoinCounters {
         self.counters
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(EngineConfig::builder().build(), EngineConfig::default());
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let config = EngineConfig::builder()
+            .t_m(120.0)
+            .tree(TreeConfig {
+                capacity: 12,
+                ..TreeConfig::default()
+            })
+            .techniques(cij_join::techniques::NONE)
+            .buckets_per_tm(4)
+            .threads(8)
+            .node_cache_capacity(256)
+            .build();
+        assert_eq!(config.t_m, 120.0);
+        assert_eq!(config.tree.capacity, 12);
+        assert_eq!(config.techniques, cij_join::techniques::NONE);
+        assert_eq!(config.buckets_per_tm, 4);
+        assert_eq!(config.threads, 8);
+        assert_eq!(config.tree.node_cache_capacity, 256);
+        assert_eq!(config.to_builder().build(), config);
     }
 }

@@ -120,6 +120,16 @@ impl MtbTree {
             .map(|(idx, tree)| (self.bucket_end(*idx), tree))
     }
 
+    /// Decoded-node-cache counters summed over every live bucket tree;
+    /// `None` when the cache is disabled (the default configuration).
+    #[must_use]
+    pub fn node_cache_stats(&self) -> Option<cij_storage::CacheSnapshot> {
+        self.buckets
+            .values()
+            .filter_map(|tree| tree.node_cache_stats())
+            .reduce(|acc, s| acc.merged(&s))
+    }
+
     /// Inserts `oid` whose last update happened at `updated_at`
     /// (normally `== now`).
     pub fn insert(

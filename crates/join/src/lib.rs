@@ -25,7 +25,12 @@
 //!   counter totals) are bit-identical to the sequential runs.
 //!
 //! All algorithms read nodes strictly through the trees' buffer pools, so
-//! their I/O is accounted exactly like the paper's.
+//! their I/O is accounted exactly like the paper's. The hot traversals
+//! are allocation-free in steady state: nodes are `Arc`-shared with the
+//! optional decoded-node cache (`cij_storage::DecodedCache`), and the
+//! per-visit buffers live in a reusable [`JoinScratch`] pool
+//! ([`improved_join_into`] is the buffer-reusing entry point; the
+//! `no_alloc` integration test pins the zero-allocation property).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -37,11 +42,12 @@ mod naive;
 mod pair;
 mod parallel;
 mod partition;
+mod scratch;
 mod sweep;
 mod tp;
 
 pub use counters::JoinCounters;
-pub use improved::{improved_join, techniques, Techniques};
+pub use improved::{improved_join, improved_join_into, techniques, Techniques};
 pub use naive::{naive_join, tc_join};
 pub use pair::{assert_pairs_equal, JoinPair};
 pub use parallel::{
@@ -49,5 +55,6 @@ pub use parallel::{
     JoinJob,
 };
 pub use partition::{partition_join, partition_join_auto, swept_region};
-pub use sweep::{ps_intersection, SweepItem};
+pub use scratch::JoinScratch;
+pub use sweep::{ps_intersection, ps_intersection_soa, SweepItem, SweepSoa};
 pub use tp::{tp_join, tp_join_best_first, tp_object_probe, TpAnswer, TpProbe};

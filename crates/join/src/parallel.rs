@@ -24,6 +24,7 @@
 //! `threads <= 1` falls back to the plain sequential entry points.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use cij_geom::{Time, INFINITE_TIME};
 use cij_tpr::{Node, TprResult, TprTree};
@@ -32,10 +33,13 @@ use crate::counters::JoinCounters;
 use crate::improved::{improved_join, Techniques};
 use crate::naive::{naive_join, tc_join};
 use crate::pair::JoinPair;
+use crate::scratch::JoinScratch;
 
 /// A deferred recursive call captured by a kernel running with budget 0:
-/// `(node_a, node_b, window_start, window_end)`.
-pub(crate) type SpillSink = Vec<(Node, Node, Time, Time)>;
+/// `(node_a, node_b, window_start, window_end)`. Nodes are `Arc`-shared
+/// with the decoded-node cache, so capturing a task never deep-clones a
+/// node.
+pub(crate) type SpillSink = Vec<(Arc<Node>, Arc<Node>, Time, Time)>;
 
 /// Recursion budget that is never exhausted: tree heights are bounded by
 /// `u8::MAX`, so sequential entry points can pass this and never spill.
@@ -65,8 +69,8 @@ struct JobSpec<'t> {
 /// pool), the window to process it under, and the job it belongs to.
 struct Task {
     job: usize,
-    na: Node,
-    nb: Node,
+    na: Arc<Node>,
+    nb: Arc<Node>,
     ws: Time,
     we: Time,
 }
@@ -233,7 +237,12 @@ fn into_single(mut results: Vec<(Vec<JoinPair>, JoinCounters)>) -> (Vec<JoinPair
 }
 
 /// Runs one kernel invocation for `task`, sequentially, to completion.
-fn run_task(jobs: &[JobSpec<'_>], task: &Task) -> TprResult<(Vec<JoinPair>, JoinCounters)> {
+/// `scratch` is the calling worker's buffer pool, reused across tasks.
+fn run_task(
+    jobs: &[JobSpec<'_>],
+    task: &Task,
+    scratch: &mut JoinScratch,
+) -> TprResult<(Vec<JoinPair>, JoinCounters)> {
     let job = &jobs[task.job];
     let mut out = Vec::new();
     let mut counters = JoinCounters::new();
@@ -263,6 +272,8 @@ fn run_task(jobs: &[JobSpec<'_>], task: &Task) -> TprResult<(Vec<JoinPair>, Join
             &mut counters,
             NO_SPILL_BUDGET,
             &mut spill,
+            0,
+            scratch,
         )?,
     }
     debug_assert!(spill.is_empty(), "unbounded budget must never spill");
@@ -278,6 +289,7 @@ fn expand_task(
     jobs: &[JobSpec<'_>],
     task: &Task,
     counters: &mut JoinCounters,
+    scratch: &mut JoinScratch,
 ) -> TprResult<Vec<Task>> {
     let job = &jobs[task.job];
     let mut out = Vec::new();
@@ -289,7 +301,7 @@ fn expand_task(
         )?,
         Kernel::Improved(tech) => crate::improved::join_nodes(
             job.tree_a, &task.na, job.tree_b, &task.nb, task.ws, task.we, tech, &mut out, counters,
-            0, &mut spill,
+            0, &mut spill, 0, scratch,
         )?,
     }
     debug_assert!(
@@ -326,8 +338,8 @@ fn run_jobs(jobs: &[JobSpec<'_>], threads: usize) -> TprResult<Vec<(Vec<JoinPair
         else {
             continue;
         };
-        let na = spec.tree_a.read_node(root_a)?;
-        let nb = spec.tree_b.read_node(root_b)?;
+        let na = spec.tree_a.read_node_arc(root_a)?;
+        let nb = spec.tree_b.read_node_arc(root_b)?;
         tasks.push(Task {
             job,
             na,
@@ -341,6 +353,7 @@ fn run_jobs(jobs: &[JobSpec<'_>], threads: usize) -> TprResult<Vec<(Vec<JoinPair
     // keeping depth-first order, until the frontier is wide enough for
     // the worker count (or nothing is left to expand).
     let target = threads * TASKS_PER_THREAD;
+    let mut expand_scratch = JoinScratch::new();
     while tasks.len() < target {
         let mut pick: Option<(usize, u16)> = None;
         for (i, t) in tasks.iter().enumerate() {
@@ -349,7 +362,12 @@ fn run_jobs(jobs: &[JobSpec<'_>], threads: usize) -> TprResult<Vec<(Vec<JoinPair
             }
         }
         let Some((i, _)) = pick else { break };
-        let sub = expand_task(jobs, &tasks[i], &mut base[tasks[i].job])?;
+        let sub = expand_task(
+            jobs,
+            &tasks[i],
+            &mut base[tasks[i].job],
+            &mut expand_scratch,
+        )?;
         tasks.splice(i..=i, sub);
     }
 
@@ -364,10 +382,12 @@ fn run_jobs(jobs: &[JobSpec<'_>], threads: usize) -> TprResult<Vec<(Vec<JoinPair
             .map(|_| {
                 s.spawn(|| {
                     let mut local = Vec::new();
+                    // One scratch pool per worker, reused across tasks.
+                    let mut scratch = JoinScratch::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(i) else { break };
-                        local.push((i, run_task(jobs, task)));
+                        local.push((i, run_task(jobs, task, &mut scratch)));
                     }
                     local
                 })

@@ -110,6 +110,148 @@ pub fn ps_intersection(
     out
 }
 
+/// Structure-of-arrays sweep state with retained capacity.
+///
+/// The hot-loop twin of [`SweepItem`]: instead of an array of structs
+/// built fresh per node pair, the four component arrays (`lb`, `ub`,
+/// rectangles, indices) live in parallel vectors that are `clear()`ed and
+/// refilled, so steady-state sweeps allocate nothing and the per-window
+/// bound computation is one tight loop over contiguous `f64`s. Sorting is
+/// done through a permutation array with ping-pong gather buffers — also
+/// capacity-retained.
+///
+/// Emission order of [`ps_intersection_soa`] is identical to
+/// [`ps_intersection`] on the same input: the permutation sort breaks
+/// `lb` ties by insertion position, matching the stable sort used there.
+#[derive(Debug, Default)]
+pub struct SweepSoa {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    mbrs: Vec<MovingRect>,
+    idxs: Vec<u32>,
+    perm: Vec<u32>,
+    back_lb: Vec<f64>,
+    back_ub: Vec<f64>,
+    back_mbrs: Vec<MovingRect>,
+    back_idxs: Vec<u32>,
+}
+
+impl SweepSoa {
+    /// An empty sweep buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lb.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lb.is_empty()
+    }
+
+    /// Drops all items, keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.lb.clear();
+        self.ub.clear();
+        self.mbrs.clear();
+        self.idxs.clear();
+    }
+
+    /// Appends one item, computing its sweep bounds for the window
+    /// `[t_s, t_e]` in dimension `dim` (same formulas as
+    /// [`SweepItem::new`]).
+    pub fn push(&mut self, mbr: MovingRect, idx: u32, dim: usize, t_s: Time, t_e: Time) {
+        self.lb.push(mbr.lo_at(dim, t_s).min(mbr.lo_at(dim, t_e)));
+        self.ub.push(mbr.hi_at(dim, t_s).max(mbr.hi_at(dim, t_e)));
+        self.mbrs.push(mbr);
+        self.idxs.push(idx);
+    }
+
+    /// Sorts all four arrays by `lb` (ties: insertion order, matching a
+    /// stable sort) via a permutation + gather; no allocation once the
+    /// buffers have grown to size.
+    fn sort_by_lb(&mut self) {
+        let n = self.len();
+        self.perm.clear();
+        self.perm.extend(0..n as u32);
+        let lb = &self.lb;
+        self.perm.sort_unstable_by(|&a, &b| {
+            lb[a as usize]
+                .partial_cmp(&lb[b as usize])
+                .expect("finite bounds")
+                .then(a.cmp(&b))
+        });
+        self.back_lb.clear();
+        self.back_lb
+            .extend(self.perm.iter().map(|&p| self.lb[p as usize]));
+        self.back_ub.clear();
+        self.back_ub
+            .extend(self.perm.iter().map(|&p| self.ub[p as usize]));
+        self.back_mbrs.clear();
+        self.back_mbrs
+            .extend(self.perm.iter().map(|&p| self.mbrs[p as usize]));
+        self.back_idxs.clear();
+        self.back_idxs
+            .extend(self.perm.iter().map(|&p| self.idxs[p as usize]));
+        std::mem::swap(&mut self.lb, &mut self.back_lb);
+        std::mem::swap(&mut self.ub, &mut self.back_ub);
+        std::mem::swap(&mut self.mbrs, &mut self.back_mbrs);
+        std::mem::swap(&mut self.idxs, &mut self.back_idxs);
+    }
+}
+
+/// [`ps_intersection`] over [`SweepSoa`] buffers, appending into a
+/// caller-owned (capacity-retained) output vector instead of returning a
+/// fresh one. Identical pairs in identical order; zero allocation in
+/// steady state.
+pub fn ps_intersection_soa(
+    sa: &mut SweepSoa,
+    sb: &mut SweepSoa,
+    t_s: Time,
+    t_e: Time,
+    counters: &mut JoinCounters,
+    out: &mut Vec<(u32, u32, TimeInterval)>,
+) {
+    debug_assert!(t_e.is_finite(), "plane sweep requires a bounded window");
+    out.clear();
+    sa.sort_by_lb();
+    sb.sort_by_lb();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.lb.len() && j < sb.lb.len() {
+        if sa.lb[i] <= sb.lb[j] {
+            let (c_ub, c_idx) = (sa.ub[i], sa.idxs[i]);
+            let c_mbr = &sa.mbrs[i];
+            let mut k = j;
+            while k < sb.lb.len() && sb.lb[k] <= c_ub {
+                counters.entry_comparisons += 1;
+                if let Some(iv) = c_mbr.intersect_interval(&sb.mbrs[k], t_s, t_e) {
+                    out.push((c_idx, sb.idxs[k], iv));
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let (c_ub, c_idx) = (sb.ub[j], sb.idxs[j]);
+            let c_mbr = &sb.mbrs[j];
+            let mut k = i;
+            while k < sa.lb.len() && sa.lb[k] <= c_ub {
+                counters.entry_comparisons += 1;
+                if let Some(iv) = sa.mbrs[k].intersect_interval(c_mbr, t_s, t_e) {
+                    out.push((sa.idxs[k], c_idx, iv));
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +354,93 @@ mod tests {
         let mut counters = JoinCounters::new();
         let got = ps_intersection(&mut sa, &mut sb, t0, t1, &mut counters);
         assert_eq!(got.len(), 2);
+    }
+
+    /// SoA sweep emits exactly the AoS sweep's pairs in exactly its
+    /// order, with the same comparison count — including duplicate `lb`
+    /// values, where the stable AoS sort is mirrored by the SoA
+    /// permutation's index tie-break.
+    #[test]
+    fn soa_matches_aos_output_and_order() {
+        let (t0, t1) = (0.0, 30.0);
+        // Deterministic pseudo-random layout with plenty of lb ties.
+        let mut state = 0x9e37_79b9_u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut mk = |n: usize| -> Vec<MovingRect> {
+            (0..n)
+                .map(|_| {
+                    let x = (rnd() % 40) as f64; // coarse grid => lb ties
+                    let y = (rnd() % 40) as f64;
+                    let vx = ((rnd() % 5) as f64 - 2.0) * 0.5;
+                    MovingRect::rigid(
+                        cij_geom::Rect::new([x, y], [x + 3.0, y + 3.0]),
+                        [vx, 0.0],
+                        0.0,
+                    )
+                })
+                .collect()
+        };
+        for (na, nb) in [(25usize, 25usize), (1, 40), (40, 1), (0, 10)] {
+            let ra = mk(na);
+            let rb = mk(nb);
+            let mut sa: Vec<SweepItem> = ra
+                .iter()
+                .enumerate()
+                .map(|(i, m)| SweepItem::new(*m, i, 0, t0, t1))
+                .collect();
+            let mut sb: Vec<SweepItem> = rb
+                .iter()
+                .enumerate()
+                .map(|(i, m)| SweepItem::new(*m, i, 0, t0, t1))
+                .collect();
+            let mut c_aos = JoinCounters::new();
+            let want = ps_intersection(&mut sa, &mut sb, t0, t1, &mut c_aos);
+
+            let mut soa_a = SweepSoa::new();
+            let mut soa_b = SweepSoa::new();
+            for (i, m) in ra.iter().enumerate() {
+                soa_a.push(*m, i as u32, 0, t0, t1);
+            }
+            for (i, m) in rb.iter().enumerate() {
+                soa_b.push(*m, i as u32, 0, t0, t1);
+            }
+            let mut c_soa = JoinCounters::new();
+            let mut got = Vec::new();
+            ps_intersection_soa(&mut soa_a, &mut soa_b, t0, t1, &mut c_soa, &mut got);
+
+            let got_usize: Vec<(usize, usize, TimeInterval)> = got
+                .iter()
+                .map(|&(i, j, iv)| (i as usize, j as usize, iv))
+                .collect();
+            assert_eq!(want, got_usize, "pairs/order differ at ({na},{nb})");
+            assert_eq!(c_aos.entry_comparisons, c_soa.entry_comparisons);
+        }
+    }
+
+    #[test]
+    fn soa_buffers_are_reused_without_allocation_growth() {
+        let (t0, t1) = (0.0, 10.0);
+        let mut soa_a = SweepSoa::new();
+        let mut soa_b = SweepSoa::new();
+        let mut out = Vec::new();
+        let mut counters = JoinCounters::new();
+        let m = MovingRect::rigid(Rect::new([0.0, 0.0], [2.0, 2.0]), [0.1, 0.0], 0.0);
+        for _ in 0..3 {
+            soa_a.clear();
+            soa_b.clear();
+            for i in 0..16u32 {
+                soa_a.push(m, i, 0, t0, t1);
+                soa_b.push(m, i, 0, t0, t1);
+            }
+            ps_intersection_soa(&mut soa_a, &mut soa_b, t0, t1, &mut counters, &mut out);
+            assert_eq!(out.len(), 256);
+        }
+        assert_eq!(soa_a.len(), 16);
+        assert!(!soa_a.is_empty());
     }
 }

@@ -1,0 +1,142 @@
+//! Allocation regression test for the join hot path.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up call, a steady-state [`improved_join_into`] over trees with a
+//! decoded-node cache must perform **zero** heap allocations: node reads
+//! are `Arc` clones out of the cache, traversal temporaries come from the
+//! reused [`JoinScratch`] frames, and the output vector retains its
+//! capacity. This pins the PR's two structural claims — no
+//! per-visit `Vec::new()` (the old `improved.rs` spill temporary) and no
+//! per-node `SweepItem` array builds.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cij_geom::{MovingRect, Rect};
+use cij_join::{improved_join, improved_join_into, techniques, JoinScratch};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::{ObjectId, TprTree, TreeConfig};
+
+/// Counts every allocation (alloc / realloc / alloc_zeroed). Deallocs
+/// are not counted — freeing retained buffers is not a regression.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Two trees with node caches large enough to hold every page, so a
+/// warmed traversal never decodes.
+fn build_cached_trees(n: u64) -> (TprTree, TprTree) {
+    let pool = BufferPool::new(Arc::new(InMemoryStore::new()), BufferPoolConfig::default());
+    let config = TreeConfig::default().with_node_cache(1024);
+    let mut ta = TprTree::new(pool.clone(), config);
+    let mut tb = TprTree::new(pool, config);
+    for i in 0..n {
+        let x = (i as f64 * 13.0) % 700.0;
+        let y = (i as f64 * 29.0) % 700.0;
+        ta.insert(
+            ObjectId(i),
+            MovingRect::rigid(Rect::new([x, y], [x + 2.0, y + 2.0]), [1.0, -0.5], 0.0),
+            0.0,
+        )
+        .expect("insert a");
+        tb.insert(
+            ObjectId(100_000 + i),
+            MovingRect::rigid(
+                Rect::new([x + 4.0, y + 1.0], [x + 6.0, y + 3.0]),
+                [-1.0, 0.5],
+                0.0,
+            ),
+            0.0,
+        )
+        .expect("insert b");
+    }
+    (ta, tb)
+}
+
+#[test]
+fn warm_improved_join_performs_zero_allocations() {
+    let (ta, tb) = build_cached_trees(500);
+    let mut scratch = JoinScratch::new();
+    let mut out = Vec::new();
+
+    // Warm-up: populates the node caches, grows the scratch frames and
+    // the output vector to their steady-state sizes.
+    let warm = improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)
+        .expect("warm-up join");
+    assert!(!out.is_empty(), "workload must produce pairs");
+    let warm_pairs = out.clone();
+
+    for round in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let counters =
+            improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)
+                .expect("steady-state join");
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state improved_join_into allocated (round {round})"
+        );
+        assert_eq!(counters, warm, "counters changed between identical runs");
+        assert_eq!(out, warm_pairs, "pairs changed between identical runs");
+    }
+}
+
+#[test]
+fn every_technique_combination_is_allocation_free_when_warm() {
+    let (ta, tb) = build_cached_trees(300);
+    for tech in [
+        techniques::NONE,
+        techniques::IC,
+        techniques::PS,
+        techniques::DS_PS,
+        techniques::IC_PS,
+        techniques::ALL,
+    ] {
+        let mut scratch = JoinScratch::new();
+        let mut out = Vec::new();
+        improved_join_into(&ta, &tb, 0.0, 60.0, tech, &mut scratch, &mut out).expect("warm-up");
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        improved_join_into(&ta, &tb, 0.0, 60.0, tech, &mut scratch, &mut out).expect("steady");
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(after - before, 0, "technique set {tech:?} allocated");
+    }
+}
+
+#[test]
+fn scratch_entry_point_matches_plain_entry_point() {
+    let (ta, tb) = build_cached_trees(400);
+    let (pairs, counters) = improved_join(&ta, &tb, 0.0, 60.0, techniques::ALL).expect("plain");
+    let mut scratch = JoinScratch::new();
+    let mut out = Vec::new();
+    let counters_into =
+        improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)
+            .expect("into");
+    assert_eq!(pairs, out);
+    assert_eq!(counters, counters_into);
+}

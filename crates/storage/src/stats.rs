@@ -144,6 +144,159 @@ impl std::ops::Sub for IoSnapshot {
     }
 }
 
+/// Shared, thread-safe counters of a [`DecodedCache`](crate::DecodedCache).
+///
+/// Mirrors the [`IoStats`] pattern: record methods on atomics, a
+/// [`snapshot`](Self::snapshot) for per-phase deltas. Kept separate from
+/// `IoStats` because the decoded cache sits *above* the buffer pool — its
+/// hits never reach the pool and must not perturb the paper's logical /
+/// physical I/O accounting.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    stale_rejections: AtomicU64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a lookup that returned a cached value.
+    #[inline]
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lookup that found nothing.
+    #[inline]
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a value installed (miss-fill or write-through).
+    #[inline]
+    pub fn record_insertion(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an LRU victim dropped to make room.
+    #[inline]
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cached value dropped or replaced because its page
+    /// changed or was freed.
+    #[inline]
+    pub fn record_invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss-fill rejected by the generation stamp.
+    #[inline]
+    pub fn record_stale_rejection(&self) {
+        self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Captures the current counter values.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+        self.stale_rejections.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`CacheStats`], supporting subtraction to
+/// obtain per-phase deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values installed (miss-fills + write-throughs).
+    pub insertions: u64,
+    /// LRU victims dropped for capacity.
+    pub evictions: u64,
+    /// Values dropped or replaced by writers.
+    pub invalidations: u64,
+    /// Miss-fills rejected by the generation stamp.
+    pub stale_rejections: u64,
+}
+
+impl CacheSnapshot {
+    /// Fraction of lookups served from the cache; `None` when no lookups
+    /// happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+
+    /// Component-wise difference `self − earlier` (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            stale_rejections: self
+                .stale_rejections
+                .saturating_sub(earlier.stale_rejections),
+        }
+    }
+
+    /// Component-wise sum — for aggregating over several caches (e.g.
+    /// MTB-Join's per-bucket trees).
+    #[must_use]
+    pub fn merged(&self, other: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+            stale_rejections: self.stale_rejections + other.stale_rejections,
+        }
+    }
+}
+
+impl std::ops::Sub for CacheSnapshot {
+    type Output = CacheSnapshot;
+    fn sub(self, rhs: Self) -> Self {
+        self.delta_since(&rhs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +345,44 @@ mod tests {
         s.record_alloc();
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_delta() {
+        let s = CacheStats::new();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        s.record_insertion();
+        let before = s.snapshot();
+        assert_eq!(before.hits, 2);
+        assert_eq!(before.hit_rate(), Some(2.0 / 3.0));
+        s.record_hit();
+        s.record_eviction();
+        s.record_invalidation();
+        s.record_stale_rejection();
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.evictions, 1);
+        assert_eq!(delta.invalidations, 1);
+        assert_eq!(delta.stale_rejections, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), CacheSnapshot::default());
+        assert_eq!(CacheSnapshot::default().hit_rate(), None);
+    }
+
+    #[test]
+    fn cache_snapshot_merged_sums() {
+        let a = CacheSnapshot {
+            hits: 1,
+            misses: 2,
+            insertions: 3,
+            evictions: 4,
+            invalidations: 5,
+            stale_rejections: 6,
+        };
+        let b = a.merged(&a);
+        assert_eq!(b.hits, 2);
+        assert_eq!(b.stale_rejections, 12);
     }
 }

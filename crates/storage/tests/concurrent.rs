@@ -59,7 +59,8 @@ impl OpRng {
 /// The per-shard frame budget the pool documents: `capacity / shards`,
 /// first `capacity % shards` shards get one extra.
 fn shard_budget(shard: usize) -> usize {
-    POOL_CAPACITY / POOL_SHARDS + usize::from(shard < POOL_CAPACITY % POOL_SHARDS)
+    let extra = POOL_CAPACITY % POOL_SHARDS;
+    POOL_CAPACITY / POOL_SHARDS + usize::from(shard < extra)
 }
 
 #[test]
@@ -89,7 +90,7 @@ fn stress_sharded_pool_keeps_writes_counters_and_budgets_exact() {
                     let mut own = vec![0u64; PAGES];
                     for op in 0..OPS_PER_THREAD {
                         let p = (rng.next() % PAGES as u64) as usize;
-                        if rng.next() % 4 == 0 {
+                        if rng.next().is_multiple_of(4) {
                             // Write op: latched read-modify-write.
                             let _latch = latches[p].lock();
                             let mut buf = pool.read(pages[p], |data| *data).expect("read for rmw");

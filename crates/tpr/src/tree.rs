@@ -16,9 +16,10 @@
 //!   entry's bound from the child's current entries, rebased to `now`.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use cij_geom::{MovingRect, Rect, Time, TimeInterval};
-use cij_storage::{BufferPool, PageId};
+use cij_storage::{BufferPool, CacheSnapshot, DecodedCache, PageId};
 
 use crate::config::TreeConfig;
 use crate::entry::{ChildRef, Entry, ObjectId};
@@ -54,6 +55,9 @@ use crate::node::Node;
 pub struct TprTree {
     pool: BufferPool,
     config: TreeConfig,
+    /// Decoded-node cache above the pool; `None` when
+    /// `config.node_cache_capacity == 0` (the paper-faithful default).
+    cache: Option<DecodedCache<Node>>,
     root: Option<PageId>,
     /// Number of levels (0 when empty; root level = height − 1).
     height: u32,
@@ -90,9 +94,14 @@ impl TprTree {
     #[must_use]
     pub fn new(pool: BufferPool, config: TreeConfig) -> Self {
         config.assert_valid();
+        // Stripe the cache like the pool so parallel traversals that
+        // already avoid pool-shard contention avoid cache contention too.
+        let cache = (config.node_cache_capacity > 0)
+            .then(|| DecodedCache::new(config.node_cache_capacity, pool.shard_count()));
         Self {
             pool,
             config,
+            cache,
             root: None,
             height: 0,
             len: 0,
@@ -136,7 +145,17 @@ impl TprTree {
     }
 
     /// Reads and decodes a node through the buffer pool (counts I/O).
+    ///
+    /// With the decoded-node cache enabled, a cache hit skips the pool —
+    /// and its I/O accounting — entirely; the returned owned `Node` is a
+    /// flat memcpy of the cached one (no page parsing). Traversals that
+    /// only need shared access should prefer
+    /// [`read_node_arc`](Self::read_node_arc), which is allocation-free
+    /// on hits.
     pub fn read_node(&self, page: PageId) -> TprResult<Node> {
+        if self.cache.is_some() {
+            return Ok((*self.read_node_arc(page)?).clone());
+        }
         let node = self
             .pool
             .read(page, Node::from_page)
@@ -144,10 +163,69 @@ impl TprTree {
         Ok(node)
     }
 
+    /// Reads a node as a shared immutable [`Arc`]. On a decoded-cache hit
+    /// this returns a clone of the cached `Arc` — zero parsing, zero
+    /// allocation. On a miss (or with the cache disabled) the node is
+    /// decoded through the pool exactly like [`read_node`](Self::read_node);
+    /// miss-fills are generation-stamped so a concurrent writer can never
+    /// leave a stale node behind.
+    pub fn read_node_arc(&self, page: PageId) -> TprResult<Arc<Node>> {
+        let Some(cache) = &self.cache else {
+            let node = self
+                .pool
+                .read(page, Node::from_page)
+                .map_err(TprError::from)??;
+            return Ok(Arc::new(node));
+        };
+        if let Some(node) = cache.get(page) {
+            return Ok(node);
+        }
+        let gen = cache.begin_insert(page);
+        let node = Arc::new(
+            self.pool
+                .read(page, Node::from_page)
+                .map_err(TprError::from)??,
+        );
+        cache.try_insert(page, Arc::clone(&node), gen);
+        Ok(node)
+    }
+
     fn write_node(&self, page: PageId, node: &Node) -> TprResult<()> {
         let buf = node.to_page()?;
+        // Consistency rule: the cache learns of the new contents *before*
+        // the page write lands, so no reader can decode the old bytes and
+        // install them afterwards (the install bumps the generation,
+        // rejecting any in-flight stale fill).
+        if let Some(cache) = &self.cache {
+            cache.install(page, Arc::new(node.clone()));
+        }
         self.pool.write(page, &buf)?;
         Ok(())
+    }
+
+    /// Frees `page`, dropping any cached decoded copy first (writer
+    /// invalidates before unpin).
+    fn free_page(&self, page: PageId) -> TprResult<()> {
+        if let Some(cache) = &self.cache {
+            cache.invalidate(page);
+        }
+        self.pool.free(page).map_err(TprError::from)
+    }
+
+    /// Counters of the decoded-node cache; `None` when the cache is
+    /// disabled (`node_cache_capacity == 0`).
+    #[must_use]
+    pub fn node_cache_stats(&self) -> Option<CacheSnapshot> {
+        self.cache.as_ref().map(DecodedCache::snapshot)
+    }
+
+    /// Drops every cached decoded node (counters are kept). No-op when
+    /// the cache is disabled. Pairs with `pool().clear()` in cold-cache
+    /// measurements.
+    pub fn clear_node_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
     }
 
     /// Installs a bulk-loaded subtree as the tree's root (bulk loader
@@ -524,7 +602,7 @@ impl TprTree {
                 // parent.
                 let level = step.node.level;
                 orphans.extend(step.node.entries.into_iter().map(|e| (e, level)));
-                self.pool.free(step.page)?;
+                self.free_page(step.page)?;
                 let parent = path.last_mut().expect("non-root has a parent");
                 parent.node.entries.remove(parent.child_idx);
                 // Removing shifts sibling indices; the parent's own
@@ -622,10 +700,10 @@ impl TprTree {
     fn shrink_root(&mut self) -> TprResult<()> {
         loop {
             let Some(root) = self.root else { return Ok(()) };
-            let node = self.read_node(root)?;
+            let node = self.read_node_arc(root)?;
             if node.is_leaf() {
                 if node.entries.is_empty() {
-                    self.pool.free(root)?;
+                    self.free_page(root)?;
                     self.root = None;
                     self.height = 0;
                 }
@@ -633,7 +711,7 @@ impl TprTree {
             }
             if node.entries.len() == 1 {
                 let child = node.entries[0].child.page();
-                self.pool.free(root)?;
+                self.free_page(root)?;
                 self.root = Some(child);
                 self.height -= 1;
                 continue;
@@ -655,7 +733,7 @@ impl TprTree {
         };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
-            let node = self.read_node(page)?;
+            let node = self.read_node_arc(page)?;
             for e in &node.entries {
                 if e.mbr.at(t).intersects(window) {
                     match e.child {
@@ -682,7 +760,7 @@ impl TprTree {
         };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
-            let node = self.read_node(page)?;
+            let node = self.read_node_arc(page)?;
             for e in &node.entries {
                 if e.mbr.at(t).intersects(window) {
                     match e.child {
@@ -712,7 +790,7 @@ impl TprTree {
         };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
-            let node = self.read_node(page)?;
+            let node = self.read_node_arc(page)?;
             for e in &node.entries {
                 if let Some(iv) = e.mbr.intersect_interval(target, t_s, t_e) {
                     match e.child {
@@ -765,7 +843,7 @@ impl TprTree {
             if out.len() == k && bound >= out[k - 1].1 {
                 break; // no unexplored node can beat the k-th distance
             }
-            let node = self.read_node(page)?;
+            let node = self.read_node_arc(page)?;
             for e in &node.entries {
                 let dist = e.mbr.at(t).min_dist_sq(q);
                 match e.child {
@@ -798,7 +876,7 @@ impl TprTree {
         };
         let mut stack = vec![root];
         while let Some(page) = stack.pop() {
-            let node = self.read_node(page)?;
+            let node = self.read_node_arc(page)?;
             for e in &node.entries {
                 match e.child {
                     ChildRef::Object(oid) => out.push((oid, e.mbr)),
@@ -865,7 +943,7 @@ impl TprTree {
             }
             return Ok(stats);
         };
-        let root_node = self.read_node(root)?;
+        let root_node = self.read_node_arc(root)?;
         if u32::from(root_node.level) + 1 != self.height {
             return Err(TprError::CorruptNode {
                 detail: format!(
@@ -915,7 +993,7 @@ impl TprTree {
         if !node.is_leaf() {
             for e in &node.entries {
                 let child_page = e.child.page();
-                let child = self.read_node(child_page)?;
+                let child = self.read_node_arc(child_page)?;
                 if child.level + 1 != node.level {
                     return Err(TprError::CorruptNode {
                         detail: format!(

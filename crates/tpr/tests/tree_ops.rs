@@ -547,3 +547,121 @@ fn heuristic_toggles_never_affect_correctness() {
         assert_eq!(ans, &answers[0], "a heuristic combo changed query answers");
     }
 }
+
+/// Decoded-node cache differential: twin trees — cache on vs. off — fed
+/// the identical workload of inserts (forcing splits), updates, and
+/// deletes (forcing dissolves and page frees) must agree on every query
+/// at every step. Any stale cached node would corrupt an answer or a
+/// structure invariant.
+#[test]
+fn node_cache_never_serves_stale_nodes() {
+    let mut rng = StdRng::seed_from_u64(0xCACE);
+    let make = |cache: usize| {
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(256),
+        );
+        TprTree::new(
+            pool,
+            TreeConfig {
+                capacity: 8, // small fanout → frequent splits/dissolves
+                node_cache_capacity: cache,
+                ..TreeConfig::default()
+            },
+        )
+    };
+    let mut plain = make(0);
+    let mut cached = make(64); // smaller than the tree → evictions too
+    assert!(plain.node_cache_stats().is_none());
+
+    let mut shadow: HashMap<ObjectId, MovingRect> = HashMap::new();
+    let mut next_id = 0u64;
+    for step in 0..600 {
+        let now = (step / 10) as Time;
+        let op = rng.gen_range(0..10);
+        if op < 5 || shadow.is_empty() {
+            let oid = ObjectId(next_id);
+            next_id += 1;
+            let mbr = random_object(&mut rng, now);
+            plain.insert(oid, mbr, now).unwrap();
+            cached.insert(oid, mbr, now).unwrap();
+            shadow.insert(oid, mbr);
+        } else {
+            let &oid = shadow.keys().nth(rng.gen_range(0..shadow.len())).unwrap();
+            let old = shadow[&oid];
+            if op < 8 {
+                let new = random_object(&mut rng, now);
+                plain.update(oid, &old, new, now).unwrap();
+                cached.update(oid, &old, new, now).unwrap();
+                shadow.insert(oid, new);
+            } else {
+                plain.delete(oid, &old, now).unwrap();
+                cached.delete(oid, &old, now).unwrap();
+                shadow.remove(&oid);
+            }
+        }
+
+        // Every step: a query through (potentially) cached interior nodes.
+        let w = Rect::new([200.0, 200.0], [800.0, 800.0]);
+        let q_t = now + rng.gen_range(0.0..30.0);
+        let mut a = plain.range_at(&w, q_t).unwrap();
+        let mut b = cached.range_at(&w, q_t).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "cached tree diverged at step {step}");
+
+        if step % 97 == 0 {
+            plain.validate(now).unwrap();
+            cached.validate(now).unwrap();
+            let mut oa = plain.iter_objects().unwrap();
+            let mut ob = cached.iter_objects().unwrap();
+            oa.sort_by_key(|&(oid, _)| oid);
+            ob.sort_by_key(|&(oid, _)| oid);
+            assert_eq!(oa.len(), shadow.len());
+            assert_eq!(oa, ob, "object sets diverged at step {step}");
+        }
+    }
+
+    // The workload must actually have exercised the cache paths.
+    let stats = cached.node_cache_stats().unwrap();
+    assert!(stats.hits > 0, "workload never hit the cache");
+    assert!(
+        stats.invalidations > 0,
+        "splits/deletes never invalidated a cached node"
+    );
+    assert!(stats.insertions > 0);
+}
+
+/// A cache hit must return exactly what a fresh decode returns, and
+/// clearing the cache must not change any answer.
+#[test]
+fn node_cache_hit_equals_fresh_decode() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool = BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(256),
+    );
+    let mut tree = TprTree::new(
+        pool,
+        TreeConfig {
+            capacity: 8,
+            node_cache_capacity: 512,
+            ..TreeConfig::default()
+        },
+    );
+    let shadow = fill(&mut tree, &mut rng, 400, 0.0);
+
+    let root = tree.root_page().unwrap();
+    let warm = tree.read_node_arc(root).unwrap();
+    let again = tree.read_node_arc(root).unwrap();
+    assert!(Arc::ptr_eq(&warm, &again), "second read must be a hit");
+
+    let w = Rect::new([100.0, 100.0], [900.0, 900.0]);
+    let mut hot = tree.range_at(&w, 10.0).unwrap();
+    tree.clear_node_cache();
+    let mut cold = tree.range_at(&w, 10.0).unwrap();
+    hot.sort();
+    cold.sort();
+    assert_eq!(hot, cold);
+    assert_eq!(tree.iter_objects().unwrap().len(), shadow.len());
+}
