@@ -18,7 +18,7 @@
 
 use std::collections::HashSet;
 
-use cij_geom::{Time, INFINITE_TIME};
+use cij_geom::{MovingRect, Time, INFINITE_TIME};
 use cij_join::{
     parallel_improved_join, parallel_improved_multi_join, parallel_naive_join, tp_join,
     tp_object_probe, JoinCounters, JoinJob, Techniques,
@@ -167,6 +167,55 @@ pub trait ContinuousJoinEngine {
     /// Applies one object update at time `now`: re-registers the object
     /// in the index and refreshes the answer (phase 2 of §II-A).
     fn apply_update(&mut self, update: &ObjectUpdate, now: Time) -> TprResult<()>;
+
+    /// Applies one tick's updates in order. The default simply loops
+    /// [`apply_update`](Self::apply_update); composite engines (the
+    /// shard coordinator) override it to group the batch per inner
+    /// engine and fan the groups out in parallel while preserving each
+    /// engine's op order — results are identical either way.
+    fn apply_batch(&mut self, updates: &[ObjectUpdate], now: Time) -> TprResult<()> {
+        for u in updates {
+            self.apply_update(u, now)?;
+        }
+        Ok(())
+    }
+
+    /// Registers a brand-new object on side `set` at `now` (`mbr.t_ref`
+    /// must be `now`) and joins it against the other side, adding the
+    /// discovered pairs to the answer. Together with
+    /// [`remove_object`](Self::remove_object) this is exactly one half
+    /// of [`apply_update`](Self::apply_update), split so a shard router
+    /// can migrate an object across engines as delete-here + insert-there
+    /// within a single logical update. Engines without an interval
+    /// result buffer (ETP) return [`cij_tpr::TprError::Unsupported`].
+    fn insert_object(
+        &mut self,
+        _set: SetTag,
+        _id: ObjectId,
+        _mbr: MovingRect,
+        _now: Time,
+    ) -> TprResult<()> {
+        Err(cij_tpr::TprError::Unsupported {
+            what: format!("routed insert_object on {}", self.name()),
+        })
+    }
+
+    /// Deregisters object `id` from side `set` (located via its current
+    /// trajectory `old_mbr` registered at `last_update`) and drops every
+    /// result pair involving it. The other half of a routed migration —
+    /// see [`insert_object`](Self::insert_object).
+    fn remove_object(
+        &mut self,
+        _set: SetTag,
+        _id: ObjectId,
+        _old_mbr: &MovingRect,
+        _last_update: Time,
+        _now: Time,
+    ) -> TprResult<()> {
+        Err(cij_tpr::TprError::Unsupported {
+            what: format!("routed remove_object on {}", self.name()),
+        })
+    }
 
     /// Garbage-collects answer state that can never be reported again
     /// (intervals entirely before `now`). Engines with interval buffers
@@ -334,6 +383,42 @@ impl ContinuousJoinEngine for NaiveEngine {
         Ok(())
     }
 
+    fn insert_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        now: Time,
+    ) -> TprResult<()> {
+        let (own, other) = match set {
+            SetTag::A => (&mut self.tree_a, &self.tree_b),
+            SetTag::B => (&mut self.tree_b, &self.tree_a),
+        };
+        own.insert(id, mbr, now)?;
+        for (partner, iv) in other.intersect_window(&mbr, now, INFINITE_TIME)? {
+            let (a, b) = orient(set, id, partner);
+            self.buffer.add(a, b, iv);
+        }
+        Ok(())
+    }
+
+    fn remove_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        old_mbr: &MovingRect,
+        _last_update: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        let own = match set {
+            SetTag::A => &mut self.tree_a,
+            SetTag::B => &mut self.tree_b,
+        };
+        own.delete(id, old_mbr, now)?;
+        self.buffer.remove_object(id);
+        Ok(())
+    }
+
     fn gc(&mut self, now: Time) {
         self.buffer.prune_before(now);
     }
@@ -432,6 +517,43 @@ impl ContinuousJoinEngine for TcEngine {
             let (a, b) = orient(update.set, update.id, partner);
             self.buffer.add(a, b, iv);
         }
+        Ok(())
+    }
+
+    fn insert_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        now: Time,
+    ) -> TprResult<()> {
+        let (own, other) = match set {
+            SetTag::A => (&mut self.tree_a, &self.tree_b),
+            SetTag::B => (&mut self.tree_b, &self.tree_a),
+        };
+        own.insert(id, mbr, now)?;
+        // Theorem 1 window, exactly as in `apply_update`.
+        for (partner, iv) in other.intersect_window(&mbr, now, now + self.config.t_m)? {
+            let (a, b) = orient(set, id, partner);
+            self.buffer.add(a, b, iv);
+        }
+        Ok(())
+    }
+
+    fn remove_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        old_mbr: &MovingRect,
+        _last_update: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        let own = match set {
+            SetTag::A => &mut self.tree_a,
+            SetTag::B => &mut self.tree_b,
+        };
+        own.delete(id, old_mbr, now)?;
+        self.buffer.remove_object(id);
         Ok(())
     }
 
@@ -713,6 +835,46 @@ impl ContinuousJoinEngine for MtbEngine {
         Ok(())
     }
 
+    fn insert_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        now: Time,
+    ) -> TprResult<()> {
+        let t_m = self.config.t_m;
+        let (own, other) = match set {
+            SetTag::A => (&mut self.mtb_a, &self.mtb_b),
+            SetTag::B => (&mut self.mtb_b, &self.mtb_a),
+        };
+        // A routed insert registers in `now`'s bucket — the same bucket
+        // an `apply_update` migration lands in, so the per-bucket windows
+        // below match the unsharded engine's exactly.
+        own.insert(id, mbr, now, now)?;
+        for (partner, iv) in other.join_object(&mbr, now, |t_eb| t_eb.min(now) + t_m)? {
+            let (a, b) = orient(set, id, partner);
+            self.buffer.add(a, b, iv);
+        }
+        Ok(())
+    }
+
+    fn remove_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        old_mbr: &MovingRect,
+        last_update: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        let own = match set {
+            SetTag::A => &mut self.mtb_a,
+            SetTag::B => &mut self.mtb_b,
+        };
+        own.remove(id, old_mbr, last_update, now)?;
+        self.buffer.remove_object(id);
+        Ok(())
+    }
+
     fn gc(&mut self, now: Time) {
         self.buffer.prune_before(now);
     }
@@ -839,6 +1001,49 @@ impl ContinuousJoinEngine for BxEngine {
             let (a, b) = orient(update.set, update.id, partner);
             self.buffer.add(a, b, iv);
         }
+        Ok(())
+    }
+
+    fn insert_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        now: Time,
+    ) -> TprResult<()> {
+        let t_m = self.config.t_m;
+        let (own, other) = match set {
+            SetTag::A => (&mut self.bx_a, &self.bx_b),
+            SetTag::B => (&mut self.bx_b, &self.bx_a),
+        };
+        own.insert(id, mbr, now)?;
+        if set == SetTag::A {
+            self.reg_a.insert(id, mbr);
+        }
+        for (partner, iv) in other.intersect_window(&mbr, now, now + t_m)? {
+            let (a, b) = orient(set, id, partner);
+            self.buffer.add(a, b, iv);
+        }
+        Ok(())
+    }
+
+    fn remove_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        old_mbr: &MovingRect,
+        last_update: Time,
+        _now: Time,
+    ) -> TprResult<()> {
+        let own = match set {
+            SetTag::A => &mut self.bx_a,
+            SetTag::B => &mut self.bx_b,
+        };
+        own.remove(id, old_mbr, last_update)?;
+        if set == SetTag::A {
+            self.reg_a.remove(&id);
+        }
+        self.buffer.remove_object(id);
         Ok(())
     }
 

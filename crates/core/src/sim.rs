@@ -90,9 +90,10 @@ pub fn run_simulation<E: ContinuousJoinEngine + ?Sized>(
         let before = stats.snapshot();
         let t0 = Instant::now();
         engine.advance_time(now)?;
-        for u in &updates {
-            engine.apply_update(u, now)?;
-        }
+        // One batch per tick: engines default to the sequential
+        // per-update loop; composite engines (the shard coordinator)
+        // fan the batch out across shards with identical results.
+        engine.apply_batch(&updates, now)?;
         if measured {
             metrics.maintenance_time += t0.elapsed();
             metrics.maintenance_io += (stats.snapshot() - before).physical_total();

@@ -1,0 +1,150 @@
+//! Edge cases for the §V query monitors (`window.rs`, `knn.rs`): empty
+//! trees, zero-extent (point) query windows, and query windows whose
+//! reference time lies entirely in the future of the evaluated interval
+//! (backward extrapolation).
+
+use std::sync::Arc;
+
+use cij_core::knn::ContinuousKnn;
+use cij_core::window::{ContinuousWindowQueries, QueryId};
+use cij_core::MtbTree;
+use cij_geom::{MovingRect, Rect};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::{ObjectId, TprTree, TreeConfig};
+
+fn pool() -> BufferPool {
+    BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(64),
+    )
+}
+
+fn tree_with(objects: &[(u64, f64, f64, f64)]) -> TprTree {
+    // (id, x, y, vx), unit squares.
+    let mut tree = TprTree::new(pool(), TreeConfig::default());
+    for &(id, x, y, vx) in objects {
+        let mbr = MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [vx, 0.0], 0.0);
+        tree.insert(ObjectId(id), mbr, 0.0).unwrap();
+    }
+    tree
+}
+
+#[test]
+fn window_queries_on_empty_tree() {
+    let tree = TprTree::new(pool(), TreeConfig::default());
+    let mut q = ContinuousWindowQueries::new(60.0);
+    q.add_query(QueryId(0), Rect::new([0.0, 0.0], [100.0, 100.0]));
+    q.initial_evaluate(&tree, 0.0).unwrap();
+    assert!(q.result_at(QueryId(0), 0.0).is_empty());
+    assert!(q.result_at(QueryId(0), 59.0).is_empty());
+
+    // The MTB evaluation path must handle having no buckets at all.
+    let mtb = MtbTree::new(pool(), TreeConfig::default(), 60.0);
+    let mut q = ContinuousWindowQueries::new(60.0);
+    q.add_query(QueryId(1), Rect::new([0.0, 0.0], [100.0, 100.0]));
+    q.initial_evaluate_mtb(&mtb, 0.0).unwrap();
+    assert!(q.result_at(QueryId(1), 0.0).is_empty());
+}
+
+#[test]
+fn knn_on_empty_tree() {
+    let tree = TprTree::new(pool(), TreeConfig::default());
+    let mut knn = ContinuousKnn::new(60.0, 3.0);
+    knn.add_query(QueryId(0), [50.0, 50.0], 2);
+    knn.refresh(&tree, 0.0).unwrap();
+    assert!(knn.result_at(QueryId(0), 0.0).is_empty());
+}
+
+#[test]
+fn knn_with_fewer_objects_than_k() {
+    let tree = tree_with(&[(1, 10.0, 10.0, 0.0)]);
+    let mut knn = ContinuousKnn::new(60.0, 3.0);
+    knn.add_query(QueryId(0), [0.0, 0.0], 5);
+    knn.refresh(&tree, 0.0).unwrap();
+    let result = knn.result_at(QueryId(0), 0.0);
+    assert_eq!(result.len(), 1, "k capped by the population");
+    assert_eq!(result[0].0, ObjectId(1));
+}
+
+#[test]
+fn zero_extent_window_is_a_point_query() {
+    // Object 1 covers the point, object 2 does not, object 3 sweeps
+    // through it later.
+    let tree = tree_with(&[(1, 5.0, 5.0, 0.0), (2, 20.0, 20.0, 0.0), (3, 0.0, 5.0, 1.0)]);
+    let mut q = ContinuousWindowQueries::new(60.0);
+    q.add_query(QueryId(0), Rect::new([5.5, 5.5], [5.5, 5.5]));
+    q.initial_evaluate(&tree, 0.0).unwrap();
+    assert_eq!(q.result_at(QueryId(0), 0.0), vec![ObjectId(1)]);
+    // Object 3's square [t, t+1]×[5,6] covers x=5.5 around t≈5.
+    let at5 = q.result_at(QueryId(0), 5.0);
+    assert!(
+        at5.contains(&ObjectId(3)),
+        "sweeping object enters the point"
+    );
+    assert!(!q.result_at(QueryId(0), 30.0).contains(&ObjectId(3)));
+}
+
+#[test]
+fn zero_extent_knn_point_on_object() {
+    // The query point sits inside object 1: its min-distance is zero and
+    // it must rank first with distance 0.
+    let tree = tree_with(&[(1, 5.0, 5.0, 0.0), (2, 50.0, 50.0, 0.0)]);
+    let mut knn = ContinuousKnn::new(60.0, 3.0);
+    knn.add_query(QueryId(0), [5.5, 5.5], 2);
+    knn.refresh(&tree, 0.0).unwrap();
+    let result = knn.result_at(QueryId(0), 0.0);
+    assert_eq!(result.len(), 2);
+    assert_eq!(result[0], (ObjectId(1), 0.0));
+    assert!(result[1].1 > 0.0);
+}
+
+#[test]
+fn moving_window_with_t_ref_after_the_evaluated_interval() {
+    // The query window's reference time is t=100; every evaluated
+    // instant lies strictly in its past, so results come from backward
+    // extrapolation: at t=0 the window [200,210]×[0,10] moving at
+    // vx=+2 was back at [0,10]×[0,10].
+    let tree = tree_with(&[(1, 5.0, 5.0, 0.0)]);
+    let mut q = ContinuousWindowQueries::new(60.0);
+    q.add_moving_query(
+        QueryId(0),
+        MovingRect::rigid(Rect::new([200.0, 0.0], [210.0, 10.0]), [2.0, 0.0], 100.0),
+    );
+    q.initial_evaluate(&tree, 0.0).unwrap();
+    assert_eq!(
+        q.result_at(QueryId(0), 0.0),
+        vec![ObjectId(1)],
+        "backward-extrapolated window covers the object at t=0"
+    );
+    // By t=10 the window has slid to [20,30] and left the object behind.
+    assert!(q.result_at(QueryId(0), 10.0).is_empty());
+}
+
+#[test]
+fn past_window_agrees_between_tpr_and_mtb_paths() {
+    let objects: &[(u64, f64, f64, f64)] = &[
+        (1, 5.0, 5.0, 0.0),
+        (2, 30.0, 5.0, -1.0),
+        (3, 400.0, 400.0, 0.5),
+    ];
+    let tree = tree_with(objects);
+    let mut mtb = MtbTree::new(pool(), TreeConfig::default(), 60.0);
+    for &(id, x, y, vx) in objects {
+        let mbr = MovingRect::rigid(Rect::new([x, y], [x + 1.0, y + 1.0]), [vx, 0.0], 0.0);
+        mtb.insert(ObjectId(id), mbr, 0.0, 0.0).unwrap();
+    }
+    let window = MovingRect::rigid(Rect::new([120.0, 0.0], [140.0, 20.0]), [2.0, 0.0], 60.0);
+    let mut via_tree = ContinuousWindowQueries::new(60.0);
+    let mut via_mtb = ContinuousWindowQueries::new(60.0);
+    via_tree.add_moving_query(QueryId(0), window);
+    via_mtb.add_moving_query(QueryId(0), window);
+    via_tree.initial_evaluate(&tree, 0.0).unwrap();
+    via_mtb.initial_evaluate_mtb(&mtb, 0.0).unwrap();
+    for t in [0.0, 15.0, 30.0, 59.0] {
+        assert_eq!(
+            via_tree.result_at(QueryId(0), t),
+            via_mtb.result_at(QueryId(0), t),
+            "paths disagree at t={t}"
+        );
+    }
+}

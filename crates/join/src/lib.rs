@@ -51,8 +51,8 @@ pub use improved::{improved_join, improved_join_into, techniques, Techniques};
 pub use naive::{naive_join, tc_join};
 pub use pair::{assert_pairs_equal, JoinPair};
 pub use parallel::{
-    parallel_improved_join, parallel_improved_multi_join, parallel_naive_join, parallel_tc_join,
-    JoinJob,
+    fan_out_tasks, parallel_improved_join, parallel_improved_multi_join, parallel_naive_join,
+    parallel_tc_join, JoinJob,
 };
 pub use partition::{partition_join, partition_join_auto, swept_region};
 pub use scratch::JoinScratch;

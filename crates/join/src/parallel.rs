@@ -418,6 +418,56 @@ fn run_jobs(jobs: &[JobSpec<'_>], threads: usize) -> TprResult<Vec<(Vec<JoinPair
     Ok(results)
 }
 
+/// Fans `count` independent tasks out over at most `threads` scoped
+/// workers sharing one atomic-cursor worklist (the same work-stealing
+/// discipline as the join frontier above), and returns the results in
+/// task order — so callers observe output identical to the sequential
+/// `(0..count).map(run).collect()` no matter how the work interleaved.
+///
+/// `threads <= 1` (or a single task) runs the exact sequential path.
+/// This is the fan-out primitive the shard coordinator uses to drive
+/// independent shard-pair engines.
+pub fn fan_out_tasks<R, F>(count: usize, threads: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(count);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let run = &run;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    local.push((i, run(i)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("fan-out worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index below the cursor is executed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::Arc;
@@ -570,5 +620,15 @@ mod tests {
             parallel_improved_join(&ta, &tb, 0.0, 60.0, techniques::ALL, 1).expect("one");
         assert_eq!(seq, one);
         assert_eq!(seq_c, one_c);
+    }
+
+    #[test]
+    fn fan_out_preserves_task_order() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(fan_out_tasks(97, threads, |i| i * i), expected);
+        }
+        assert_eq!(fan_out_tasks(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(fan_out_tasks(1, 4, |i| i + 10), vec![10]);
     }
 }

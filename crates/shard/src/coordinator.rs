@@ -1,0 +1,456 @@
+//! The shard coordinator: K×K (or fewer) shard-pair engines behind the
+//! single-engine protocol.
+//!
+//! # Topology
+//!
+//! A [`PartitionPolicy`] splits each object set into `K` shards. For
+//! every *joinable* shard pair `(i, j)` the coordinator builds one full
+//! [`ContinuousJoinEngine`] over (A-shard `i`, B-shard `j`) — so an
+//! A-object of shard `i` is indexed by every engine in row `i`, and a
+//! B-object of shard `j` by every engine in column `j`. Each engine owns
+//! its indexes outright; engines share only the buffer pool (one
+//! simulated disk, like the paper's testbed) and are otherwise disjoint,
+//! which is what makes the parallel fan-out deterministic.
+//!
+//! # Why per-pair results union to the single-engine answer
+//!
+//! Every (a, b) with `a` in shard `i`, `b` in shard `j` is watched by
+//! exactly one engine — `(i, j)` — and by none after a migration removes
+//! either object from that engine's row/column. The per-pair predicted
+//! intersection intervals depend only on the two trajectories and the
+//! probe window, not on tree shape, and the probe windows are the
+//! single-engine ones: the MTB buckets live on a *global* time grid
+//! (`bucket_of(t) = ⌊t / bucket_len⌋`), so a shard's buckets are a
+//! subset of the unsharded engine's buckets with identical `t_eb`s, and
+//! Theorem 2's per-bucket window `min(t_eb, now) + T_M` evaluates
+//! identically per shard — the per-shard generalization of the paper's
+//! argument. Hence `⋃ result_at` over the plan, deduplicated, equals the
+//! single engine's `result_at` — the property the differential harness
+//! pins across policies × K × threads.
+//!
+//! # Updates, migration, batches
+//!
+//! A same-shard update is applied (as a plain `apply_update`) to every
+//! engine of the object's row/column. A partition-crossing update
+//! becomes `remove_object` from the old row/column plus `insert_object`
+//! into the new one — one logical update, exact mirror halves of
+//! `apply_update`. [`apply_batch`](ContinuousJoinEngine::apply_batch)
+//! projects the tick's update sequence onto each engine (preserving
+//! order) and fans the per-engine op lists out over
+//! [`cij_join::fan_out_tasks`] — engines are state-disjoint, so the
+//! projection is exactly what each engine would have seen sequentially.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, PairKey, PairStatus};
+use cij_geom::{MovingRect, Time};
+use cij_join::{fan_out_tasks, JoinCounters};
+use cij_storage::{BufferPool, CacheSnapshot};
+use cij_tpr::{ObjectId, TprError, TprResult};
+use cij_workload::{MovingObject, ObjectUpdate, SetTag};
+use parking_lot::Mutex;
+
+use crate::policy::PartitionPolicy;
+use crate::report::{PairReport, ShardReport};
+use crate::router::{RouteDecision, ShardRouter};
+
+/// Builds one shard-pair engine over the given subsets. The coordinator
+/// passes a clone of its shared pool and a `threads = 1` configuration
+/// (parallelism lives across engines, not inside them).
+pub type ShardEngineFactory<'a> = dyn Fn(
+        BufferPool,
+        &EngineConfig,
+        &[MovingObject],
+        &[MovingObject],
+        Time,
+    ) -> TprResult<Box<dyn ContinuousJoinEngine + Send>>
+    + 'a;
+
+/// One operation projected onto a shard-pair engine.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Apply(ObjectUpdate),
+    Insert {
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+    },
+    Remove {
+        set: SetTag,
+        id: ObjectId,
+        old_mbr: MovingRect,
+        last_update: Time,
+    },
+}
+
+struct PairSlot {
+    shard_a: usize,
+    shard_b: usize,
+    engine: Mutex<Box<dyn ContinuousJoinEngine + Send>>,
+}
+
+/// A `ContinuousJoinEngine` made of shard-pair engines (see the module
+/// docs). Drop-in wherever a single engine runs: `run_simulation`, the
+/// stream service's engine factory, the bench harness.
+pub struct ShardCoordinator {
+    policy: Arc<dyn PartitionPolicy>,
+    pool: BufferPool,
+    threads: usize,
+    slots: Vec<PairSlot>,
+    /// (shard_a, shard_b) → index into `slots` for joinable pairs.
+    slot_of: HashMap<(usize, usize), usize>,
+    /// Slot indices of row i (A-shard i) / column j (B-shard j).
+    rows: Vec<Vec<usize>>,
+    cols: Vec<Vec<usize>>,
+    router: ShardRouter,
+    population_a: Vec<usize>,
+    population_b: Vec<usize>,
+}
+
+impl ShardCoordinator {
+    /// Partitions both sets under `policy`, builds one engine per
+    /// joinable shard pair via `factory` (each on a clone of `pool`),
+    /// and readies the router. `config.threads` sets the coordinator's
+    /// fan-out width; inner engines always run their own traversals
+    /// sequentially.
+    pub fn new(
+        pool: BufferPool,
+        config: EngineConfig,
+        policy: Arc<dyn PartitionPolicy>,
+        set_a: &[MovingObject],
+        set_b: &[MovingObject],
+        now: Time,
+        factory: &ShardEngineFactory<'_>,
+    ) -> TprResult<Self> {
+        let k = policy.shard_count();
+        let mut router = ShardRouter::new(policy.clone());
+        let mut parts_a: Vec<Vec<MovingObject>> = vec![Vec::new(); k];
+        let mut parts_b: Vec<Vec<MovingObject>> = vec![Vec::new(); k];
+        for o in set_a {
+            parts_a[router.place(o.id, &o.mbr)].push(*o);
+        }
+        for o in set_b {
+            parts_b[router.place(o.id, &o.mbr)].push(*o);
+        }
+
+        let inner = EngineConfig {
+            threads: 1,
+            ..config
+        };
+        let mut slots = Vec::new();
+        let mut slot_of = HashMap::new();
+        let mut rows = vec![Vec::new(); k];
+        let mut cols = vec![Vec::new(); k];
+        for i in 0..k {
+            for j in 0..k {
+                if !policy.joinable(i, j) {
+                    continue;
+                }
+                let engine = factory(pool.clone(), &inner, &parts_a[i], &parts_b[j], now)?;
+                let idx = slots.len();
+                slots.push(PairSlot {
+                    shard_a: i,
+                    shard_b: j,
+                    engine: Mutex::new(engine),
+                });
+                slot_of.insert((i, j), idx);
+                rows[i].push(idx);
+                cols[j].push(idx);
+            }
+        }
+
+        Ok(Self {
+            policy,
+            pool,
+            threads: config.threads.max(1),
+            slots,
+            slot_of,
+            rows,
+            cols,
+            router,
+            population_a: parts_a.iter().map(Vec::len).collect(),
+            population_b: parts_b.iter().map(Vec::len).collect(),
+        })
+    }
+
+    /// Shards per object set.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.policy.shard_count()
+    }
+
+    /// Shard-pair engines in the join plan.
+    #[must_use]
+    pub fn engine_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Cross-shard migrations routed so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.router.migrations()
+    }
+
+    /// The shard currently holding `id`.
+    #[must_use]
+    pub fn shard_of(&self, id: ObjectId) -> Option<usize> {
+        self.router.shard_of(id)
+    }
+
+    /// Aggregated diagnostics: per-pair counters and cache activity,
+    /// shard populations, migrations, and the shared pool's I/O.
+    #[must_use]
+    pub fn report(&self) -> ShardReport {
+        ShardReport {
+            policy: self.policy.name(),
+            k: self.policy.shard_count(),
+            threads: self.threads,
+            migrations: self.router.migrations(),
+            population_a: self.population_a.clone(),
+            population_b: self.population_b.clone(),
+            pairs: self
+                .slots
+                .iter()
+                .map(|s| {
+                    let engine = s.engine.lock();
+                    PairReport {
+                        shard_a: s.shard_a,
+                        shard_b: s.shard_b,
+                        counters: engine.counters(),
+                        cache: engine.node_cache_snapshot(),
+                    }
+                })
+                .collect(),
+            io: self.pool.stats().snapshot(),
+        }
+    }
+
+    /// The slot indices an update of (`set`, shard) must reach: the
+    /// whole row for A-objects, the whole column for B-objects.
+    fn fan(&self, set: SetTag, shard: usize) -> &[usize] {
+        match set {
+            SetTag::A => &self.rows[shard],
+            SetTag::B => &self.cols[shard],
+        }
+    }
+
+    /// Projects one update onto per-slot operations, updating the
+    /// router's placement as a side effect.
+    fn route_ops(&mut self, update: &ObjectUpdate, ops: &mut [Vec<Op>]) {
+        match self.router.route(update.id, &update.new_mbr) {
+            RouteDecision::Stay(shard) => {
+                for &slot in self.fan(update.set, shard) {
+                    ops[slot].push(Op::Apply(*update));
+                }
+            }
+            RouteDecision::Migrate { from, to } => {
+                for &slot in self.fan(update.set, from) {
+                    ops[slot].push(Op::Remove {
+                        set: update.set,
+                        id: update.id,
+                        old_mbr: update.old_mbr,
+                        last_update: update.last_update,
+                    });
+                }
+                for &slot in self.fan(update.set, to) {
+                    ops[slot].push(Op::Insert {
+                        set: update.set,
+                        id: update.id,
+                        mbr: update.new_mbr,
+                    });
+                }
+                match update.set {
+                    SetTag::A => {
+                        self.population_a[from] -= 1;
+                        self.population_a[to] += 1;
+                    }
+                    SetTag::B => {
+                        self.population_b[from] -= 1;
+                        self.population_b[to] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes per-slot op lists: fans slots with work out over the
+    /// coordinator's threads, surfaces the first error in slot order.
+    fn execute_ops(&self, ops: &[Vec<Op>], now: Time) -> TprResult<()> {
+        let results = fan_out_tasks(self.slots.len(), self.threads, |i| {
+            let slot_ops = &ops[i];
+            if slot_ops.is_empty() {
+                return Ok(());
+            }
+            let mut engine = self.slots[i].engine.lock();
+            for op in slot_ops {
+                match *op {
+                    Op::Apply(ref u) => engine.apply_update(u, now)?,
+                    Op::Insert { set, id, mbr } => engine.insert_object(set, id, mbr, now)?,
+                    Op::Remove {
+                        set,
+                        id,
+                        ref old_mbr,
+                        last_update,
+                    } => engine.remove_object(set, id, old_mbr, last_update, now)?,
+                }
+            }
+            Ok(())
+        });
+        results.into_iter().collect()
+    }
+
+    /// Runs `f` against every engine in parallel, surfacing the first
+    /// error in slot order.
+    fn for_each_engine(
+        &self,
+        f: impl Fn(&mut (dyn ContinuousJoinEngine + Send)) -> TprResult<()> + Sync,
+    ) -> TprResult<()> {
+        let results = fan_out_tasks(self.slots.len(), self.threads, |i| {
+            f(&mut **self.slots[i].engine.lock())
+        });
+        results.into_iter().collect()
+    }
+}
+
+impl ContinuousJoinEngine for ShardCoordinator {
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
+        self.for_each_engine(|e| e.run_initial_join(now))
+    }
+
+    fn advance_time(&mut self, now: Time) -> TprResult<()> {
+        self.for_each_engine(|e| e.advance_time(now))
+    }
+
+    fn apply_update(&mut self, update: &ObjectUpdate, now: Time) -> TprResult<()> {
+        self.apply_batch(std::slice::from_ref(update), now)
+    }
+
+    fn apply_batch(&mut self, updates: &[ObjectUpdate], now: Time) -> TprResult<()> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let mut ops: Vec<Vec<Op>> = vec![Vec::new(); self.slots.len()];
+        for u in updates {
+            self.route_ops(u, &mut ops);
+        }
+        self.execute_ops(&ops, now)
+    }
+
+    fn insert_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        now: Time,
+    ) -> TprResult<()> {
+        let shard = self.router.place(id, &mbr);
+        match set {
+            SetTag::A => self.population_a[shard] += 1,
+            SetTag::B => self.population_b[shard] += 1,
+        }
+        for &slot in self.fan(set, shard) {
+            self.slots[slot]
+                .engine
+                .lock()
+                .insert_object(set, id, mbr, now)?;
+        }
+        Ok(())
+    }
+
+    fn remove_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        old_mbr: &MovingRect,
+        last_update: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        let Some(shard) = self.router.remove(id) else {
+            return Err(TprError::ObjectNotFound(id));
+        };
+        match set {
+            SetTag::A => self.population_a[shard] -= 1,
+            SetTag::B => self.population_b[shard] -= 1,
+        }
+        for &slot in self.fan(set, shard) {
+            self.slots[slot]
+                .engine
+                .lock()
+                .remove_object(set, id, old_mbr, last_update, now)?;
+        }
+        Ok(())
+    }
+
+    fn gc(&mut self, now: Time) {
+        for slot in &self.slots {
+            slot.engine.lock().gc(now);
+        }
+    }
+
+    fn result_at(&self, t: Time) -> Vec<PairKey> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            out.extend(slot.engine.lock().result_at(t));
+        }
+        // Each pair lives in exactly one engine, so the dedup is a
+        // no-op in correct runs — kept so the merged answer is
+        // canonical by construction.
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn counters(&self) -> JoinCounters {
+        self.slots.iter().fold(JoinCounters::new(), |acc, s| {
+            acc.merged(s.engine.lock().counters())
+        })
+    }
+
+    fn enable_delta_tracking(&mut self) {
+        for slot in &self.slots {
+            slot.engine.lock().enable_delta_tracking();
+        }
+    }
+
+    fn take_result_changes(&mut self) -> Option<Vec<PairKey>> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            out.extend(slot.engine.lock().take_result_changes()?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    fn pair_status_at(&self, pair: PairKey, t: Time) -> PairStatus {
+        let (Some(sa), Some(sb)) = (self.router.shard_of(pair.0), self.router.shard_of(pair.1))
+        else {
+            return PairStatus::default();
+        };
+        match self.slot_of.get(&(sa, sb)) {
+            Some(&slot) => self.slots[slot].engine.lock().pair_status_at(pair, t),
+            // Pruned by the join plan: the policy guarantees the pair
+            // can never be active at an observable time.
+            None => PairStatus::default(),
+        }
+    }
+
+    fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
+        self.slots.iter().fold(None, |acc, s| {
+            match (acc, s.engine.lock().node_cache_snapshot()) {
+                (Some(x), Some(y)) => Some(x.merged(&y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        })
+    }
+}

@@ -1,0 +1,268 @@
+//! Partition policies: how objects map to shards and which shard pairs
+//! can ever produce a result.
+//!
+//! A policy answers two questions the coordinator asks:
+//!
+//! 1. [`shard_of`](PartitionPolicy::shard_of) — which of the `K` shards
+//!    owns an object, given its current trajectory. Placement may depend
+//!    on the trajectory (velocity bands, spatial strips), so an update
+//!    can *migrate* an object; the [`ShardRouter`](crate::ShardRouter)
+//!    turns that into a delete-from-old + insert-into-new pair.
+//! 2. [`joinable`](PartitionPolicy::joinable) — whether shard pair
+//!    `(i, j)` can ever contribute a result pair at an observable time.
+//!    The coordinator only builds engines for joinable pairs (the
+//!    cross-shard join plan).
+//!
+//! Velocity bands follow "Boosting Moving Object Indexing through
+//! Velocity Partitioning" (arXiv:1205.6697): grouping objects by speed
+//! keeps each TPR-tree's velocity bounding rectangles tight, which is
+//! exactly the dead space that inflates time-parameterized MBRs on a
+//! mixed population.
+
+use cij_geom::MovingRect;
+use cij_tpr::ObjectId;
+
+/// Maps objects to shards and prunes the shard-pair join plan.
+///
+/// Implementations must be pure functions of their configuration and the
+/// arguments (the coordinator calls them from multiple threads and
+/// replays them during recovery).
+pub trait PartitionPolicy: Send + Sync {
+    /// Policy name for reports and bench output.
+    fn name(&self) -> &'static str;
+
+    /// Number of shards `K` per object set.
+    fn shard_count(&self) -> usize;
+
+    /// The shard owning an object with trajectory `mbr`. Must be
+    /// `< shard_count()`.
+    fn shard_of(&self, id: ObjectId, mbr: &MovingRect) -> usize;
+
+    /// Whether A-shard `shard_a` and B-shard `shard_b` can ever produce
+    /// an observable result pair. The default keeps every pair — always
+    /// sound. Policies that prune must guarantee objects of non-joinable
+    /// shards cannot intersect at any time the answer is read (see
+    /// [`SpatialGridPolicy`] for the drift argument).
+    fn joinable(&self, _shard_a: usize, _shard_b: usize) -> bool {
+        true
+    }
+}
+
+/// Trajectory-independent placement by object id — the neutral baseline:
+/// shards get a uniform random mix of velocities, so per-shard trees are
+/// as loose as the unsharded one. Never migrates (ids do not change).
+#[derive(Debug, Clone, Copy)]
+pub struct HashPolicy {
+    k: usize,
+}
+
+impl HashPolicy {
+    /// A hash policy over `k ≥ 1` shards.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "shard count must be at least 1");
+        Self { k }
+    }
+}
+
+impl PartitionPolicy for HashPolicy {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.k
+    }
+
+    fn shard_of(&self, id: ObjectId, _mbr: &MovingRect) -> usize {
+        // Fibonacci multiplicative hash: spreads the dense sequential ids
+        // of both sets (A at 0.., B at 2^32..) uniformly.
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.k
+    }
+}
+
+/// Placement by velocity magnitude: band `⌊|v| / max_speed · K⌋`
+/// (clamped). Slow objects share trees whose velocity rectangles stay
+/// tight; the fast minority pays its own expansion. Objects migrate when
+/// a trajectory update crosses a band boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct VelocityBandPolicy {
+    k: usize,
+    max_speed: f64,
+}
+
+impl VelocityBandPolicy {
+    /// `k ≥ 1` equal-width speed bands over `[0, max_speed]`. Speeds
+    /// above `max_speed` (not produced by the workloads) clamp into the
+    /// top band.
+    #[must_use]
+    pub fn new(k: usize, max_speed: f64) -> Self {
+        assert!(k >= 1, "shard count must be at least 1");
+        assert!(max_speed >= 0.0, "max_speed must be non-negative");
+        Self { k, max_speed }
+    }
+
+    /// The band of a given speed.
+    #[must_use]
+    pub fn band_of_speed(&self, speed: f64) -> usize {
+        if self.max_speed <= 0.0 {
+            return 0;
+        }
+        let band = (speed / self.max_speed * self.k as f64).floor() as usize;
+        band.min(self.k - 1)
+    }
+}
+
+impl PartitionPolicy for VelocityBandPolicy {
+    fn name(&self) -> &'static str {
+        "velocity-band"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.k
+    }
+
+    fn shard_of(&self, _id: ObjectId, mbr: &MovingRect) -> usize {
+        // Workload objects are rigid (vlo == vhi); for a non-rigid rect
+        // the lower-corner velocity still gives a consistent, stable key.
+        let speed = (mbr.vlo[0].powi(2) + mbr.vlo[1].powi(2)).sqrt();
+        self.band_of_speed(speed)
+    }
+}
+
+/// Placement by position: `K` equal x-strips of the space. Strips (not a
+/// 2-D grid) because with small `K` every 2-D cell touches every other
+/// once expanded by the drift reach, while strips separate at `K ≥ 3` —
+/// so the join plan actually prunes.
+///
+/// Pruning soundness: a result pair observed at tick `t` was derived
+/// from trajectories registered at most `T_M` before `t` (every object
+/// re-registers within `T_M`, and each re-registration re-derives its
+/// pairs). Each object's x-center therefore drifted at most
+/// `max_speed · T_M` from the strip that placed it, and overlapping
+/// rectangles put the two centers within one object extent of each
+/// other. Two strips farther apart than `2·max_speed·T_M + extent` can
+/// never meet those conditions; [`SpatialGridPolicy::for_horizon`] adds
+/// one more extent of slack on top of that bound.
+#[derive(Debug, Clone, Copy)]
+pub struct SpatialGridPolicy {
+    k: usize,
+    space: f64,
+    reach: f64,
+}
+
+impl SpatialGridPolicy {
+    /// `k ≥ 1` strips over `[0, space]`, pruning shard pairs whose
+    /// strips are farther than `reach` apart. `reach` must dominate the
+    /// drift argument above — prefer [`Self::for_horizon`].
+    #[must_use]
+    pub fn new(k: usize, space: f64, reach: f64) -> Self {
+        assert!(k >= 1, "shard count must be at least 1");
+        assert!(space > 0.0, "space must be positive");
+        assert!(reach >= 0.0, "reach must be non-negative");
+        Self { k, space, reach }
+    }
+
+    /// Strips with the safe reach `2·max_speed·t_m + 2·extent` for a
+    /// workload whose objects re-register within `t_m`, move at most
+    /// `max_speed`, and have sides at most `extent`.
+    #[must_use]
+    pub fn for_horizon(k: usize, space: f64, max_speed: f64, t_m: f64, extent: f64) -> Self {
+        Self::new(k, space, 2.0 * max_speed * t_m + 2.0 * extent)
+    }
+
+    fn strip_width(&self) -> f64 {
+        self.space / self.k as f64
+    }
+}
+
+impl PartitionPolicy for SpatialGridPolicy {
+    fn name(&self) -> &'static str {
+        "spatial-grid"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.k
+    }
+
+    fn shard_of(&self, _id: ObjectId, mbr: &MovingRect) -> usize {
+        let cx = (mbr.lo[0] + mbr.hi[0]) / 2.0;
+        let strip = (cx.clamp(0.0, self.space) / self.strip_width()).floor() as usize;
+        strip.min(self.k - 1)
+    }
+
+    fn joinable(&self, shard_a: usize, shard_b: usize) -> bool {
+        let w = self.strip_width();
+        let (lo, hi) = if shard_a <= shard_b {
+            (shard_a, shard_b)
+        } else {
+            (shard_b, shard_a)
+        };
+        // Gap between the strips' x-intervals.
+        let gap = (hi - lo) as f64 * w - w;
+        gap <= self.reach
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cij_geom::Rect;
+
+    use super::*;
+
+    fn rect_at(x: f64, v: [f64; 2]) -> MovingRect {
+        MovingRect::rigid(Rect::new([x, 0.0], [x + 1.0, 1.0]), v, 0.0)
+    }
+
+    #[test]
+    fn hash_is_stable_and_in_range() {
+        let p = HashPolicy::new(4);
+        for raw in [0u64, 1, 17, 1 << 32, (1 << 32) + 3] {
+            let s = p.shard_of(ObjectId(raw), &rect_at(0.0, [0.0, 0.0]));
+            assert!(s < 4);
+            assert_eq!(s, p.shard_of(ObjectId(raw), &rect_at(500.0, [3.0, 0.0])));
+        }
+        // All shards populated over a dense id range.
+        let mut seen = [false; 4];
+        for raw in 0..64u64 {
+            seen[p.shard_of(ObjectId(raw), &rect_at(0.0, [0.0, 0.0]))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hash leaves a shard empty");
+    }
+
+    #[test]
+    fn velocity_bands_split_at_speed_boundaries() {
+        let p = VelocityBandPolicy::new(4, 4.0);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [0.5, 0.0])), 0);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [1.5, 0.0])), 1);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [0.0, 2.5])), 2);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [3.9, 0.0])), 3);
+        // Clamped at and above max speed.
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [4.0, 0.0])), 3);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [9.0, 0.0])), 3);
+        // Degenerate max speed: everyone in band 0.
+        let z = VelocityBandPolicy::new(3, 0.0);
+        assert_eq!(z.shard_of(ObjectId(1), &rect_at(0.0, [0.0, 0.0])), 0);
+    }
+
+    #[test]
+    fn spatial_strips_place_by_center_and_prune_far_pairs() {
+        let p = SpatialGridPolicy::new(4, 2000.0, 22.0);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(10.0, [0.0, 0.0])), 0);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(700.0, [0.0, 0.0])), 1);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(1999.0, [0.0, 0.0])), 3);
+        // Adjacent strips joinable, strips two apart pruned.
+        assert!(p.joinable(0, 0));
+        assert!(p.joinable(0, 1) && p.joinable(1, 0));
+        assert!(!p.joinable(0, 2));
+        assert!(!p.joinable(3, 0));
+        // A huge reach keeps every pair.
+        let all = SpatialGridPolicy::new(4, 2000.0, 5000.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(all.joinable(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Aggregated diagnostics for a sharded run: per-pair traversal
+//! counters and cache activity, merged totals, shard populations, and
+//! the shared pool's I/O snapshot — one report in the shape the bench
+//! harness and the `shard_demo` example print.
+
+use cij_join::JoinCounters;
+use cij_storage::{CacheSnapshot, IoSnapshot};
+
+/// Diagnostics of one shard-pair engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PairReport {
+    /// A-side shard index.
+    pub shard_a: usize,
+    /// B-side shard index.
+    pub shard_b: usize,
+    /// The engine's accumulated traversal counters.
+    pub counters: JoinCounters,
+    /// The engine's decoded-node-cache totals (`None` when it runs
+    /// without a cache).
+    pub cache: Option<CacheSnapshot>,
+}
+
+/// Aggregated state of a [`ShardCoordinator`](crate::ShardCoordinator).
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Partition policy name.
+    pub policy: &'static str,
+    /// Shards per object set.
+    pub k: usize,
+    /// Coordinator fan-out width.
+    pub threads: usize,
+    /// Cross-shard migrations routed so far.
+    pub migrations: u64,
+    /// A-side objects per shard.
+    pub population_a: Vec<usize>,
+    /// B-side objects per shard.
+    pub population_b: Vec<usize>,
+    /// One entry per shard-pair engine, in (shard_a, shard_b) order.
+    pub pairs: Vec<PairReport>,
+    /// Cumulative I/O of the shared buffer pool.
+    pub io: IoSnapshot,
+}
+
+impl ShardReport {
+    /// Number of shard-pair engines in the join plan (≤ K², strictly
+    /// less when the policy prunes pairs).
+    #[must_use]
+    pub fn engine_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Traversal counters summed over every shard-pair engine.
+    #[must_use]
+    pub fn total_counters(&self) -> JoinCounters {
+        self.pairs
+            .iter()
+            .fold(JoinCounters::new(), |acc, p| acc.merged(p.counters))
+    }
+
+    /// Decoded-node-cache totals merged over every engine that has one.
+    #[must_use]
+    pub fn total_cache(&self) -> Option<CacheSnapshot> {
+        self.pairs.iter().fold(None, |acc, p| match (acc, p.cache) {
+            (Some(x), Some(y)) => Some(x.merged(&y)),
+            (x, None) => x,
+            (None, y) => y,
+        })
+    }
+}
+
+impl std::fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "policy={} K={} threads={} engines={} migrations={}",
+            self.policy,
+            self.k,
+            self.threads,
+            self.engine_count(),
+            self.migrations
+        )?;
+        writeln!(
+            f,
+            "population A={:?} B={:?}",
+            self.population_a, self.population_b
+        )?;
+        for p in &self.pairs {
+            write!(
+                f,
+                "  pair ({}, {}): node_pairs={} emitted={}",
+                p.shard_a, p.shard_b, p.counters.node_pairs, p.counters.pairs_emitted
+            )?;
+            match p.cache {
+                Some(c) => writeln!(f, " cache_hits={} cache_misses={}", c.hits, c.misses)?,
+                None => writeln!(f)?,
+            }
+        }
+        let totals = self.total_counters();
+        writeln!(
+            f,
+            "totals: node_pairs={} comparisons={} emitted={}",
+            totals.node_pairs, totals.entry_comparisons, totals.pairs_emitted
+        )?;
+        write!(
+            f,
+            "pool I/O: logical_reads={} physical={} hit_ratio={}",
+            self.io.logical_reads,
+            self.io.physical_total(),
+            self.io
+                .hit_ratio()
+                .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}"))
+        )
+    }
+}

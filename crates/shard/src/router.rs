@@ -1,0 +1,141 @@
+//! The shard router: the one place that knows where every object lives.
+//!
+//! The router owns the object → shard placement map. Engines never see
+//! it: the [`ShardCoordinator`](crate::ShardCoordinator) asks the router
+//! where an update's object *was*, asks the policy where it *belongs*
+//! now, and turns a disagreement into a migration (delete from every
+//! engine of the old shard's row/column, insert into the new one's)
+//! inside the same logical update.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cij_geom::MovingRect;
+use cij_tpr::ObjectId;
+
+use crate::policy::PartitionPolicy;
+
+/// Where an update's object must be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// The object stays in its shard: apply the update in place.
+    Stay(usize),
+    /// The trajectory change crossed a partition boundary: remove the
+    /// object from shard `from`, insert it into shard `to`.
+    Migrate {
+        /// Shard the object leaves.
+        from: usize,
+        /// Shard the object joins.
+        to: usize,
+    },
+}
+
+/// Object → shard placement, driven by a [`PartitionPolicy`].
+///
+/// Ids are globally unique across both object sets (the workload keeps
+/// B ids disjoint from A ids), so one map serves both sides.
+pub struct ShardRouter {
+    policy: Arc<dyn PartitionPolicy>,
+    placement: HashMap<ObjectId, usize>,
+    migrations: u64,
+}
+
+impl ShardRouter {
+    /// An empty router over `policy`.
+    #[must_use]
+    pub fn new(policy: Arc<dyn PartitionPolicy>) -> Self {
+        Self {
+            policy,
+            placement: HashMap::new(),
+            migrations: 0,
+        }
+    }
+
+    /// Places a new object and returns its shard.
+    pub fn place(&mut self, id: ObjectId, mbr: &MovingRect) -> usize {
+        let shard = self.policy.shard_of(id, mbr);
+        self.placement.insert(id, shard);
+        shard
+    }
+
+    /// The shard currently holding `id`, if the router has placed it.
+    #[must_use]
+    pub fn shard_of(&self, id: ObjectId) -> Option<usize> {
+        self.placement.get(&id).copied()
+    }
+
+    /// Routes a trajectory update: re-evaluates the policy against the
+    /// new trajectory, records the move if the shard changed, and says
+    /// how the coordinator must apply the update. Unknown objects are
+    /// placed fresh and reported as `Stay`.
+    pub fn route(&mut self, id: ObjectId, new_mbr: &MovingRect) -> RouteDecision {
+        let to = self.policy.shard_of(id, new_mbr);
+        match self.placement.insert(id, to) {
+            Some(from) if from != to => {
+                self.migrations += 1;
+                RouteDecision::Migrate { from, to }
+            }
+            _ => RouteDecision::Stay(to),
+        }
+    }
+
+    /// Forgets `id`, returning the shard that held it.
+    pub fn remove(&mut self, id: ObjectId) -> Option<usize> {
+        self.placement.remove(&id)
+    }
+
+    /// Cross-shard migrations routed so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Number of placed objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Whether no object has been placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cij_geom::Rect;
+
+    use super::*;
+    use crate::policy::VelocityBandPolicy;
+
+    fn rect(v: [f64; 2]) -> MovingRect {
+        MovingRect::rigid(Rect::new([0.0, 0.0], [1.0, 1.0]), v, 0.0)
+    }
+
+    #[test]
+    fn routes_stays_and_migrations() {
+        let mut r = ShardRouter::new(Arc::new(VelocityBandPolicy::new(4, 4.0)));
+        let id = ObjectId(7);
+        assert_eq!(r.place(id, &rect([0.5, 0.0])), 0);
+        assert_eq!(r.shard_of(id), Some(0));
+        // Same band: stay.
+        assert_eq!(r.route(id, &rect([0.9, 0.0])), RouteDecision::Stay(0));
+        assert_eq!(r.migrations(), 0);
+        // Band 0 → band 3: migrate.
+        assert_eq!(
+            r.route(id, &rect([3.9, 0.0])),
+            RouteDecision::Migrate { from: 0, to: 3 }
+        );
+        assert_eq!(r.migrations(), 1);
+        assert_eq!(r.shard_of(id), Some(3));
+        // Unknown object: placed fresh, no migration counted.
+        assert_eq!(
+            r.route(ObjectId(99), &rect([0.1, 0.0])),
+            RouteDecision::Stay(0)
+        );
+        assert_eq!(r.migrations(), 1);
+        assert_eq!(r.len(), 2);
+    }
+}

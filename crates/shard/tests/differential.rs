@@ -1,0 +1,367 @@
+//! The sharding correctness contract: a [`ShardCoordinator`] must be
+//! observationally identical to the single engine it decomposes —
+//! `result_at` every tick, and the stream-service delta sequence — for
+//! every partition policy × K ∈ {1, 2, 4} × coordinator threads ∈
+//! {1, 4}, including runs with forced cross-shard migrations and plans
+//! with pruned shard pairs.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, MtbEngine, NaiveEngine, TcEngine};
+use cij_geom::{MovingRect, Rect, Time};
+use cij_shard::{
+    HashPolicy, PartitionPolicy, ShardCoordinator, SpatialGridPolicy, VelocityBandPolicy,
+};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::TprResult;
+use cij_workload::{generate_pair, Distribution, ObjectUpdate, Params, SetTag, UpdateStream};
+
+fn pool() -> BufferPool {
+    BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(256),
+    )
+}
+
+/// Short T_M so 40 ticks cover two full re-registration rounds, and the
+/// velocity-skew mix so the band policy sees both classes.
+fn skew_params(seed: u64) -> Params {
+    Params {
+        dataset_size: 100,
+        distribution: Distribution::VelocitySkew,
+        seed,
+        space: 200.0,
+        object_size_pct: 1.0,
+        maximum_update_interval: 20.0,
+        ..Params::default()
+    }
+}
+
+fn engine_config(params: &Params) -> EngineConfig {
+    EngineConfig {
+        t_m: params.maximum_update_interval,
+        ..EngineConfig::default()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Naive,
+    Tc,
+    Mtb,
+}
+
+fn build_single(
+    kind: Kind,
+    config: EngineConfig,
+    a: &[cij_workload::MovingObject],
+    b: &[cij_workload::MovingObject],
+    now: Time,
+) -> TprResult<Box<dyn ContinuousJoinEngine + Send>> {
+    Ok(match kind {
+        Kind::Naive => Box::new(NaiveEngine::new(pool(), config, a, b, now)?),
+        Kind::Tc => Box::new(TcEngine::new(pool(), config, a, b, now)?),
+        Kind::Mtb => Box::new(MtbEngine::new(pool(), config, a, b, now)?),
+    })
+}
+
+fn build_coordinator(
+    kind: Kind,
+    config: EngineConfig,
+    policy: Arc<dyn PartitionPolicy>,
+    a: &[cij_workload::MovingObject],
+    b: &[cij_workload::MovingObject],
+    now: Time,
+) -> TprResult<ShardCoordinator> {
+    ShardCoordinator::new(
+        pool(),
+        config,
+        policy,
+        a,
+        b,
+        now,
+        &|pool, cfg, a, b, now| {
+            Ok(match kind {
+                Kind::Naive => Box::new(NaiveEngine::new(pool, *cfg, a, b, now)?),
+                Kind::Tc => Box::new(TcEngine::new(pool, *cfg, a, b, now)?),
+                Kind::Mtb => Box::new(MtbEngine::new(pool, *cfg, a, b, now)?),
+            })
+        },
+    )
+}
+
+/// Runs coordinator and single-engine oracle in lockstep over the same
+/// deterministic stream, asserting equal answers every tick. Returns
+/// the coordinator for post-run assertions.
+fn run_lockstep(
+    kind: Kind,
+    policy: Arc<dyn PartitionPolicy>,
+    params: &Params,
+    threads: usize,
+    ticks: u32,
+) -> ShardCoordinator {
+    let (a, b) = generate_pair(params, 0.0);
+    let config = engine_config(params);
+    let mut oracle = build_single(kind, config, &a, &b, 0.0).expect("oracle");
+    let sharded_config = EngineConfig { threads, ..config };
+    let mut coord =
+        build_coordinator(kind, sharded_config, policy.clone(), &a, &b, 0.0).expect("coordinator");
+
+    let mut stream = UpdateStream::new(params, &a, &b, 0.0);
+    oracle.run_initial_join(0.0).expect("oracle initial");
+    coord.run_initial_join(0.0).expect("sharded initial");
+    assert_eq!(
+        coord.result_at(0.0),
+        oracle.result_at(0.0),
+        "policy={} K={} threads={threads}: initial join diverged",
+        policy.name(),
+        policy.shard_count()
+    );
+
+    for tick in 1..=ticks {
+        let now = Time::from(tick);
+        let updates = stream.tick(now);
+        oracle.advance_time(now).expect("oracle advance");
+        coord.advance_time(now).expect("sharded advance");
+        for u in &updates {
+            oracle.apply_update(u, now).expect("oracle update");
+        }
+        coord.apply_batch(&updates, now).expect("sharded batch");
+        oracle.gc(now);
+        coord.gc(now);
+        assert_eq!(
+            coord.result_at(now),
+            oracle.result_at(now),
+            "policy={} K={} threads={threads}: diverged at t={now}",
+            policy.name(),
+            policy.shard_count()
+        );
+    }
+    coord
+}
+
+#[test]
+fn velocity_bands_match_oracle_across_k_and_threads() {
+    let params = skew_params(41);
+    for k in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let policy = Arc::new(VelocityBandPolicy::new(k, params.max_speed));
+            let coord = run_lockstep(Kind::Mtb, policy, &params, threads, 40);
+            assert_eq!(coord.engine_count(), k * k);
+            if k == 4 {
+                // Both skew classes straddle a K=4 band boundary (0.25
+                // and 0.75 of max speed), so voluntary re-steers migrate
+                // objects as a matter of course. (At K=2 the single
+                // boundary at 0.5 sits in the gap between the classes.)
+                assert!(
+                    coord.migrations() > 0,
+                    "K={k}: no cross-shard migrations exercised"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hash_matches_oracle_across_k_and_threads() {
+    let params = skew_params(42);
+    for k in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let policy = Arc::new(HashPolicy::new(k));
+            let coord = run_lockstep(Kind::Mtb, policy, &params, threads, 40);
+            assert_eq!(coord.engine_count(), k * k);
+            // Id-hash placement never moves an object.
+            assert_eq!(coord.migrations(), 0);
+        }
+    }
+}
+
+#[test]
+fn spatial_grid_matches_oracle_across_k_and_threads() {
+    // Slow movers over a wider space so the strip plan actually prunes:
+    // reach = 2·max_speed·T_M + 2·side = 46 < strip width 75 at K = 4.
+    let params = Params {
+        max_speed: 1.0,
+        space: 300.0,
+        dataset_size: 150,
+        ..skew_params(43)
+    };
+    let side = params.object_side();
+    for k in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let policy = Arc::new(SpatialGridPolicy::for_horizon(
+                k,
+                params.space,
+                params.max_speed,
+                params.maximum_update_interval,
+                side,
+            ));
+            let coord = run_lockstep(Kind::Mtb, policy, &params, threads, 40);
+            if k == 4 {
+                // Strips ≥ 2 apart are out of reach: 16 − 6 pruned = 10.
+                assert_eq!(coord.engine_count(), 10, "expected a pruned plan");
+                assert!(coord.migrations() > 0, "objects cross strips");
+            }
+        }
+    }
+}
+
+#[test]
+fn tc_engine_sharded_matches_oracle() {
+    let params = skew_params(44);
+    let coord = run_lockstep(
+        Kind::Tc,
+        Arc::new(VelocityBandPolicy::new(4, params.max_speed)),
+        &params,
+        4,
+        30,
+    );
+    assert!(coord.migrations() > 0);
+    run_lockstep(Kind::Tc, Arc::new(HashPolicy::new(2)), &params, 1, 30);
+}
+
+#[test]
+fn naive_engine_sharded_matches_oracle() {
+    let params = skew_params(45);
+    run_lockstep(
+        Kind::Naive,
+        Arc::new(VelocityBandPolicy::new(2, params.max_speed)),
+        &params,
+        4,
+        25,
+    );
+}
+
+/// A hand-built update that flips an object between the extreme speed
+/// bands must migrate it and keep the answers identical — the surgical
+/// version of the migration property the lockstep runs hit statistically.
+#[test]
+fn forced_migration_preserves_results_and_placement() {
+    let params = skew_params(46);
+    let (a, b) = generate_pair(&params, 0.0);
+    let config = engine_config(&params);
+    let policy = Arc::new(VelocityBandPolicy::new(4, params.max_speed));
+    let mut oracle = build_single(Kind::Mtb, config, &a, &b, 0.0).expect("oracle");
+    let mut coord =
+        build_coordinator(Kind::Mtb, config, policy.clone(), &a, &b, 0.0).expect("coordinator");
+    oracle.run_initial_join(0.0).expect("oracle initial");
+    coord.run_initial_join(0.0).expect("sharded initial");
+
+    // Ping-pong one object between a crawl (band 0) and top speed
+    // (band 3), forcing a migration every tick.
+    let subject = a[0];
+    let mut current = subject.mbr;
+    let mut last_update = 0.0;
+    let migrations_before = coord.migrations();
+    for tick in 1..=6u32 {
+        let now = Time::from(tick);
+        let here = current.at(now);
+        let speed = if tick % 2 == 1 {
+            0.95 * params.max_speed
+        } else {
+            0.05 * params.max_speed
+        };
+        let new_mbr = MovingRect::rigid(Rect::new(here.lo, here.hi), [speed, 0.0], now);
+        let update = ObjectUpdate {
+            id: subject.id,
+            set: SetTag::A,
+            old_mbr: current,
+            last_update,
+            new_mbr,
+        };
+        oracle.advance_time(now).expect("advance");
+        coord.advance_time(now).expect("advance");
+        oracle.apply_update(&update, now).expect("oracle update");
+        coord.apply_update(&update, now).expect("sharded update");
+        let expect_shard = if tick % 2 == 1 { 3 } else { 0 };
+        assert_eq!(coord.shard_of(subject.id), Some(expect_shard));
+        assert_eq!(coord.result_at(now), oracle.result_at(now), "t={now}");
+        current = new_mbr;
+        last_update = now;
+    }
+    assert_eq!(coord.migrations() - migrations_before, 6);
+}
+
+/// End-to-end through `cij-stream`: a service running the sharded
+/// coordinator must emit the same (tick, pair, add/remove) event set as
+/// one running the plain engine, and replaying either stream must
+/// reconstruct `result_at` exactly (count conservation).
+#[test]
+fn stream_deltas_match_single_engine_and_conserve_counts() {
+    use cij_stream::{OutboxItem, StreamConfig, StreamService, SubscriptionFilter};
+
+    let params = skew_params(47);
+    let (a, b) = generate_pair(&params, 0.0);
+    let stream_config = StreamConfig::builder()
+        .engine(engine_config(&params))
+        .build();
+
+    let mut single = StreamService::new(stream_config.clone(), &a, &b, 0.0, &|cfg, a, b, now| {
+        Ok(Box::new(MtbEngine::new(pool(), *cfg, a, b, now)?))
+    })
+    .expect("single service");
+    let mut sharded = StreamService::new(stream_config, &a, &b, 0.0, &|cfg, a, b, now| {
+        let policy = Arc::new(VelocityBandPolicy::new(4, 3.0));
+        let sharded_cfg = EngineConfig { threads: 4, ..*cfg };
+        Ok(Box::new(ShardCoordinator::new(
+            pool(),
+            sharded_cfg,
+            policy,
+            a,
+            b,
+            now,
+            &|pool, cfg, a, b, now| Ok(Box::new(MtbEngine::new(pool, *cfg, a, b, now)?)),
+        )?))
+    })
+    .expect("sharded service");
+
+    let sub_single = single.subscribe(SubscriptionFilter::All).expect("sub");
+    let sub_sharded = sharded.subscribe(SubscriptionFilter::All).expect("sub");
+
+    let mut workload = UpdateStream::new(&params, &a, &b, 0.0);
+    let mut replay_single = BTreeSet::new();
+    let mut replay_sharded = BTreeSet::new();
+    let mut event_count = 0usize;
+    for tick in 1..=30u32 {
+        let now = Time::from(tick);
+        for u in workload.tick(now) {
+            single.submit(u, now);
+            sharded.submit(u, now);
+        }
+        single.advance_to(now).expect("single advance");
+        sharded.advance_to(now).expect("sharded advance");
+
+        let drain = |svc: &mut StreamService, id, replay: &mut BTreeSet<_>| {
+            let mut events = BTreeSet::new();
+            for item in svc.poll(id).unwrap_or_default() {
+                let OutboxItem::Delta(stamped) = item else {
+                    panic!("no gaps expected in this run");
+                };
+                let pair = stamped.delta.pair();
+                if stamped.delta.is_add() {
+                    replay.insert(pair);
+                } else {
+                    replay.remove(&pair);
+                }
+                events.insert((stamped.at.to_bits(), pair, stamped.delta.is_add()));
+            }
+            events
+        };
+        let ev_single = drain(&mut single, sub_single, &mut replay_single);
+        let ev_sharded = drain(&mut sharded, sub_sharded, &mut replay_sharded);
+        assert_eq!(ev_sharded, ev_single, "event sets diverged at t={now}");
+        event_count += ev_single.len();
+
+        // Conservation: replaying the deltas reconstructs the answer.
+        let answer: BTreeSet<_> = single.result_at(now).into_iter().collect();
+        assert_eq!(replay_single, answer, "single replay broke at t={now}");
+        assert_eq!(replay_sharded, answer, "sharded replay broke at t={now}");
+        assert_eq!(
+            sharded.result_at(now),
+            single.result_at(now),
+            "service answers diverged at t={now}"
+        );
+    }
+    assert!(event_count > 0, "run produced no deltas at all");
+}

@@ -295,8 +295,12 @@ impl StreamService {
         updates: &[ObjectUpdate],
     ) -> TprResult<Vec<crate::event::ResultDelta>> {
         engine.advance_time(at)?;
+        // One engine call per tick batch: plain engines run the default
+        // sequential loop, the shard coordinator fans the batch out over
+        // shard pairs (identical results either way) — so WAL replay and
+        // live ingestion share one code path regardless of engine shape.
+        engine.apply_batch(updates, at)?;
         for u in updates {
-            engine.apply_update(u, at)?;
             tracks.insert(u.id, u.new_mbr);
         }
         engine.gc(at);

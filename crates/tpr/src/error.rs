@@ -17,6 +17,13 @@ pub enum TprError {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// The operation is not supported by this engine/index combination
+    /// (e.g. routed single-object inserts on an engine without a result
+    /// buffer — see `ContinuousJoinEngine::insert_object`).
+    Unsupported {
+        /// What was attempted and by whom.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for TprError {
@@ -25,6 +32,7 @@ impl std::fmt::Display for TprError {
             Self::Storage(e) => write!(f, "storage error: {e}"),
             Self::ObjectNotFound(oid) => write!(f, "object {oid:?} not found in tree"),
             Self::CorruptNode { detail } => write!(f, "corrupt node: {detail}"),
+            Self::Unsupported { what } => write!(f, "unsupported operation: {what}"),
         }
     }
 }

@@ -22,6 +22,45 @@ pub enum Distribution {
     /// axis-skew stress case for the §IV-D2 dimension-selection
     /// heuristic (extension workload, not in the paper's Table I).
     Highway,
+    /// Uniform positions but a bimodal speed mix — a slow majority and a
+    /// fast minority, with each object's speed class fixed by its id so
+    /// the class survives trajectory updates. The motivating workload
+    /// for velocity-band shard partitioning (arXiv:1205.6697): one
+    /// mixed tree pays the fast movers' MBR expansion on every probe,
+    /// while per-band trees keep the slow majority tight. (Extension
+    /// workload, not in the paper's Table I.)
+    VelocitySkew,
+}
+
+/// Fraction of a [`Distribution::VelocitySkew`] population in the fast
+/// class: ids with `id % SKEW_FAST_MODULUS == SKEW_FAST_MODULUS - 1`.
+pub const SKEW_FAST_MODULUS: u64 = 5;
+
+/// The speed range `[lo, hi]` of `id`'s class under
+/// [`Distribution::VelocitySkew`]: the slow majority draws from
+/// `[0, 0.3·max_speed]`, the fast minority (1 in
+/// [`SKEW_FAST_MODULUS`]) from `[0.7·max_speed, max_speed]`. Class
+/// membership depends only on the id, so an object keeps its class
+/// across updates — which keeps velocity-band shard placement stable
+/// while still crossing intra-class band boundaries (at K = 4 bands the
+/// slow range spans the 0.25·max_speed boundary and the fast range the
+/// 0.75·max_speed one, so both classes exercise migration).
+#[must_use]
+pub fn skew_speed_bounds(id: ObjectId, max_speed: f64) -> (f64, f64) {
+    if id.0 % SKEW_FAST_MODULUS == SKEW_FAST_MODULUS - 1 {
+        (0.7 * max_speed, max_speed)
+    } else {
+        (0.0, 0.3 * max_speed)
+    }
+}
+
+/// Velocity for a velocity-skew object: uniform direction, speed drawn
+/// from the id's class range.
+pub(crate) fn skewed_velocity(rng: &mut StdRng, max_speed: f64, id: ObjectId) -> [f64; 2] {
+    let (lo, hi) = skew_speed_bounds(id, max_speed);
+    let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+    let speed = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+    [speed * angle.cos(), speed * angle.sin()]
 }
 
 impl std::fmt::Display for Distribution {
@@ -31,6 +70,7 @@ impl std::fmt::Display for Distribution {
             Self::Gaussian => write!(f, "Gaussian"),
             Self::Battlefield => write!(f, "Battlefield"),
             Self::Highway => write!(f, "Highway"),
+            Self::VelocitySkew => write!(f, "VelocitySkew"),
         }
     }
 }
@@ -89,7 +129,9 @@ fn position(rng: &mut StdRng, params: &Params, tag: SetTag) -> [f64; 2] {
                 clamp(s / 2.0 + sigma * gaussian(rng)),
             ]
         }
-        Distribution::Highway => [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)],
+        Distribution::Highway | Distribution::VelocitySkew => {
+            [rng.gen_range(0.0..s - side), rng.gen_range(0.0..s - side)]
+        }
         Distribution::Battlefield => {
             // Each side occupies the outer 20% strip of the x-axis.
             let strip = 0.2 * s;
@@ -113,14 +155,16 @@ pub fn generate_set(params: &Params, tag: SetTag, id_base: u64, now: Time) -> Ve
     let side = params.object_side();
     (0..params.dataset_size)
         .map(|i| {
+            let id = ObjectId(id_base + i as u64);
             let p = position(&mut rng, params, tag);
             let v = match params.distribution {
                 Distribution::Battlefield => battlefield_velocity(&mut rng, params.max_speed, tag),
                 Distribution::Highway => highway_velocity(&mut rng, params.max_speed),
+                Distribution::VelocitySkew => skewed_velocity(&mut rng, params.max_speed, id),
                 _ => uniform_velocity(&mut rng, params.max_speed),
             };
             MovingObject {
-                id: ObjectId(id_base + i as u64),
+                id,
                 mbr: MovingRect::rigid(Rect::new(p, [p[0] + side, p[1] + side]), v, now),
             }
         })
@@ -250,6 +294,31 @@ mod tests {
         // Both directions represented.
         assert!(set.iter().any(|o| o.mbr.vlo[0] > 0.0));
         assert!(set.iter().any(|o| o.mbr.vlo[0] < 0.0));
+    }
+
+    #[test]
+    fn velocity_skew_classes_are_id_stable_and_bimodal() {
+        let params = Params {
+            dataset_size: 500,
+            distribution: Distribution::VelocitySkew,
+            ..Params::default()
+        };
+        let set = generate_set(&params, SetTag::A, 0, 0.0);
+        let mut fast = 0usize;
+        for o in &set {
+            let (lo, hi) = skew_speed_bounds(o.id, params.max_speed);
+            let s = speed(&o.mbr);
+            assert!(
+                s >= lo - 1e-9 && s <= hi + 1e-9,
+                "object {:?} speed {s} outside class [{lo}, {hi}]",
+                o.id
+            );
+            if lo > 0.0 {
+                fast += 1;
+            }
+        }
+        // 1-in-SKEW_FAST_MODULUS ids are fast, exactly (deterministic).
+        assert_eq!(fast, 500 / SKEW_FAST_MODULUS as usize);
     }
 
     #[test]

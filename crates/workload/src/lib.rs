@@ -24,6 +24,8 @@ mod params;
 pub mod trace;
 mod updates;
 
-pub use dataset::{generate_pair, generate_set, Distribution, MovingObject};
+pub use dataset::{
+    generate_pair, generate_set, skew_speed_bounds, Distribution, MovingObject, SKEW_FAST_MODULUS,
+};
 pub use params::Params;
 pub use updates::{ObjectUpdate, SetTag, UpdateStream};

@@ -120,7 +120,7 @@ impl UpdateStream {
             let tag = state.tag;
             let old_mbr = state.mbr;
             let last_update = state.last_update;
-            let new_mbr = self.steer(&old_mbr, tag, now);
+            let new_mbr = self.steer(id, &old_mbr, tag, now);
             let state = self.states.get_mut(&id).expect("ids track states");
             state.mbr = new_mbr;
             state.last_update = now;
@@ -137,9 +137,10 @@ impl UpdateStream {
     }
 
     /// New trajectory: continue from the current position, pick a fresh
-    /// velocity, and point it inward when the object strays near the
-    /// border.
-    fn steer(&mut self, old: &MovingRect, tag: SetTag, now: Time) -> MovingRect {
+    /// velocity (honoring the object's id-stable speed class under the
+    /// velocity-skew distribution), and point it inward when the object
+    /// strays near the border.
+    fn steer(&mut self, id: ObjectId, old: &MovingRect, tag: SetTag, now: Time) -> MovingRect {
         let s = self.params.space;
         let side = self.params.object_side();
         let here = old.at(now);
@@ -169,6 +170,9 @@ impl UpdateStream {
                     SetTag::A => [forward, lateral],
                     SetTag::B => [-forward, lateral],
                 }
+            }
+            crate::dataset::Distribution::VelocitySkew => {
+                crate::dataset::skewed_velocity(&mut self.rng, self.params.max_speed, id)
             }
             _ => {
                 let angle = self.rng.gen_range(0.0..std::f64::consts::TAU);

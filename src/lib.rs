@@ -18,6 +18,7 @@
 //! | [`bx`] | `cij-bx` | the Bˣ-tree (the index the MTB bucketing derives from) |
 //! | [`workload`] | `cij-workload` | the paper's synthetic workloads |
 //! | [`stream`] | `cij-stream` | update ingestion, result-delta subscriptions, WAL recovery |
+//! | [`shard`] | `cij-shard` | partitioned multi-engine coordinator with cross-shard join routing |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use cij_bx as bx;
 pub use cij_core as core;
 pub use cij_geom as geom;
 pub use cij_join as join;
+pub use cij_shard as shard;
 pub use cij_storage as storage;
 pub use cij_stream as stream;
 pub use cij_tpr as tpr;
