@@ -28,6 +28,7 @@ use std::time::Instant;
 use cij_bench::runner::{build_pair_trees_with, engine_config, tree_config, EngineKind};
 use cij_core::run_simulation;
 use cij_join::{improved_join_into, techniques, JoinScratch};
+use cij_obs::validate_prometheus;
 use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
 use cij_tpr::TprResult;
 use cij_workload::Params;
@@ -86,7 +87,9 @@ struct MicroResult {
     uncached_ns: f64,
     cached_ns: f64,
     speedup: f64,
-    cache_hit_rate: f64,
+    /// `None` when the cache-on trees saw no reads (degenerate run) —
+    /// serialized as JSON `null`, never a fabricated 0.0.
+    cache_hit_rate: Option<f64>,
 }
 
 /// Repeated warm `improved_join` with the cache off vs on.
@@ -130,7 +133,7 @@ fn micro(smoke: bool) -> TprResult<MicroResult> {
         uncached_ns,
         cached_ns,
         speedup: uncached_ns / cached_ns,
-        cache_hit_rate: hit_rate.unwrap_or(0.0),
+        cache_hit_rate: hit_rate,
     })
 }
 
@@ -207,6 +210,31 @@ fn engines(smoke: bool) -> TprResult<Vec<EngineResult>> {
         .collect()
 }
 
+/// One metrics-enabled simulation: returns the Prometheus text
+/// exposition of the engine's registry snapshot plus its validated
+/// sample count. Exercises the whole observability path end to end —
+/// live pool-I/O views, per-phase spans, published join counters — and
+/// proves the exposition parses.
+fn metrics_exposition(smoke: bool) -> TprResult<(String, usize)> {
+    let params = Params {
+        dataset_size: if smoke { 200 } else { 1_000 },
+        ..Params::default()
+    };
+    let end = if smoke { 10.0 } else { 60.0 };
+    let config = engine_config(&params, techniques::ALL, 2)
+        .to_builder()
+        .node_cache_capacity(NODE_CACHE)
+        .metrics(true)
+        .build();
+    let (mut engine, mut stream, _pool) = EngineKind::Mtb.build_with_config(&params, config)?;
+    run_simulation(engine.as_mut(), &mut stream, 0.0, end, 0.0, |_, _| Ok(()))?;
+    let snapshot = engine.metrics_registry().snapshot();
+    let text = snapshot.to_prometheus();
+    let samples = validate_prometheus(&text)
+        .unwrap_or_else(|e| panic!("bench_join produced invalid Prometheus exposition: {e}"));
+    Ok((text, samples))
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -238,6 +266,7 @@ fn main() {
     let opts = parse_args();
     let micro = micro(opts.smoke).expect("micro benchmark");
     let engines = engines(opts.smoke).expect("engine benchmark");
+    let (exposition, samples) = metrics_exposition(opts.smoke).expect("metrics exposition");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -262,7 +291,7 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"cache_hit_rate\": {}",
-        json_num(micro.cache_hit_rate)
+        json_opt(micro.cache_hit_rate)
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"engines\": [");
@@ -276,16 +305,24 @@ fn main() {
             engine_run_json(&e.cache_on),
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"metrics\": {{\"prometheus_samples\": {samples}, \"validated\": true}}"
+    );
     let _ = writeln!(json, "}}");
 
     std::fs::write(&opts.out, &json).expect("write benchmark json");
+    let prom_out = format!("{}.prom", opts.out.trim_end_matches(".json"));
+    std::fs::write(&prom_out, &exposition).expect("write prometheus exposition");
     println!(
-        "join micro: uncached {:.0} ns, cached {:.0} ns, speedup {:.2}x (hit rate {:.1}%)",
+        "join micro: uncached {:.0} ns, cached {:.0} ns, speedup {:.2}x (hit rate {})",
         micro.uncached_ns,
         micro.cached_ns,
         micro.speedup,
-        micro.cache_hit_rate * 100.0
+        micro
+            .cache_hit_rate
+            .map_or_else(|| "n/a".to_string(), |h| format!("{:.1}%", h * 100.0)),
     );
     for e in &engines {
         println!(
@@ -298,5 +335,6 @@ fn main() {
                 .map_or_else(|| "n/a".to_string(), |h| format!("{:.1}%", h * 100.0)),
         );
     }
-    println!("wrote {}", opts.out);
+    println!("metrics: {samples} Prometheus samples (exposition validated)");
+    println!("wrote {} and {prom_out}", opts.out);
 }

@@ -98,6 +98,7 @@ fn run_policy(
     let config = EngineConfig {
         t_m: params.maximum_update_interval,
         threads,
+        metrics: true,
         ..EngineConfig::default()
     };
     let (set_a, set_b) = cij_workload::generate_pair(params, 0.0);
@@ -148,6 +149,13 @@ fn json_num(v: f64) -> String {
 
 fn policy_json(r: &PolicyResult) -> String {
     let counters = r.report.total_counters();
+    // The coordinator runs with metrics enabled, so the report carries a
+    // registry snapshot — embed the unified view via the JSON encoder.
+    let metrics = r
+        .report
+        .metrics
+        .as_ref()
+        .map_or_else(|| "null".to_string(), cij_obs::MetricsSnapshot::to_json);
     let cache = r.report.total_cache().map_or_else(
         || "null".to_string(),
         |c| {
@@ -163,7 +171,7 @@ fn policy_json(r: &PolicyResult) -> String {
          \"node_pairs\": {}, \"entry_comparisons\": {}, \"pairs_emitted\": {}, \
          \"build_logical_reads\": {}, \"maintenance_logical_reads\": {}, \
          \"logical_reads\": {}, \"physical_io\": {}, \"pool_hit_ratio\": {}, \
-         \"cache\": {}}}",
+         \"cache\": {}, \"metrics\": {}}}",
         r.name,
         r.report.k,
         r.report.engine_count(),
@@ -182,6 +190,7 @@ fn policy_json(r: &PolicyResult) -> String {
             .hit_ratio()
             .map_or_else(|| "null".to_string(), |h| format!("{h:.4}")),
         cache,
+        metrics,
     )
 }
 

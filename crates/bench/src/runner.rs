@@ -99,6 +99,7 @@ pub fn engine_config(params: &Params, techniques: Techniques, buckets_per_tm: u3
         techniques,
         buckets_per_tm,
         threads: 1,
+        ..EngineConfig::default()
     }
 }
 

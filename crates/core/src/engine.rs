@@ -23,6 +23,7 @@ use cij_join::{
     parallel_improved_join, parallel_improved_multi_join, parallel_naive_join, tp_join,
     tp_object_probe, JoinCounters, JoinJob, Techniques,
 };
+use cij_obs::MetricsRegistry;
 use cij_storage::{BufferPool, CacheSnapshot};
 use cij_tpr::{ObjectId, TprResult, TprTree, TreeConfig};
 use cij_workload::{MovingObject, ObjectUpdate, SetTag};
@@ -54,6 +55,11 @@ pub struct EngineConfig {
     /// scoped threads, with results guaranteed bit-identical to the
     /// sequential runs (see `cij_join::parallel_improved_join`).
     pub threads: usize,
+    /// Whether the engine records into a `cij-obs` metrics registry
+    /// (per-phase spans, I/O and cache counters, traversal totals).
+    /// `false` (the default) makes every handle a no-op: no allocation,
+    /// no atomics, a single branch per record call.
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +70,7 @@ impl Default for EngineConfig {
             techniques: cij_join::techniques::ALL,
             buckets_per_tm: 2,
             threads: 1,
+            metrics: false,
         }
     }
 }
@@ -129,6 +136,14 @@ impl EngineConfigBuilder {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Whether the engine records observability metrics (default false =
+    /// zero-overhead no-op handles).
+    #[must_use]
+    pub fn metrics(mut self, metrics: bool) -> Self {
+        self.config.metrics = metrics;
         self
     }
 
@@ -262,6 +277,61 @@ pub trait ContinuousJoinEngine {
     fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
         None
     }
+
+    /// The engine's metrics registry (a cheap handle). Disabled — every
+    /// handle a no-op — unless the engine was built with
+    /// [`EngineConfig::metrics`] set; the default implementation is for
+    /// engines that never record.
+    fn metrics_registry(&self) -> MetricsRegistry {
+        MetricsRegistry::disabled()
+    }
+
+    /// Mirrors accumulated totals that live outside registered cells
+    /// (traversal [`JoinCounters`], merged node-cache totals) into the
+    /// registry so a snapshot sees them. Pool I/O counters are live
+    /// registered views and need no publishing. No-op when metrics are
+    /// disabled; called by the harness before reading a snapshot.
+    fn publish_metrics(&self) {}
+}
+
+/// Mirrors an engine's [`JoinCounters`] and merged node-cache totals into
+/// `registry` (the shared body of every `publish_metrics` impl; public so
+/// engine wrappers — e.g. the shard coordinator — can reuse it for their
+/// aggregated totals).
+pub fn publish_engine_totals(
+    registry: &MetricsRegistry,
+    counters: JoinCounters,
+    cache: Option<CacheSnapshot>,
+) {
+    if !registry.is_enabled() {
+        return;
+    }
+    registry
+        .counter("join.node_pairs")
+        .store(counters.node_pairs);
+    registry
+        .counter("join.entry_comparisons")
+        .store(counters.entry_comparisons);
+    registry.counter("join.ic_pruned").store(counters.ic_pruned);
+    registry
+        .counter("join.pairs_emitted")
+        .store(counters.pairs_emitted);
+    if let Some(c) = cache {
+        registry.counter("engine.node_cache.hits").store(c.hits);
+        registry.counter("engine.node_cache.misses").store(c.misses);
+        registry
+            .counter("engine.node_cache.insertions")
+            .store(c.insertions);
+        registry
+            .counter("engine.node_cache.evictions")
+            .store(c.evictions);
+        registry
+            .counter("engine.node_cache.invalidations")
+            .store(c.invalidations);
+        registry
+            .counter("engine.node_cache.stale_rejections")
+            .store(c.stale_rejections);
+    }
 }
 
 /// Merges two optional cache snapshots (per-tree stats into a per-engine
@@ -326,6 +396,7 @@ pub struct NaiveEngine {
     buffer: ResultBuffer,
     counters: JoinCounters,
     threads: usize,
+    obs: MetricsRegistry,
 }
 
 impl NaiveEngine {
@@ -337,6 +408,8 @@ impl NaiveEngine {
         set_b: &[MovingObject],
         now: Time,
     ) -> TprResult<Self> {
+        let obs = MetricsRegistry::enabled_if(config.metrics);
+        pool.stats().register_in(&obs, "storage.pool");
         let tree_a = build_tree(&pool, config.tree, set_a, now)?;
         let tree_b = build_tree(&pool, config.tree, set_b, now)?;
         Ok(Self {
@@ -346,6 +419,7 @@ impl NaiveEngine {
             buffer: ResultBuffer::new(),
             counters: JoinCounters::new(),
             threads: config.threads,
+            obs,
         })
     }
 }
@@ -441,6 +515,14 @@ impl ContinuousJoinEngine for NaiveEngine {
             self.tree_b.node_cache_stats(),
         )
     }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.clone()
+    }
+
+    fn publish_metrics(&self) {
+        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -456,6 +538,7 @@ pub struct TcEngine {
     tree_b: TprTree,
     buffer: ResultBuffer,
     counters: JoinCounters,
+    obs: MetricsRegistry,
 }
 
 impl TcEngine {
@@ -467,6 +550,8 @@ impl TcEngine {
         set_b: &[MovingObject],
         now: Time,
     ) -> TprResult<Self> {
+        let obs = MetricsRegistry::enabled_if(config.metrics);
+        pool.stats().register_in(&obs, "storage.pool");
         let tree_a = build_tree(&pool, config.tree, set_a, now)?;
         let tree_b = build_tree(&pool, config.tree, set_b, now)?;
         Ok(Self {
@@ -476,6 +561,7 @@ impl TcEngine {
             tree_b,
             buffer: ResultBuffer::new(),
             counters: JoinCounters::new(),
+            obs,
         })
     }
 }
@@ -579,6 +665,14 @@ impl ContinuousJoinEngine for TcEngine {
             self.tree_b.node_cache_stats(),
         )
     }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.clone()
+    }
+
+    fn publish_metrics(&self) {
+        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -602,6 +696,7 @@ pub struct EtpEngine {
     /// TP-Join re-runs performed (diagnostics: the paper's argument is
     /// that this grows with result-change frequency).
     pub reruns: u64,
+    obs: MetricsRegistry,
 }
 
 impl EtpEngine {
@@ -613,6 +708,8 @@ impl EtpEngine {
         set_b: &[MovingObject],
         now: Time,
     ) -> TprResult<Self> {
+        let obs = MetricsRegistry::enabled_if(config.metrics);
+        pool.stats().register_in(&obs, "storage.pool");
         let tree_a = build_tree(&pool, config.tree, set_a, now)?;
         let tree_b = build_tree(&pool, config.tree, set_b, now)?;
         Ok(Self {
@@ -623,6 +720,7 @@ impl EtpEngine {
             expiry: INFINITE_TIME,
             counters: JoinCounters::new(),
             reruns: 0,
+            obs,
         })
     }
 
@@ -701,6 +799,17 @@ impl ContinuousJoinEngine for EtpEngine {
             self.tree_b.node_cache_stats(),
         )
     }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.clone()
+    }
+
+    fn publish_metrics(&self) {
+        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+        if self.obs.is_enabled() {
+            self.obs.counter("engine.etp.reruns").store(self.reruns);
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -716,6 +825,7 @@ pub struct MtbEngine {
     mtb_b: MtbTree,
     buffer: ResultBuffer,
     counters: JoinCounters,
+    obs: MetricsRegistry,
 }
 
 impl MtbEngine {
@@ -727,6 +837,8 @@ impl MtbEngine {
         set_b: &[MovingObject],
         now: Time,
     ) -> TprResult<Self> {
+        let obs = MetricsRegistry::enabled_if(config.metrics);
+        pool.stats().register_in(&obs, "storage.pool");
         let mut mtb_a = MtbTree::with_buckets_per_tm(
             pool.clone(),
             config.tree,
@@ -752,6 +864,7 @@ impl MtbEngine {
             mtb_b,
             buffer: ResultBuffer::new(),
             counters: JoinCounters::new(),
+            obs,
         })
     }
 
@@ -894,6 +1007,14 @@ impl ContinuousJoinEngine for MtbEngine {
     fn node_cache_snapshot(&self) -> Option<CacheSnapshot> {
         merge_cache_stats(self.mtb_a.node_cache_stats(), self.mtb_b.node_cache_stats())
     }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.clone()
+    }
+
+    fn publish_metrics(&self) {
+        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -920,6 +1041,7 @@ pub struct BxEngine {
     reg_a: std::collections::HashMap<ObjectId, cij_geom::MovingRect>,
     buffer: ResultBuffer,
     counters: JoinCounters,
+    obs: MetricsRegistry,
 }
 
 impl BxEngine {
@@ -934,6 +1056,8 @@ impl BxEngine {
         set_b: &[MovingObject],
         now: Time,
     ) -> TprResult<Self> {
+        let obs = MetricsRegistry::enabled_if(config.metrics);
+        pool.stats().register_in(&obs, "storage.pool");
         let mut bx_a = cij_bx::BxTree::new(pool.clone(), bx_config);
         let mut bx_b = cij_bx::BxTree::new(pool.clone(), bx_config);
         let mut reg_a = std::collections::HashMap::with_capacity(set_a.len());
@@ -952,6 +1076,7 @@ impl BxEngine {
             reg_a,
             buffer: ResultBuffer::new(),
             counters: JoinCounters::new(),
+            obs,
         })
     }
 
@@ -1062,6 +1187,14 @@ impl ContinuousJoinEngine for BxEngine {
     fn counters(&self) -> JoinCounters {
         self.counters
     }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.clone()
+    }
+
+    fn publish_metrics(&self) {
+        publish_engine_totals(&self.obs, self.counters, None);
+    }
 }
 
 #[cfg(test)]
@@ -1085,6 +1218,7 @@ mod config_tests {
             .buckets_per_tm(4)
             .threads(8)
             .node_cache_capacity(256)
+            .metrics(true)
             .build();
         assert_eq!(config.t_m, 120.0);
         assert_eq!(config.tree.capacity, 12);
@@ -1092,6 +1226,7 @@ mod config_tests {
         assert_eq!(config.buckets_per_tm, 4);
         assert_eq!(config.threads, 8);
         assert_eq!(config.tree.node_cache_capacity, 256);
+        assert!(config.metrics);
         assert_eq!(config.to_builder().build(), config);
     }
 }

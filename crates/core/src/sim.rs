@@ -73,11 +73,17 @@ pub fn run_simulation<E: ContinuousJoinEngine + ?Sized>(
 ) -> TprResult<SimMetrics> {
     let mut metrics = SimMetrics::default();
     let stats = engine.pool().stats();
+    // Per-phase spans land in the engine's registry (inert when the
+    // engine was built without `EngineConfig::metrics`).
+    let obs = engine.metrics_registry();
 
     engine.pool().clear().map_err(cij_tpr::TprError::from)?;
     let before = stats.snapshot();
     let t0 = Instant::now();
-    engine.run_initial_join(start)?;
+    {
+        let _span = obs.span("phase.initial_join");
+        engine.run_initial_join(start)?;
+    }
     metrics.initial_time = t0.elapsed();
     metrics.initial_io = (stats.snapshot() - before).physical_total();
     on_tick(engine, start)?;
@@ -89,11 +95,14 @@ pub fn run_simulation<E: ContinuousJoinEngine + ?Sized>(
         let measured = now > measure_from;
         let before = stats.snapshot();
         let t0 = Instant::now();
-        engine.advance_time(now)?;
-        // One batch per tick: engines default to the sequential
-        // per-update loop; composite engines (the shard coordinator)
-        // fan the batch out across shards with identical results.
-        engine.apply_batch(&updates, now)?;
+        {
+            let _span = obs.span("phase.maintenance_tick");
+            engine.advance_time(now)?;
+            // One batch per tick: engines default to the sequential
+            // per-update loop; composite engines (the shard coordinator)
+            // fan the batch out across shards with identical results.
+            engine.apply_batch(&updates, now)?;
+        }
         if measured {
             metrics.maintenance_time += t0.elapsed();
             metrics.maintenance_io += (stats.snapshot() - before).physical_total();
@@ -104,5 +113,6 @@ pub fn run_simulation<E: ContinuousJoinEngine + ?Sized>(
         on_tick(engine, now)?;
         tick += 1;
     }
+    engine.publish_metrics();
     Ok(metrics)
 }

@@ -1,0 +1,203 @@
+//! Log₂-bucketed histograms.
+//!
+//! Bucket `i` holds values whose bit length is `i` — i.e. bucket 0 is
+//! exactly `{0}`, bucket `i ≥ 1` covers `[2^(i-1), 2^i)`. 65 buckets
+//! cover the whole `u64` range, so recording never clamps. Quantiles are
+//! estimated as the upper bound of the bucket containing the requested
+//! rank — an overestimate by at most 2× (one octave), which is the
+//! standard trade-off for fixed-layout lock-free histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets (bit lengths 0..=64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index of a value: its bit length.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of bucket `i`, as `f64` for quantile math.
+fn bucket_upper(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else if i >= 64 {
+        u64::MAX as f64
+    } else {
+        ((1u64 << i) - 1) as f64
+    }
+}
+
+/// A lock-free log₂ histogram. Recording is one atomic add per field.
+#[derive(Debug)]
+pub struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramCell {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Captures the current contents.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`HistogramCell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (bucket = bit length of the value).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q ∈ [0, 1]`: the upper bound of the
+    /// bucket containing the rank-`⌈q·count⌉` observation. 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (exact, unlike the quantiles). 0 when
+    /// empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Component-wise difference `self − earlier` (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = HistogramCell::new();
+        h.record(0);
+        for _ in 0..98 {
+            h.record(10); // bucket 4, upper bound 15
+        }
+        h.record(1 << 20); // one outlier
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.quantile(0.5), 15.0);
+        assert_eq!(s.quantile(0.99), 15.0);
+        assert!(s.quantile(1.0) >= (1 << 20) as f64);
+        assert!((s.mean() - (98.0 * 10.0 + (1u64 << 20) as f64) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = HistogramCell::new().snapshot();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let h = HistogramCell::new();
+        h.record(5);
+        let before = h.snapshot();
+        h.record(5);
+        h.record(9);
+        let d = h.snapshot().delta_since(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 14);
+    }
+}

@@ -43,9 +43,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cij_core::{ContinuousJoinEngine, EngineConfig, PairKey, PairStatus};
+use cij_core::{publish_engine_totals, ContinuousJoinEngine, EngineConfig, PairKey, PairStatus};
 use cij_geom::{MovingRect, Time};
 use cij_join::{fan_out_tasks, JoinCounters};
+use cij_obs::MetricsRegistry;
 use cij_storage::{BufferPool, CacheSnapshot};
 use cij_tpr::{ObjectId, TprError, TprResult};
 use cij_workload::{MovingObject, ObjectUpdate, SetTag};
@@ -106,6 +107,10 @@ pub struct ShardCoordinator {
     router: ShardRouter,
     population_a: Vec<usize>,
     population_b: Vec<usize>,
+    /// The coordinator's registry (disabled unless `config.metrics`).
+    /// Inner engines run with metrics off — the coordinator owns the
+    /// sharded run's telemetry, publishing per-slot counters itself.
+    obs: MetricsRegistry,
 }
 
 impl ShardCoordinator {
@@ -134,8 +139,15 @@ impl ShardCoordinator {
             parts_b[router.place(o.id, &o.mbr)].push(*o);
         }
 
+        let obs = MetricsRegistry::enabled_if(config.metrics);
+        pool.stats().register_in(&obs, "storage.pool");
+
         let inner = EngineConfig {
             threads: 1,
+            // One registry per sharded run: inner engines stay silent and
+            // the coordinator publishes their counters under per-pair
+            // names (see `publish_metrics`).
+            metrics: false,
             ..config
         };
         let mut slots = Vec::new();
@@ -171,6 +183,7 @@ impl ShardCoordinator {
             router,
             population_a: parts_a.iter().map(Vec::len).collect(),
             population_b: parts_b.iter().map(Vec::len).collect(),
+            obs,
         })
     }
 
@@ -199,9 +212,16 @@ impl ShardCoordinator {
     }
 
     /// Aggregated diagnostics: per-pair counters and cache activity,
-    /// shard populations, migrations, and the shared pool's I/O.
+    /// shard populations, migrations, and the shared pool's I/O. When
+    /// metrics are enabled the report also carries a published
+    /// [`MetricsSnapshot`](cij_obs::MetricsSnapshot) of the
+    /// coordinator's registry.
     #[must_use]
     pub fn report(&self) -> ShardReport {
+        let metrics = self.obs.is_enabled().then(|| {
+            self.publish_metrics();
+            self.obs.snapshot()
+        });
         ShardReport {
             policy: self.policy.name(),
             k: self.policy.shard_count(),
@@ -223,6 +243,7 @@ impl ShardCoordinator {
                 })
                 .collect(),
             io: self.pool.stats().snapshot(),
+            metrics,
         }
     }
 
@@ -452,5 +473,38 @@ impl ContinuousJoinEngine for ShardCoordinator {
                 (None, y) => y,
             }
         })
+    }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.clone()
+    }
+
+    fn publish_metrics(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        publish_engine_totals(&self.obs, self.counters(), self.node_cache_snapshot());
+        self.obs
+            .counter("shard.migrations")
+            .store(self.router.migrations());
+        self.obs.gauge("shard.engines").set(self.slots.len() as i64);
+        for (shard, (&a, &b)) in self.population_a.iter().zip(&self.population_b).enumerate() {
+            self.obs
+                .gauge(&format!("shard.population.a.{shard}"))
+                .set(a as i64);
+            self.obs
+                .gauge(&format!("shard.population.b.{shard}"))
+                .set(b as i64);
+        }
+        for s in &self.slots {
+            let c = s.engine.lock().counters();
+            let prefix = format!("shard.pair.{}_{}", s.shard_a, s.shard_b);
+            self.obs
+                .counter(&format!("{prefix}.node_pairs"))
+                .store(c.node_pairs);
+            self.obs
+                .counter(&format!("{prefix}.pairs_emitted"))
+                .store(c.pairs_emitted);
+        }
     }
 }

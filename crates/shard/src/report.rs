@@ -4,6 +4,7 @@
 //! harness and the `shard_demo` example print.
 
 use cij_join::JoinCounters;
+use cij_obs::MetricsSnapshot;
 use cij_storage::{CacheSnapshot, IoSnapshot};
 
 /// Diagnostics of one shard-pair engine.
@@ -39,6 +40,9 @@ pub struct ShardReport {
     pub pairs: Vec<PairReport>,
     /// Cumulative I/O of the shared buffer pool.
     pub io: IoSnapshot,
+    /// Published snapshot of the coordinator's metrics registry —
+    /// `None` when metrics are disabled in the engine config.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl ShardReport {

@@ -1,0 +1,193 @@
+//! Shard-axis counter conservation: the coordinator's unified
+//! [`MetricsSnapshot`] (carried on [`ShardReport::metrics`]) must agree
+//! bit-exactly with the legacy report fields — aggregated traversal
+//! counters, merged cache totals, shared-pool I/O, migrations, and the
+//! per-pair / per-shard breakdowns — at K = 1, 2 and 4. The per-engine ×
+//! thread axis of the same guarantee lives in
+//! `crates/core/tests/metrics_conservation.rs`.
+
+use std::sync::Arc;
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, MtbEngine};
+use cij_geom::Time;
+use cij_shard::{HashPolicy, ShardCoordinator};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_workload::{generate_pair, Distribution, Params, UpdateStream};
+
+fn params(seed: u64) -> Params {
+    Params {
+        dataset_size: 150,
+        distribution: Distribution::VelocitySkew,
+        seed,
+        space: 300.0,
+        object_size_pct: 1.0,
+        maximum_update_interval: 20.0,
+        ..Params::default()
+    }
+}
+
+#[test]
+fn shard_report_metrics_match_legacy_fields_bit_exactly() {
+    let p = params(11);
+    for k in [1usize, 2, 4] {
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(1024),
+        );
+        let config = EngineConfig {
+            t_m: p.maximum_update_interval,
+            metrics: true,
+            ..EngineConfig::default()
+        }
+        .to_builder()
+        .node_cache_capacity(128)
+        .build();
+        let (a, b) = generate_pair(&p, 0.0);
+        let mut coord = ShardCoordinator::new(
+            pool,
+            config,
+            Arc::new(HashPolicy::new(k)),
+            &a,
+            &b,
+            0.0,
+            &|pool, cfg, sa, sb, now| Ok(Box::new(MtbEngine::new(pool, *cfg, sa, sb, now)?)),
+        )
+        .expect("coordinator");
+        coord.run_initial_join(0.0).expect("initial join");
+        let mut stream = UpdateStream::new(&p, &a, &b, 0.0);
+        for tick in 1..=30u32 {
+            let now = Time::from(tick);
+            let updates = stream.tick(now);
+            coord.advance_time(now).expect("advance");
+            coord.apply_batch(&updates, now).expect("batch");
+            coord.gc(now);
+        }
+
+        let report = coord.report();
+        let tag = format!("K={k}");
+        let snap = report
+            .metrics
+            .clone()
+            .unwrap_or_else(|| panic!("{tag}: metrics-on coordinator must snapshot"));
+
+        // Aggregated traversal counters.
+        let totals = report.total_counters();
+        for (name, legacy) in [
+            ("join.node_pairs", totals.node_pairs),
+            ("join.entry_comparisons", totals.entry_comparisons),
+            ("join.ic_pruned", totals.ic_pruned),
+            ("join.pairs_emitted", totals.pairs_emitted),
+        ] {
+            assert_eq!(snap.counter(name), Some(legacy), "{tag}: {name} drifted");
+        }
+
+        // Merged decoded-node cache totals.
+        let cache = report
+            .total_cache()
+            .unwrap_or_else(|| panic!("{tag}: cache-on coordinator must report cache totals"));
+        for (name, legacy) in [
+            ("engine.node_cache.hits", cache.hits),
+            ("engine.node_cache.misses", cache.misses),
+            ("engine.node_cache.insertions", cache.insertions),
+            ("engine.node_cache.evictions", cache.evictions),
+            ("engine.node_cache.invalidations", cache.invalidations),
+            ("engine.node_cache.stale_rejections", cache.stale_rejections),
+        ] {
+            assert_eq!(snap.counter(name), Some(legacy), "{tag}: {name} drifted");
+        }
+
+        // Shared-pool I/O (live registered views).
+        for (name, legacy) in [
+            ("storage.pool.physical_reads", report.io.physical_reads),
+            ("storage.pool.physical_writes", report.io.physical_writes),
+            ("storage.pool.logical_reads", report.io.logical_reads),
+            ("storage.pool.logical_writes", report.io.logical_writes),
+            ("storage.pool.allocations", report.io.allocations),
+            ("storage.pool.frees", report.io.frees),
+        ] {
+            assert_eq!(snap.counter(name), Some(legacy), "{tag}: {name} drifted");
+        }
+
+        // Coordinator telemetry: migrations, shard count, populations.
+        assert_eq!(
+            snap.counter("shard.migrations"),
+            Some(report.migrations),
+            "{tag}: migrations drifted"
+        );
+        assert_eq!(
+            snap.gauge("shard.engines"),
+            Some(report.engine_count() as i64),
+            "{tag}: engine count drifted"
+        );
+        for (i, (pa, pb)) in report
+            .population_a
+            .iter()
+            .zip(&report.population_b)
+            .enumerate()
+        {
+            assert_eq!(
+                snap.gauge(&format!("shard.population.a.{i}")),
+                Some(*pa as i64),
+                "{tag}: shard {i} population A drifted"
+            );
+            assert_eq!(
+                snap.gauge(&format!("shard.population.b.{i}")),
+                Some(*pb as i64),
+                "{tag}: shard {i} population B drifted"
+            );
+        }
+
+        // Per-pair breakdown: one counter pair per shard-pair engine.
+        for pr in &report.pairs {
+            let prefix = format!("shard.pair.{}_{}", pr.shard_a, pr.shard_b);
+            assert_eq!(
+                snap.counter(&format!("{prefix}.node_pairs")),
+                Some(pr.counters.node_pairs),
+                "{tag}: {prefix}.node_pairs drifted"
+            );
+            assert_eq!(
+                snap.counter(&format!("{prefix}.pairs_emitted")),
+                Some(pr.counters.pairs_emitted),
+                "{tag}: {prefix}.pairs_emitted drifted"
+            );
+        }
+
+        // The coordinator owns telemetry: no double counting from inner
+        // engines (their registries are disabled).
+        assert!(
+            !coord.metrics_registry().snapshot().is_empty(),
+            "{tag}: coordinator registry empty"
+        );
+    }
+}
+
+#[test]
+fn metrics_off_coordinator_reports_no_snapshot() {
+    let p = params(12);
+    let pool = BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(512),
+    );
+    let config = EngineConfig {
+        t_m: p.maximum_update_interval,
+        ..EngineConfig::default()
+    };
+    let (a, b) = generate_pair(&p, 0.0);
+    let mut coord = ShardCoordinator::new(
+        pool,
+        config,
+        Arc::new(HashPolicy::new(2)),
+        &a,
+        &b,
+        0.0,
+        &|pool, cfg, sa, sb, now| Ok(Box::new(MtbEngine::new(pool, *cfg, sa, sb, now)?)),
+    )
+    .expect("coordinator");
+    coord.run_initial_join(0.0).expect("initial join");
+    let report = coord.report();
+    assert!(
+        report.metrics.is_none(),
+        "metrics-off report carried a snapshot"
+    );
+    assert!(!coord.metrics_registry().is_enabled());
+}

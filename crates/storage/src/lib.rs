@@ -43,7 +43,7 @@ pub use file_store::FileStore;
 pub use pool::{BufferPool, BufferPoolConfig};
 pub use stats::{CacheSnapshot, CacheStats, IoSnapshot, IoStats};
 pub use store::{InMemoryStore, PageStore};
-pub use wal::{Wal, WalRecovery};
+pub use wal::{Wal, WalRecovery, WalStats};
 
 /// Size of a disk page in bytes (paper §VI-A: "the disk page size is 4K
 /// bytes").

@@ -5,19 +5,28 @@
 //! store and buffer pool; the harness takes an [`IoSnapshot`] before a
 //! phase and subtracts it afterwards to attribute I/O to that phase
 //! (initial join vs. maintenance, per update, per tree, …).
+//!
+//! Since the observability layer landed, both [`IoStats`] and
+//! [`CacheStats`] are built on `cij-obs` [`CounterCell`]s. Calling
+//! [`IoStats::register_in`] (or [`CacheStats::register_in`]) shares the
+//! *same* atomics into a [`MetricsRegistry`], so the registry's snapshot
+//! is a bit-exact live view of the legacy counters — not a copy that can
+//! drift. The record/snapshot/reset API is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cij_obs::{CounterCell, MetricsRegistry};
 
 /// Shared, thread-safe I/O counters. One instance is threaded through a
 /// store and its buffer pool; indexes on the same "disk" share it.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    physical_reads: AtomicU64,
-    physical_writes: AtomicU64,
-    logical_reads: AtomicU64,
-    logical_writes: AtomicU64,
-    allocations: AtomicU64,
-    frees: AtomicU64,
+    physical_reads: Arc<CounterCell>,
+    physical_writes: Arc<CounterCell>,
+    logical_reads: Arc<CounterCell>,
+    logical_writes: Arc<CounterCell>,
+    allocations: Arc<CounterCell>,
+    frees: Arc<CounterCell>,
 }
 
 impl IoStats {
@@ -30,60 +39,78 @@ impl IoStats {
     /// Records a physical (buffer-miss) page read.
     #[inline]
     pub fn record_physical_read(&self) {
-        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        self.physical_reads.inc();
     }
 
     /// Records a physical page write (eviction of a dirty frame / flush).
     #[inline]
     pub fn record_physical_write(&self) {
-        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+        self.physical_writes.inc();
     }
 
     /// Records a logical page read (every buffer-pool `read`, hit or miss).
     #[inline]
     pub fn record_logical_read(&self) {
-        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        self.logical_reads.inc();
     }
 
     /// Records a logical page write.
     #[inline]
     pub fn record_logical_write(&self) {
-        self.logical_writes.fetch_add(1, Ordering::Relaxed);
+        self.logical_writes.inc();
     }
 
     /// Records a page allocation.
     #[inline]
     pub fn record_alloc(&self) {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.allocations.inc();
     }
 
     /// Records a page free.
     #[inline]
     pub fn record_free(&self) {
-        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.frees.inc();
     }
 
     /// Captures the current counter values.
     #[must_use]
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            physical_reads: self.physical_reads.load(Ordering::Relaxed),
-            physical_writes: self.physical_writes.load(Ordering::Relaxed),
-            logical_reads: self.logical_reads.load(Ordering::Relaxed),
-            logical_writes: self.logical_writes.load(Ordering::Relaxed),
-            allocations: self.allocations.load(Ordering::Relaxed),
-            frees: self.frees.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.get(),
+            physical_writes: self.physical_writes.get(),
+            logical_reads: self.logical_reads.get(),
+            logical_writes: self.logical_writes.get(),
+            allocations: self.allocations.get(),
+            frees: self.frees.get(),
         }
     }
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        self.physical_reads.store(0, Ordering::Relaxed);
-        self.physical_writes.store(0, Ordering::Relaxed);
-        self.logical_reads.store(0, Ordering::Relaxed);
-        self.logical_writes.store(0, Ordering::Relaxed);
-        self.allocations.store(0, Ordering::Relaxed);
-        self.frees.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0);
+        self.physical_writes.store(0);
+        self.logical_reads.store(0);
+        self.logical_writes.store(0);
+        self.allocations.store(0);
+        self.frees.store(0);
+    }
+
+    /// Registers every counter in `registry` under `prefix` (e.g.
+    /// `storage.pool` → `storage.pool.physical_reads`, …). The registry
+    /// shares this struct's atomics, so its view stays bit-exact with
+    /// [`snapshot`](Self::snapshot) forever after. No-op when the
+    /// registry is disabled.
+    pub fn register_in(&self, registry: &MetricsRegistry, prefix: &str) {
+        for (name, cell) in [
+            ("physical_reads", &self.physical_reads),
+            ("physical_writes", &self.physical_writes),
+            ("logical_reads", &self.logical_reads),
+            ("logical_writes", &self.logical_writes),
+            ("allocations", &self.allocations),
+            ("frees", &self.frees),
+        ] {
+            registry.register_counter_cell(&format!("{prefix}.{name}"), Arc::clone(cell));
+        }
     }
 }
 
@@ -153,12 +180,12 @@ impl std::ops::Sub for IoSnapshot {
 /// physical I/O accounting.
 #[derive(Debug, Default)]
 pub struct CacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
-    stale_rejections: AtomicU64,
+    hits: Arc<CounterCell>,
+    misses: Arc<CounterCell>,
+    insertions: Arc<CounterCell>,
+    evictions: Arc<CounterCell>,
+    invalidations: Arc<CounterCell>,
+    stale_rejections: Arc<CounterCell>,
 }
 
 impl CacheStats {
@@ -171,61 +198,78 @@ impl CacheStats {
     /// Records a lookup that returned a cached value.
     #[inline]
     pub fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     /// Records a lookup that found nothing.
     #[inline]
     pub fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
 
     /// Records a value installed (miss-fill or write-through).
     #[inline]
     pub fn record_insertion(&self) {
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
     }
 
     /// Records an LRU victim dropped to make room.
     #[inline]
     pub fn record_eviction(&self) {
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evictions.inc();
     }
 
     /// Records a cached value dropped or replaced because its page
     /// changed or was freed.
     #[inline]
     pub fn record_invalidation(&self) {
-        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.invalidations.inc();
     }
 
     /// Records a miss-fill rejected by the generation stamp.
     #[inline]
     pub fn record_stale_rejection(&self) {
-        self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+        self.stale_rejections.inc();
     }
 
     /// Captures the current counter values.
     #[must_use]
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            stale_rejections: self.stale_rejections.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+            stale_rejections: self.stale_rejections.get(),
         }
     }
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.insertions.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.invalidations.store(0, Ordering::Relaxed);
-        self.stale_rejections.store(0, Ordering::Relaxed);
+        self.hits.store(0);
+        self.misses.store(0);
+        self.insertions.store(0);
+        self.evictions.store(0);
+        self.invalidations.store(0);
+        self.stale_rejections.store(0);
+    }
+
+    /// Registers every counter in `registry` under `prefix` (e.g.
+    /// `storage.cache` → `storage.cache.hits`, …), sharing this struct's
+    /// atomics so the registry view is live and bit-exact. No-op when the
+    /// registry is disabled.
+    pub fn register_in(&self, registry: &MetricsRegistry, prefix: &str) {
+        for (name, cell) in [
+            ("hits", &self.hits),
+            ("misses", &self.misses),
+            ("insertions", &self.insertions),
+            ("evictions", &self.evictions),
+            ("invalidations", &self.invalidations),
+            ("stale_rejections", &self.stale_rejections),
+        ] {
+            registry.register_counter_cell(&format!("{prefix}.{name}"), Arc::clone(cell));
+        }
     }
 }
 
@@ -369,6 +413,36 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot(), CacheSnapshot::default());
         assert_eq!(CacheSnapshot::default().hit_rate(), None);
+    }
+
+    #[test]
+    fn register_in_exposes_live_bit_exact_views() {
+        let registry = MetricsRegistry::new();
+        let io = IoStats::new();
+        io.record_physical_read();
+        io.register_in(&registry, "storage.pool");
+        io.record_physical_read();
+        io.record_logical_write();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.pool.physical_reads"), Some(2));
+        assert_eq!(snap.counter("storage.pool.logical_writes"), Some(1));
+        assert_eq!(
+            snap.counter("storage.pool.physical_reads"),
+            Some(io.snapshot().physical_reads)
+        );
+
+        let cache = CacheStats::new();
+        cache.register_in(&registry, "storage.cache");
+        cache.record_hit();
+        cache.record_miss();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.cache.hits"), Some(1));
+        assert_eq!(snap.counter("storage.cache.misses"), Some(1));
+
+        // Disabled registries accept the call and record nothing.
+        let disabled = MetricsRegistry::disabled();
+        io.register_in(&disabled, "storage.pool");
+        assert!(disabled.snapshot().is_empty());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+
+use cij_obs::{CounterCell, MetricsRegistry};
 
 use crate::{StorageError, StorageResult};
 
@@ -74,10 +77,60 @@ pub struct WalRecovery {
     pub tail_corrupt: bool,
 }
 
+/// Shared, thread-safe WAL activity counters, built on `cij-obs`
+/// [`CounterCell`]s so they can be registered as a live view in a
+/// [`MetricsRegistry`] (same pattern as [`IoStats`](crate::IoStats)).
+#[derive(Debug, Default)]
+pub struct WalStats {
+    appends: Arc<CounterCell>,
+    appended_bytes: Arc<CounterCell>,
+    syncs: Arc<CounterCell>,
+}
+
+impl WalStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records appended this log's lifetime.
+    #[must_use]
+    pub fn appends(&self) -> u64 {
+        self.appends.get()
+    }
+
+    /// Payload + frame bytes appended this log's lifetime.
+    #[must_use]
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes.get()
+    }
+
+    /// `sync` calls this log's lifetime.
+    #[must_use]
+    pub fn syncs(&self) -> u64 {
+        self.syncs.get()
+    }
+
+    /// Registers every counter in `registry` under `prefix` (e.g.
+    /// `stream.wal` → `stream.wal.appends`, …), sharing this struct's
+    /// atomics. No-op when the registry is disabled.
+    pub fn register_in(&self, registry: &MetricsRegistry, prefix: &str) {
+        for (name, cell) in [
+            ("appends", &self.appends),
+            ("appended_bytes", &self.appended_bytes),
+            ("syncs", &self.syncs),
+        ] {
+            registry.register_counter_cell(&format!("{prefix}.{name}"), Arc::clone(cell));
+        }
+    }
+}
+
 /// An open write-ahead log, positioned for appending.
 pub struct Wal {
     file: File,
     len: u64,
+    stats: Arc<WalStats>,
 }
 
 fn io_err(e: std::io::Error) -> StorageError {
@@ -94,7 +147,11 @@ impl Wal {
             .truncate(true)
             .open(path)
             .map_err(io_err)?;
-        Ok(Self { file, len: 0 })
+        Ok(Self {
+            file,
+            len: 0,
+            stats: Arc::new(WalStats::new()),
+        })
     }
 
     /// Opens (or creates) the log at `path`, scanning it for intact
@@ -143,6 +200,7 @@ impl Wal {
             Self {
                 file,
                 len: durable_len,
+                stats: Arc::new(WalStats::new()),
             },
             WalRecovery {
                 records,
@@ -169,12 +227,24 @@ impl Wal {
             .map_err(io_err)?;
         self.file.write_all(payload).map_err(io_err)?;
         self.len += (FRAME_HEADER + payload.len()) as u64;
+        self.stats.appends.inc();
+        self.stats
+            .appended_bytes
+            .add((FRAME_HEADER + payload.len()) as u64);
         Ok(self.len)
     }
 
     /// Flushes appended records to the OS.
     pub fn sync(&self) -> StorageResult<()> {
+        self.stats.syncs.inc();
         self.file.sync_data().map_err(io_err)
+    }
+
+    /// Activity counters for this log (appends, bytes, syncs). The
+    /// returned handle stays live across appends.
+    #[must_use]
+    pub fn stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Current file length in bytes.

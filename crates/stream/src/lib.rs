@@ -37,6 +37,7 @@
 
 mod config;
 mod delta;
+mod error;
 mod event;
 mod ingest;
 mod service;
@@ -44,6 +45,7 @@ mod subscribe;
 mod wire;
 
 pub use config::{StreamConfig, StreamConfigBuilder};
+pub use error::{StreamError, StreamResult};
 pub use event::{OutboxItem, ResultDelta, StampedDelta};
 pub use ingest::{IngestOutcome, IngestQueue};
 pub use service::{EngineFactory, RecoveryReport, StreamService};

@@ -15,12 +15,14 @@ use std::collections::HashMap;
 
 use cij_core::{ContinuousJoinEngine, EngineConfig, PairKey};
 use cij_geom::{MovingRect, Time};
-use cij_storage::{StorageError, Wal};
+use cij_obs::{Counter, Gauge, MetricsRegistry};
+use cij_storage::Wal;
 use cij_tpr::{ObjectId, TprResult};
 use cij_workload::{MovingObject, ObjectUpdate};
 
 use crate::config::StreamConfig;
 use crate::delta::DeltaExtractor;
+use crate::error::{StreamError, StreamResult};
 use crate::event::{OutboxItem, StampedDelta};
 use crate::ingest::{IngestOutcome, IngestQueue};
 use crate::subscribe::{SubscriberId, SubscriptionFilter, SubscriptionRegistry};
@@ -65,6 +67,49 @@ pub struct StreamService {
     tracks: HashMap<ObjectId, MovingRect>,
     wal: Option<Wal>,
     now: Time,
+    /// Observability handles, shared with the engine's registry (all
+    /// no-ops when `config.engine.metrics` is off).
+    obs: ServiceMetrics,
+}
+
+/// The service's recording handles. Cloned from the engine's registry at
+/// construction; every handle is a no-op when metrics are disabled, so
+/// the hot paths pay one branch per record call and nothing else.
+struct ServiceMetrics {
+    registry: MetricsRegistry,
+    queue_depth: Gauge,
+    backpressure_engaged: Counter,
+    backpressure_released: Counter,
+    submissions_accepted: Counter,
+    submissions_refused: Counter,
+    batches_applied: Counter,
+    deltas_emitted: Counter,
+    subscriber_dropped: Counter,
+}
+
+impl ServiceMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        Self {
+            queue_depth: registry.gauge("stream.queue.depth"),
+            backpressure_engaged: registry.counter("stream.backpressure.engaged"),
+            backpressure_released: registry.counter("stream.backpressure.released"),
+            submissions_accepted: registry.counter("stream.submissions.accepted"),
+            submissions_refused: registry.counter("stream.submissions.refused"),
+            batches_applied: registry.counter("stream.batches_applied"),
+            deltas_emitted: registry.counter("stream.deltas_emitted"),
+            subscriber_dropped: registry.counter("stream.subscribers.dropped_deltas"),
+            registry,
+        }
+    }
+
+    /// Counts an accepting→refusing (or back) flip of the ingest queue.
+    fn record_backpressure_flip(&self, was_accepting: bool, is_accepting: bool) {
+        if was_accepting && !is_accepting {
+            self.backpressure_engaged.inc();
+        } else if !was_accepting && is_accepting {
+            self.backpressure_released.inc();
+        }
+    }
 }
 
 impl StreamService {
@@ -78,24 +123,32 @@ impl StreamService {
     /// so a subscriber replaying from the beginning starts from the
     /// empty set like any other replay.
     ///
-    /// # Panics
-    /// Panics when `config` violates its watermark invariant (see
-    /// [`StreamConfig::is_valid`]).
+    /// # Errors
+    /// [`StreamError::InvalidConfig`] when `config` violates its
+    /// watermark invariant (see [`StreamConfig::is_valid`]);
+    /// [`StreamError::Engine`]/[`StreamError::Storage`] when engine
+    /// construction or the journal fails.
     pub fn new(
         config: StreamConfig,
         set_a: &[MovingObject],
         set_b: &[MovingObject],
         start: Time,
         build_engine: EngineFactory<'_>,
-    ) -> TprResult<Self> {
-        assert!(config.is_valid(), "invalid stream config: {config:?}");
+    ) -> StreamResult<Self> {
+        if !config.is_valid() {
+            return Err(StreamError::InvalidConfig(format!(
+                "need 0 < low ≤ high ≤ capacity and a nonzero outbox, got {config:?}"
+            )));
+        }
         let mut engine = build_engine(&config.engine, set_a, set_b, start)?;
         engine.enable_delta_tracking();
         engine.run_initial_join(start)?;
+        let obs = ServiceMetrics::new(engine.metrics_registry());
 
         let wal = match &config.wal_path {
             Some(path) => {
                 let mut wal = Wal::create(path)?;
+                wal.stats().register_in(&obs.registry, "stream.wal");
                 let genesis = WalRecord::Genesis {
                     start,
                     set_a: set_a.to_vec(),
@@ -127,6 +180,7 @@ impl StreamService {
             tracks,
             wal,
             now: start,
+            obs,
         })
     }
 
@@ -141,36 +195,50 @@ impl StreamService {
     /// of the currently reported pairs, after which deltas flow
     /// incrementally again.
     ///
-    /// # Panics
-    /// Panics when `config.wal_path` is `None` — recovery without a
-    /// journal is a programming error.
+    /// # Errors
+    /// [`StreamError::MissingWalPath`] when `config.wal_path` is `None`;
+    /// [`StreamError::CorruptJournal`] when the durable prefix is not a
+    /// valid journal (no genesis, non-genesis first record, duplicate
+    /// genesis, undecodable record); [`StreamError::InvalidConfig`] /
+    /// [`StreamError::Storage`] / [`StreamError::Engine`] as in
+    /// [`new`](Self::new). A torn *tail* is not an error — it is
+    /// truncated and reported via
+    /// [`RecoveryReport::tail_truncated`].
     pub fn recover(
         config: StreamConfig,
         build_engine: EngineFactory<'_>,
-    ) -> TprResult<(Self, RecoveryReport)> {
-        assert!(config.is_valid(), "invalid stream config: {config:?}");
+    ) -> StreamResult<(Self, RecoveryReport)> {
+        if !config.is_valid() {
+            return Err(StreamError::InvalidConfig(format!(
+                "need 0 < low ≤ high ≤ capacity and a nonzero outbox, got {config:?}"
+            )));
+        }
         let path = config
             .wal_path
             .as_ref()
-            .expect("recovery requires a wal_path");
+            .ok_or(StreamError::MissingWalPath)?;
         let (wal, recovery) = Wal::open(path)?;
 
         let mut records = recovery.records.iter();
         let genesis = records
             .next()
-            .ok_or_else(|| StorageError::Corrupt("WAL holds no durable genesis record".into()))?;
+            .ok_or_else(|| StreamError::CorruptJournal("no durable genesis record".into()))?;
         let WalRecord::Genesis {
             start,
             set_a,
             set_b,
-        } = WalRecord::decode(genesis)?
+        } = Self::decode_journal(genesis)?
         else {
-            return Err(StorageError::Corrupt("first WAL record is not a genesis".into()).into());
+            return Err(StreamError::CorruptJournal(
+                "first record is not a genesis".into(),
+            ));
         };
 
         let mut engine = build_engine(&config.engine, &set_a, &set_b, start)?;
         engine.enable_delta_tracking();
         engine.run_initial_join(start)?;
+        let obs = ServiceMetrics::new(engine.metrics_registry());
+        wal.stats().register_in(&obs.registry, "stream.wal");
 
         let mut tracks = HashMap::with_capacity(set_a.len() + set_b.len());
         for o in set_a.iter().chain(&set_b) {
@@ -181,24 +249,36 @@ impl StreamService {
         let mut registry = SubscriptionRegistry::new(config.outbox_capacity);
         let mut now = start;
         let mut batches_replayed = 0usize;
-        for payload in records {
-            match WalRecord::decode(payload)? {
-                WalRecord::Genesis { .. } => {
-                    return Err(
-                        StorageError::Corrupt("duplicate genesis record in WAL".into()).into(),
-                    );
-                }
-                WalRecord::Batch { at, updates } => {
-                    Self::apply_batch(engine.as_mut(), &mut extractor, &mut tracks, at, &updates)?;
-                    now = at;
-                    batches_replayed += 1;
-                }
-                WalRecord::Subscribe { id, filter } => registry.insert_with_id(id, filter),
-                WalRecord::Unsubscribe { id } => {
-                    registry.unsubscribe(id);
+        {
+            let _span = obs.registry.span("phase.wal_replay");
+            for payload in records {
+                match Self::decode_journal(payload)? {
+                    WalRecord::Genesis { .. } => {
+                        return Err(StreamError::CorruptJournal(
+                            "duplicate genesis record".into(),
+                        ));
+                    }
+                    WalRecord::Batch { at, updates } => {
+                        Self::apply_batch(
+                            engine.as_mut(),
+                            &mut extractor,
+                            &mut tracks,
+                            at,
+                            &updates,
+                        )?;
+                        now = at;
+                        batches_replayed += 1;
+                    }
+                    WalRecord::Subscribe { id, filter } => registry.insert_with_id(id, filter),
+                    WalRecord::Unsubscribe { id } => {
+                        registry.unsubscribe(id);
+                    }
                 }
             }
         }
+        obs.registry
+            .counter("stream.recovery.batches_replayed")
+            .store(batches_replayed as u64);
 
         // Undelivered outboxes died with the crashed process: every
         // restored subscriber gets a gap marker (count 1 — a lower
@@ -207,6 +287,7 @@ impl StreamService {
         for id in registry.ids() {
             registry.reseed(id, 1, now, &current, &tracks);
         }
+        obs.subscriber_dropped.store(registry.total_dropped());
 
         let report = RecoveryReport {
             batches_replayed,
@@ -228,15 +309,33 @@ impl StreamService {
             tracks,
             wal: Some(wal),
             now,
+            obs,
         };
         Ok((service, report))
+    }
+
+    /// Decodes one journal payload, folding the storage layer's
+    /// `Corrupt` errors into [`StreamError::CorruptJournal`] so callers
+    /// see one typed "bad journal" condition.
+    fn decode_journal(payload: &[u8]) -> StreamResult<WalRecord> {
+        WalRecord::decode(payload)
+            .map_err(|e| StreamError::CorruptJournal(format!("undecodable record: {e}")))
     }
 
     /// Offers one update for tick `at`. The caller must handle the
     /// outcome — [`QueueFull`](IngestOutcome::QueueFull) is the
     /// backpressure signal, not an error.
     pub fn submit(&mut self, update: ObjectUpdate, at: Time) -> IngestOutcome {
-        self.queue.submit(update, at)
+        let was_accepting = self.queue.is_accepting();
+        let outcome = self.queue.submit(update, at);
+        match outcome {
+            IngestOutcome::QueueFull => self.obs.submissions_refused.inc(),
+            _ => self.obs.submissions_accepted.inc(),
+        }
+        self.obs.queue_depth.set(self.queue.len() as i64);
+        self.obs
+            .record_backpressure_flip(was_accepting, self.queue.is_accepting());
+        outcome
     }
 
     /// Advances the service clock to `t`: drains every queued batch
@@ -247,10 +346,15 @@ impl StreamService {
     /// the same stamped deltas the subscribers receive (pre-filter).
     ///
     /// Calls with `t` at or before the current clock are no-ops.
-    pub fn advance_to(&mut self, t: Time) -> TprResult<Vec<StampedDelta>> {
+    ///
+    /// # Errors
+    /// [`StreamError::Engine`] when the wrapped engine fails;
+    /// [`StreamError::Storage`] when journaling fails.
+    pub fn advance_to(&mut self, t: Time) -> StreamResult<Vec<StampedDelta>> {
         if t <= self.now {
             return Ok(Vec::new());
         }
+        let was_accepting = self.queue.is_accepting();
         let mut out = Vec::new();
         let mut last_extracted = self.now;
         for (at, updates) in self.queue.drain_through(t) {
@@ -265,6 +369,7 @@ impl StreamService {
                 at,
                 &updates,
             )?;
+            self.obs.batches_applied.inc();
             self.emit(at, deltas, &mut out);
             last_extracted = at;
         }
@@ -281,6 +386,9 @@ impl StreamService {
             self.emit(t, deltas, &mut out);
         }
         self.now = t;
+        self.obs.queue_depth.set(self.queue.len() as i64);
+        self.obs
+            .record_backpressure_flip(was_accepting, self.queue.is_accepting());
         Ok(out)
     }
 
@@ -317,11 +425,15 @@ impl StreamService {
             .into_iter()
             .map(|delta| StampedDelta { at, delta })
             .collect();
+        self.obs.deltas_emitted.add(stamped.len() as u64);
         self.registry.deliver(&stamped, &self.tracks);
+        self.obs
+            .subscriber_dropped
+            .store(self.registry.total_dropped());
         out.extend(stamped);
     }
 
-    fn journal(&mut self, record: &WalRecord) -> TprResult<()> {
+    fn journal(&mut self, record: &WalRecord) -> StreamResult<()> {
         if let Some(wal) = &mut self.wal {
             wal.append(&record.encode())?;
             wal.sync()?;
@@ -333,7 +445,10 @@ impl StreamService {
     /// snapshot of the currently reported pairs (filtered), so replaying
     /// its deliveries yields the live result without a full-stream
     /// replay from genesis.
-    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> TprResult<SubscriberId> {
+    ///
+    /// # Errors
+    /// [`StreamError::Storage`] when journaling the subscription fails.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> StreamResult<SubscriberId> {
         let id = self.registry.subscribe(filter);
         self.journal(&WalRecord::Subscribe { id, filter })?;
         let current = self.extractor.current();
@@ -343,7 +458,10 @@ impl StreamService {
     }
 
     /// Removes a subscriber. Returns whether it existed.
-    pub fn unsubscribe(&mut self, id: SubscriberId) -> TprResult<bool> {
+    ///
+    /// # Errors
+    /// [`StreamError::Storage`] when journaling the removal fails.
+    pub fn unsubscribe(&mut self, id: SubscriberId) -> StreamResult<bool> {
         let existed = self.registry.unsubscribe(id);
         if existed {
             self.journal(&WalRecord::Unsubscribe { id })?;
@@ -421,5 +539,20 @@ impl StreamService {
     #[must_use]
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// The metrics registry shared with the wrapped engine (disabled —
+    /// all handles no-ops — unless `config.engine.metrics` is set).
+    #[must_use]
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.registry.clone()
+    }
+
+    /// Publishes the engine's totals and snapshots every registered
+    /// metric (empty when metrics are disabled).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> cij_obs::MetricsSnapshot {
+        self.engine.publish_metrics();
+        self.obs.registry.snapshot()
     }
 }

@@ -80,6 +80,10 @@ pub(crate) struct SubscriptionRegistry {
     subscribers: BTreeMap<SubscriberId, SubscriberState>,
     next_id: u64,
     outbox_capacity: usize,
+    /// Cumulative deliveries lost across all subscribers (outbox
+    /// evictions plus crash/resync losses) — never reset; the service
+    /// mirrors it into the `stream.subscribers.dropped_deltas` metric.
+    total_dropped: u64,
 }
 
 impl SubscriptionRegistry {
@@ -89,6 +93,7 @@ impl SubscriptionRegistry {
             subscribers: BTreeMap::new(),
             next_id: 0,
             outbox_capacity,
+            total_dropped: 0,
         }
     }
 
@@ -135,16 +140,22 @@ impl SubscriptionRegistry {
                     ResultDelta::PairRemoved { pair } => state.delivered.remove(&pair),
                 };
                 if wanted {
-                    Self::push_bounded(state, *item, capacity);
+                    Self::push_bounded(state, *item, capacity, &mut self.total_dropped);
                 }
             }
         }
     }
 
-    fn push_bounded(state: &mut SubscriberState, item: StampedDelta, capacity: usize) {
+    fn push_bounded(
+        state: &mut SubscriberState,
+        item: StampedDelta,
+        capacity: usize,
+        total_dropped: &mut u64,
+    ) {
         if state.outbox.len() >= capacity {
             state.outbox.pop_front();
             state.dropped += 1;
+            *total_dropped += 1;
         }
         state.outbox.push_back(item);
     }
@@ -183,6 +194,7 @@ impl SubscriptionRegistry {
         state.outbox.clear();
         state.delivered.clear();
         state.dropped += lost;
+        self.total_dropped += lost;
         for &(pair, valid) in current {
             if state.filter.admits(pair, at, tracks) && state.delivered.insert(pair) {
                 Self::push_bounded(
@@ -192,10 +204,17 @@ impl SubscriptionRegistry {
                         delta: ResultDelta::PairAdded { pair, valid },
                     },
                     capacity,
+                    &mut self.total_dropped,
                 );
             }
         }
         true
+    }
+
+    /// Cumulative deliveries lost across all subscribers (see the field
+    /// docs) — monotonic, suitable for a counter metric.
+    pub(crate) fn total_dropped(&self) -> u64 {
+        self.total_dropped
     }
 
     /// All subscriber ids, ascending.

@@ -32,6 +32,7 @@ fn main() -> TprResult<()> {
     let config = EngineConfig {
         t_m: params.maximum_update_interval,
         threads: 4,
+        metrics: true, // so the report carries a registry snapshot
         ..EngineConfig::default()
     }
     .to_builder()
@@ -94,6 +95,19 @@ fn main() -> TprResult<()> {
 
     // The aggregated diagnostics: per-pair counters, shard populations,
     // merged decoded-node-cache totals, and the shared pool's I/O.
-    println!("\n{}", coordinator.report());
+    let report = coordinator.report();
+    println!("\n{report}");
+
+    // The unified metrics view of the same run — per-pair traversal
+    // counters, per-shard population gauges, migrations, and the shared
+    // pool's live I/O counters — in Prometheus text exposition.
+    if let Some(metrics) = &report.metrics {
+        println!(
+            "\nmetrics snapshot ({} counters, {} gauges):",
+            metrics.counters.len(),
+            metrics.gauges.len()
+        );
+        print!("{}", metrics.to_prometheus());
+    }
     Ok(())
 }

@@ -1,6 +1,6 @@
 //! End-to-end tour of the `cij-stream` service: ingestion with
-//! backpressure, result-delta subscriptions with filters, and WAL
-//! crash recovery.
+//! backpressure, result-delta subscriptions with filters, WAL
+//! crash recovery, and the unified metrics snapshot.
 //!
 //! Run with `cargo run --release --example stream_demo`.
 
@@ -15,7 +15,7 @@ use cij::stream::{
 use cij::tpr::TprResult;
 use cij::workload::{generate_pair, MovingObject, Params, UpdateStream};
 
-fn main() -> TprResult<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params {
         dataset_size: 300,
         space: 300.0,
@@ -38,6 +38,7 @@ fn main() -> TprResult<()> {
 
     let wal_path = std::env::temp_dir().join("cij-stream-demo.wal");
     let config = StreamConfig::builder()
+        .engine(EngineConfig::builder().metrics(true).build())
         .batch_capacity(4096)
         .outbox_capacity(256)
         .wal_path(wal_path.clone())
@@ -95,6 +96,13 @@ fn main() -> TprResult<()> {
         }
         println!("subscriber {name:>13}: +{added} -{removed} (gap: {gaps} dropped)");
     }
+
+    // The unified observability view: one snapshot spanning the engine
+    // (join counters, pool I/O), the WAL, and the service's own queue
+    // and subscriber metrics — here in Prometheus text exposition.
+    let snapshot = service.metrics_snapshot();
+    println!("\nmetrics snapshot ({} counters):", snapshot.counters.len());
+    print!("{}", snapshot.to_prometheus());
 
     // Simulate a crash: drop the service, then rebuild from the WAL.
     drop(service);
