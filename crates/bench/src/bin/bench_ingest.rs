@@ -1,0 +1,551 @@
+//! Sustained-ingest saturation benchmark: emits `BENCH_ingest.json`.
+//!
+//! ```text
+//! cargo run --release -p cij-bench --bin bench_ingest            # full run
+//! cargo run --release -p cij-bench --bin bench_ingest -- --smoke # CI gate
+//! cargo run --release -p cij-bench --bin bench_ingest -- --objects 1000000
+//! ```
+//!
+//! Drives a [`StreamService`] (MTB-Join engine) end to end with a
+//! sustained update stream and measures what saturation does to it:
+//!
+//! * three arrival-rate **schedules** — `steady` (the workload's natural
+//!   `1/T_M` rate), `burst` (periodic 6× spikes), `ramp` (linear climb
+//!   to 9×, past the queue's high watermark);
+//! * four [`ShedPolicy`] settings — `none`, `coalesce_harder`,
+//!   `drop_stale_per_object`, `degrade_to_resync` — on identical
+//!   schedules, so their shed/refuse/latency trade-offs are directly
+//!   comparable.
+//!
+//! Every cell reports p50/p95/p99 ingest latency, queue depth and
+//! freshness lag pulled from the service's cij-obs histograms, the shed
+//! and backpressure counters, and a **conservation self-check**: every
+//! accepted update must be applied, superseded (`DropStalePerObject`),
+//! or still pending — the binary asserts the ledger balances.
+//!
+//! The queue is sized to ~3× the steady per-tick arrival rate, so the
+//! burst and ramp schedules genuinely cross the high watermark and the
+//! policies have something to shed. `--objects` scales the workload to
+//! the million-object saturation run (space grows as `√N` to hold
+//! density constant); `--smoke` shrinks it so CI finishes in seconds.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cij_bench::runner::engine_config;
+use cij_core::{ContinuousJoinEngine, EngineConfig, MtbEngine};
+use cij_geom::Time;
+use cij_join::techniques;
+use cij_obs::validate_prometheus;
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_stream::{
+    IngestOutcome, ShedPolicy, StreamConfig, StreamResult, StreamService, SubscriptionFilter,
+};
+use cij_workload::{generate_pair, Params, UpdateStream};
+
+struct Options {
+    smoke: bool,
+    out: String,
+    /// Total objects across both sets (overrides the mode default).
+    objects: Option<usize>,
+    ticks: Option<u32>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        out: "BENCH_ingest.json".to_string(),
+        objects: None,
+        ticks: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let want = |args: &[String], i: usize, flag: &str| -> String {
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                i += 1;
+                opts.out = want(&args, i, "--out");
+            }
+            "--objects" => {
+                i += 1;
+                opts.objects = Some(want(&args, i, "--objects").parse().unwrap_or_else(|e| {
+                    eprintln!("--objects: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--ticks" => {
+                i += 1;
+                opts.ticks = Some(want(&args, i, "--ticks").parse().unwrap_or_else(|e| {
+                    eprintln!("--ticks: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other} (use --smoke, --out PATH, --objects N, --ticks T)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Arrival-rate schedule: how many `UpdateStream::tick` sub-steps (each
+/// an independent `1/T_M` draw per object) land inside one service tick.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Schedule {
+    /// The workload's natural rate — 1 sub-step per tick.
+    Steady,
+    /// 2-tick 6× spikes every 8 ticks — tests watermark recovery.
+    Burst,
+    /// Linear 1× → 9× climb — tests behavior *at* sustained saturation.
+    Ramp,
+}
+
+impl Schedule {
+    fn label(self) -> &'static str {
+        match self {
+            Self::Steady => "steady",
+            Self::Burst => "burst",
+            Self::Ramp => "ramp",
+        }
+    }
+
+    /// Sub-step multiplier for `tick` (1-based) of `ticks`.
+    fn multiplier(self, tick: u32, ticks: u32) -> u32 {
+        match self {
+            Self::Steady => 1,
+            Self::Burst => {
+                if tick % 8 < 2 {
+                    6
+                } else {
+                    1
+                }
+            }
+            Self::Ramp => 1 + tick * 8 / ticks.max(1),
+        }
+    }
+}
+
+/// Quantile summary of one cij-obs histogram.
+struct Quantiles {
+    count: u64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    mean: f64,
+}
+
+impl Quantiles {
+    fn from_snapshot(s: Option<&cij_obs::HistogramSnapshot>) -> Self {
+        let s = s.copied().unwrap_or_default();
+        Self {
+            count: s.count,
+            p50: s.p50(),
+            p95: s.p95(),
+            p99: s.p99(),
+            mean: s.mean(),
+        }
+    }
+}
+
+struct CellResult {
+    schedule: &'static str,
+    policy: &'static str,
+    threads: usize,
+    submitted: u64,
+    accepted: u64,
+    refused_full: u64,
+    refused_stale: u64,
+    applied: u64,
+    shed_dropped_stale: u64,
+    shed_coalesced: u64,
+    degrade_engaged: u64,
+    degrade_resyncs: u64,
+    backpressure_engaged: u64,
+    backpressure_released: u64,
+    subscriber_dropped: u64,
+    deltas: u64,
+    /// Updates still waiting in the producer-side retry queue at the
+    /// end of the run — nonzero means the service never caught up.
+    producer_backlog: u64,
+    updates_per_s: f64,
+    latency_ns: Quantiles,
+    queue_depth: Quantiles,
+    freshness_lag_milliticks: Quantiles,
+    conservation_ok: bool,
+}
+
+/// Workload with space scaled as `√N` so object density (and hence join
+/// selectivity) matches the paper's default 10K-per-set setting at any
+/// dataset size.
+fn scaled_params(per_set: usize) -> Params {
+    Params {
+        dataset_size: per_set,
+        space: 1000.0 * (per_set as f64 / 10_000.0).sqrt(),
+        ..Params::default()
+    }
+}
+
+fn build_service(
+    params: &Params,
+    policy: ShedPolicy,
+    threads: usize,
+    capacity: usize,
+) -> StreamResult<StreamService> {
+    let engine_cfg = engine_config(params, techniques::ALL, 2)
+        .to_builder()
+        .threads(threads)
+        .metrics(true)
+        .build();
+    let config = StreamConfig::builder()
+        .engine(engine_cfg)
+        .batch_capacity(capacity)
+        .shed_policy(policy)
+        .build();
+    let (a, b) = generate_pair(params, 0.0);
+    let pages = (params.dataset_size / 4).max(8192);
+    let factory = move |cfg: &EngineConfig,
+                        a: &[cij_workload::MovingObject],
+                        b: &[cij_workload::MovingObject],
+                        start: Time|
+          -> cij_tpr::TprResult<Box<dyn ContinuousJoinEngine>> {
+        let pool = BufferPool::new(
+            Arc::new(InMemoryStore::new()),
+            BufferPoolConfig::with_capacity(pages),
+        );
+        Ok(Box::new(MtbEngine::new(pool, *cfg, a, b, start)?))
+    };
+    StreamService::new(config, &a, &b, 0.0, &factory)
+}
+
+/// Releases one backlog slot for `id`; the object may submit directly
+/// again once no backlogged predecessor remains.
+fn unblock(
+    blocked: &mut std::collections::HashMap<cij_tpr::ObjectId, usize>,
+    id: cij_tpr::ObjectId,
+) {
+    if let Some(n) = blocked.get_mut(&id) {
+        *n -= 1;
+        if *n == 0 {
+            blocked.remove(&id);
+        }
+    }
+}
+
+/// One (schedule × policy × threads) cell: fresh service, `ticks` ticks
+/// of schedule-shaped arrivals, metrics pulled from the service's
+/// registry at the end. Returns the cell plus the Prometheus exposition
+/// of its final registry snapshot.
+fn run_cell(
+    params: &Params,
+    schedule: Schedule,
+    policy: ShedPolicy,
+    threads: usize,
+    ticks: u32,
+) -> StreamResult<(CellResult, String)> {
+    // ~3× the steady per-tick arrival rate: steady stays comfortably
+    // open, burst (6×) and ramp (9×) cross the high watermark.
+    let steady_per_tick = (2 * params.dataset_size) / params.maximum_update_interval as usize;
+    let capacity = (steady_per_tick * 3).max(64);
+
+    let mut svc = build_service(params, policy, threads, capacity)?;
+    let sub = svc.subscribe(SubscriptionFilter::All)?;
+    let (a, b) = generate_pair(params, 0.0);
+    let mut stream = UpdateStream::new(params, &a, &b, 0.0);
+
+    let (mut submitted, mut accepted, mut refused_full, mut refused_stale) =
+        (0u64, 0u64, 0u64, 0u64);
+    let mut deltas = 0u64;
+    // Producer-side retry queue. A refused update cannot simply be
+    // dropped: the workload generator has already advanced the object's
+    // trajectory, so its *next* update chains from the refused one's
+    // `new_mbr` — applying it without the predecessor would delete an
+    // MBR the engine never saw. The chain constraint is per object, so
+    // only objects with a backlogged predecessor are held back; fresh
+    // updates for other objects still reach the service directly (which
+    // is what gives `DropStalePerObject` something to supersede). FIFO
+    // retry order preserves every per-object chain.
+    let mut backlog: std::collections::VecDeque<cij_workload::ObjectUpdate> =
+        std::collections::VecDeque::new();
+    let mut blocked: std::collections::HashMap<cij_tpr::ObjectId, usize> =
+        std::collections::HashMap::new();
+    let t0 = Instant::now();
+    for tick in 1..=ticks {
+        let now = Time::from(tick);
+        let m = schedule.multiplier(tick, ticks);
+        for step in 1..=m {
+            let at = f64::from(tick - 1) + f64::from(step) / f64::from(m);
+            while let Some(&u) = backlog.front() {
+                match svc.submit(u, at) {
+                    IngestOutcome::Accepted => {
+                        accepted += 1;
+                        backlog.pop_front();
+                        unblock(&mut blocked, u.id);
+                    }
+                    IngestOutcome::QueueFull => {
+                        refused_full += 1;
+                        break;
+                    }
+                    IngestOutcome::Stale => {
+                        refused_stale += 1;
+                        backlog.pop_front();
+                        unblock(&mut blocked, u.id);
+                    }
+                }
+            }
+            for u in stream.tick(at) {
+                submitted += 1;
+                if blocked.contains_key(&u.id) {
+                    *blocked.entry(u.id).or_insert(0) += 1;
+                    backlog.push_back(u);
+                    continue;
+                }
+                match svc.submit(u, at) {
+                    IngestOutcome::Accepted => accepted += 1,
+                    IngestOutcome::QueueFull => {
+                        refused_full += 1;
+                        *blocked.entry(u.id).or_insert(0) += 1;
+                        backlog.push_back(u);
+                    }
+                    IngestOutcome::Stale => refused_stale += 1,
+                }
+            }
+        }
+        deltas += svc.advance_to(now)?.len() as u64;
+        let _ = svc.poll(sub);
+    }
+    // Flush ticks that CoalesceHarder may have quantized past the end so
+    // the conservation ledger closes with an empty queue.
+    if let ShedPolicy::CoalesceHarder { window } = policy {
+        deltas += svc.advance_to(f64::from(ticks) + window + 1.0)?.len() as u64;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let snap = svc.metrics_snapshot();
+    let exposition = snap.to_prometheus();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let latency_ns = Quantiles::from_snapshot(snap.histogram("stream.ingest.latency_ns"));
+    let applied = latency_ns.count;
+    let pending = svc.queue_len() as u64;
+    let conservation_ok = accepted == applied + svc.shed_dropped_stale() + pending;
+    assert!(
+        conservation_ok,
+        "conservation violated in {}/{}: accepted {} != applied {} + shed {} + pending {}",
+        schedule.label(),
+        policy.label(),
+        accepted,
+        applied,
+        svc.shed_dropped_stale(),
+        pending,
+    );
+
+    Ok((
+        CellResult {
+            schedule: schedule.label(),
+            policy: policy.label(),
+            threads,
+            submitted,
+            accepted,
+            refused_full,
+            refused_stale,
+            applied,
+            shed_dropped_stale: svc.shed_dropped_stale(),
+            shed_coalesced: svc.shed_coalesced(),
+            degrade_engaged: counter("stream.degrade.engaged"),
+            degrade_resyncs: counter("stream.degrade.resyncs"),
+            backpressure_engaged: counter("stream.backpressure.engaged"),
+            backpressure_released: counter("stream.backpressure.released"),
+            subscriber_dropped: counter("stream.subscribers.dropped_deltas"),
+            deltas,
+            producer_backlog: backlog.len() as u64,
+            updates_per_s: if elapsed > 0.0 {
+                applied as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency_ns,
+            queue_depth: Quantiles::from_snapshot(snap.histogram("stream.ingest.queue_depth")),
+            freshness_lag_milliticks: Quantiles::from_snapshot(
+                snap.histogram("stream.freshness.lag_milliticks"),
+            ),
+            conservation_ok,
+        },
+        exposition,
+    ))
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn quantiles_json(q: &Quantiles) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}}}",
+        q.count,
+        json_num(q.p50),
+        json_num(q.p95),
+        json_num(q.p99),
+        json_num(q.mean),
+    )
+}
+
+fn cell_json(c: &CellResult) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"schedule\": \"{}\", \"policy\": \"{}\", \"threads\": {}, ",
+        c.schedule, c.policy, c.threads
+    );
+    let _ = write!(
+        s,
+        "\"submitted\": {}, \"accepted\": {}, \"refused_full\": {}, \"refused_stale\": {}, \
+         \"applied\": {}, ",
+        c.submitted, c.accepted, c.refused_full, c.refused_stale, c.applied
+    );
+    let _ = write!(
+        s,
+        "\"shed_dropped_stale\": {}, \"shed_coalesced\": {}, \"degrade_engaged\": {}, \
+         \"degrade_resyncs\": {}, ",
+        c.shed_dropped_stale, c.shed_coalesced, c.degrade_engaged, c.degrade_resyncs
+    );
+    let _ = write!(
+        s,
+        "\"backpressure_engaged\": {}, \"backpressure_released\": {}, \
+         \"subscriber_dropped\": {}, \"deltas\": {}, \"producer_backlog\": {}, \
+         \"updates_per_s\": {}, ",
+        c.backpressure_engaged,
+        c.backpressure_released,
+        c.subscriber_dropped,
+        c.deltas,
+        c.producer_backlog,
+        json_num(c.updates_per_s)
+    );
+    let _ = write!(
+        s,
+        "\"ingest_latency_ns\": {}, \"queue_depth\": {}, \"freshness_lag_milliticks\": {}, \
+         \"conservation_ok\": {}}}",
+        quantiles_json(&c.latency_ns),
+        quantiles_json(&c.queue_depth),
+        quantiles_json(&c.freshness_lag_milliticks),
+        c.conservation_ok
+    );
+    s
+}
+
+fn main() {
+    let opts = parse_args();
+    let per_set = opts
+        .objects
+        .unwrap_or(if opts.smoke { 800 } else { 20_000 })
+        / 2;
+    let ticks = opts.ticks.unwrap_or(if opts.smoke { 12 } else { 48 });
+    let params = scaled_params(per_set.max(10));
+
+    let schedules = [Schedule::Steady, Schedule::Burst, Schedule::Ramp];
+    let policies = [
+        ShedPolicy::None,
+        ShedPolicy::CoalesceHarder { window: 2.0 },
+        ShedPolicy::DropStalePerObject,
+        ShedPolicy::DegradeToResync,
+    ];
+
+    let mut cells = Vec::new();
+    let mut exposition = None;
+    for schedule in schedules {
+        for policy in policies {
+            let (cell, prom) =
+                run_cell(&params, schedule, policy, 1, ticks).expect("benchmark cell");
+            println!(
+                "{:<7} {:<22} accepted {:>6}  refused {:>5}  shed {:>5}  p99 latency {:>9.0} ns",
+                cell.schedule,
+                cell.policy,
+                cell.accepted,
+                cell.refused_full,
+                cell.shed_dropped_stale + cell.shed_coalesced,
+                cell.latency_ns.p99,
+            );
+            if schedule == Schedule::Steady && policy == ShedPolicy::None {
+                exposition = Some(prom);
+            }
+            cells.push(cell);
+        }
+    }
+
+    // Thread sweep on the steady schedule: the engine-parallelism knob
+    // exercised through the full service path.
+    let mut thread_cells = Vec::new();
+    for threads in [1usize, 4] {
+        let (cell, _) = run_cell(&params, Schedule::Steady, ShedPolicy::None, threads, ticks)
+            .expect("thread sweep cell");
+        println!(
+            "threads {threads}: {:.0} applied updates/s",
+            cell.updates_per_s
+        );
+        thread_cells.push(cell);
+    }
+
+    let exposition = exposition.expect("steady/none cell ran");
+    let samples = validate_prometheus(&exposition)
+        .unwrap_or_else(|e| panic!("bench_ingest produced invalid Prometheus exposition: {e}"));
+
+    let summary = cells
+        .iter()
+        .find(|c| c.schedule == "steady" && c.policy == "none")
+        .expect("steady/none cell");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"ingest\",");
+    let _ = writeln!(json, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(json, "  \"engine\": \"MTB-Join\",");
+    let _ = writeln!(json, "  \"objects_per_set\": {},", params.dataset_size);
+    let _ = writeln!(json, "  \"space\": {},", json_num(params.space));
+    let _ = writeln!(json, "  \"ticks\": {ticks},");
+    let _ = writeln!(json, "  \"ingest_latency_ns\": {{");
+    let _ = writeln!(json, "    \"p50\": {},", json_num(summary.latency_ns.p50));
+    let _ = writeln!(json, "    \"p95\": {},", json_num(summary.latency_ns.p95));
+    let _ = writeln!(json, "    \"p99\": {}", json_num(summary.latency_ns.p99));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", cell_json(c));
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"thread_sweep\": [");
+    for (i, c) in thread_cells.iter().enumerate() {
+        let comma = if i + 1 < thread_cells.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", cell_json(c));
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"metrics\": {{\"prometheus_samples\": {samples}, \"validated\": true}}"
+    );
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&opts.out, &json).expect("write benchmark json");
+    let prom_out = format!("{}.prom", opts.out.trim_end_matches(".json"));
+    std::fs::write(&prom_out, &exposition).expect("write prometheus exposition");
+    println!(
+        "steady/none ingest latency: p50 {:.0} ns, p95 {:.0} ns, p99 {:.0} ns over {} applied",
+        summary.latency_ns.p50, summary.latency_ns.p95, summary.latency_ns.p99, summary.applied,
+    );
+    println!("metrics: {samples} Prometheus samples (exposition validated)");
+    println!("wrote {} and {prom_out}", opts.out);
+}

@@ -5,6 +5,8 @@ use std::path::PathBuf;
 
 use cij_core::EngineConfig;
 
+use crate::shed::ShedPolicy;
+
 /// Configuration of a [`StreamService`](crate::StreamService).
 ///
 /// Construct via [`StreamConfig::builder`]; every knob has a documented
@@ -34,6 +36,10 @@ pub struct StreamConfig {
     /// durability; `Some(path)` journals every ingested batch before it
     /// is applied, enabling [`recover`](crate::StreamService::recover).
     pub wal_path: Option<PathBuf>,
+    /// What saturation does beyond flipping the accepting flag
+    /// (default [`ShedPolicy::None`] — behavior bit-identical to a
+    /// policy-less service).
+    pub shed_policy: ShedPolicy,
 }
 
 impl Default for StreamConfig {
@@ -45,6 +51,7 @@ impl Default for StreamConfig {
             low_watermark: 2048,
             outbox_capacity: 1024,
             wal_path: None,
+            shed_policy: ShedPolicy::None,
         }
     }
 }
@@ -65,13 +72,15 @@ impl StreamConfig {
     }
 
     /// Checks the invariant `low ≤ high ≤ capacity` (and nonzero
-    /// capacities) that the backpressure hysteresis relies on.
+    /// capacities) that the backpressure hysteresis relies on, plus the
+    /// shed policy's own parameter validity.
     #[must_use]
     pub fn is_valid(&self) -> bool {
         self.batch_capacity > 0
             && self.outbox_capacity > 0
             && self.low_watermark <= self.high_watermark
             && self.high_watermark <= self.batch_capacity
+            && self.shed_policy.is_valid()
     }
 }
 
@@ -128,6 +137,13 @@ impl StreamConfigBuilder {
         self
     }
 
+    /// Saturation shedding policy (default [`ShedPolicy::None`]).
+    #[must_use]
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.config.shed_policy = policy;
+        self
+    }
+
     /// Finishes the configuration.
     ///
     /// # Panics
@@ -164,6 +180,7 @@ mod tests {
             .low_watermark(20)
             .outbox_capacity(7)
             .wal_path("/tmp/cij.wal")
+            .shed_policy(ShedPolicy::DropStalePerObject)
             .build();
         assert_eq!(config.engine.threads, 4);
         assert_eq!(config.batch_capacity, 100);
@@ -171,6 +188,7 @@ mod tests {
         assert_eq!(config.low_watermark, 20);
         assert_eq!(config.outbox_capacity, 7);
         assert_eq!(config.wal_path.as_deref(), Some("/tmp/cij.wal".as_ref()));
+        assert_eq!(config.shed_policy, ShedPolicy::DropStalePerObject);
         assert_eq!(config.clone().to_builder().build(), config);
     }
 
@@ -179,6 +197,14 @@ mod tests {
         let config = StreamConfig::builder().batch_capacity(1000).build();
         assert_eq!(config.high_watermark, 750);
         assert_eq!(config.low_watermark, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stream config")]
+    fn degenerate_coalesce_window_panics() {
+        let _ = StreamConfig::builder()
+            .shed_policy(ShedPolicy::CoalesceHarder { window: 0.0 })
+            .build();
     }
 
     #[test]

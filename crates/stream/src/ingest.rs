@@ -9,11 +9,23 @@
 //! only once a drain brings it back down to the low watermark, so a
 //! saturated service refuses work in long stretches instead of
 //! flapping per event.
+//!
+//! What happens *at* saturation is pluggable: a [`ShedPolicy`] can
+//! widen the coalescing window under pressure (`CoalesceHarder`) or
+//! supersede an object's stale pending update instead of refusing the
+//! fresh one (`DropStalePerObject`) — see the policy docs for the
+//! `T_M` soundness argument. Every queued update carries its wall-clock
+//! enqueue instant and the tick the producer originally asked for, so
+//! the service can report per-update ingest latency and freshness lag.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 use cij_geom::Time;
+use cij_tpr::ObjectId;
 use cij_workload::ObjectUpdate;
+
+use crate::shed::ShedPolicy;
 
 /// Result of offering one update to the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,25 +59,77 @@ impl Ord for TickKey {
     }
 }
 
+/// One queued update plus its ingestion provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedUpdate {
+    /// The update to apply (possibly a supersede-merge under
+    /// [`ShedPolicy::DropStalePerObject`]).
+    pub update: ObjectUpdate,
+    /// The tick the producer originally submitted for — differs from
+    /// the batch tick only when a policy re-timed the update
+    /// (`CoalesceHarder` quantization); the difference is the
+    /// freshness lag the service reports.
+    pub submitted_for: Time,
+    /// Wall-clock instant of acceptance, for ingest-latency histograms.
+    pub enqueued: Instant,
+}
+
 /// Bounded, tick-coalescing ingestion queue.
 #[derive(Debug)]
 pub struct IngestQueue {
-    batches: BTreeMap<TickKey, Vec<ObjectUpdate>>,
+    batches: BTreeMap<TickKey, Vec<QueuedUpdate>>,
     pending: usize,
     capacity: usize,
     high_watermark: usize,
     low_watermark: usize,
     accepting: bool,
     drained_through: Time,
+    policy: ShedPolicy,
+    /// Tick of the latest pending update per object — the supersede
+    /// index [`ShedPolicy::DropStalePerObject`] resolves against.
+    latest_pending: HashMap<ObjectId, TickKey>,
+    /// The tick each object's most recent accepted update applies (or
+    /// applied) at. The engines bucket an object's index entry by its
+    /// *apply* time and locate it for deletion via the next update's
+    /// `last_update` field — so whenever the queue re-times an apply
+    /// (`CoalesceHarder` quantization) or a producer submits late
+    /// (retrying after backpressure), the producer's notion of "when I
+    /// last updated" diverges from where the entry actually lives.
+    /// [`submit`](Self::submit) translates `last_update` through this
+    /// map so the delete always hits the right bucket. Entries persist
+    /// across drains (the next update may come `T_M` later) and are
+    /// absent for objects still at their genesis insertion.
+    applied_stamp: HashMap<ObjectId, Time>,
+    shed_dropped_stale: u64,
+    shed_coalesced: u64,
 }
 
 impl IngestQueue {
-    /// Creates a queue. Invariants (`low ≤ high ≤ capacity`, nonzero
-    /// capacity) are the caller's responsibility —
+    /// Creates a queue with no shedding policy. Invariants
+    /// (`low ≤ high ≤ capacity`, nonzero capacity) are the caller's
+    /// responsibility —
     /// [`StreamConfig::builder`](crate::StreamConfig::builder) enforces
     /// them.
     #[must_use]
     pub fn new(capacity: usize, high_watermark: usize, low_watermark: usize, now: Time) -> Self {
+        Self::with_policy(
+            capacity,
+            high_watermark,
+            low_watermark,
+            now,
+            ShedPolicy::None,
+        )
+    }
+
+    /// Creates a queue with an explicit [`ShedPolicy`].
+    #[must_use]
+    pub fn with_policy(
+        capacity: usize,
+        high_watermark: usize,
+        low_watermark: usize,
+        now: Time,
+        policy: ShedPolicy,
+    ) -> Self {
         Self {
             batches: BTreeMap::new(),
             pending: 0,
@@ -74,29 +138,146 @@ impl IngestQueue {
             low_watermark,
             accepting: true,
             drained_through: now,
+            policy,
+            latest_pending: HashMap::new(),
+            applied_stamp: HashMap::new(),
+            shed_dropped_stale: 0,
+            shed_coalesced: 0,
         }
     }
 
+    /// Restores one object's apply-tick stamp — used by WAL recovery to
+    /// rebuild the [`applied_stamp`](Self::applied_stamp) translation
+    /// map from the replayed batches.
+    pub(crate) fn note_applied(&mut self, id: ObjectId, at: Time) {
+        self.applied_stamp.insert(id, at);
+    }
+
+    /// The tick a submission for `at` actually enqueues at: under
+    /// [`ShedPolicy::CoalesceHarder`] with the queue in the pressure
+    /// zone (pending ≥ low watermark), ticks are quantized **up** to
+    /// the policy's window so more submissions coalesce per batch.
+    /// Always ≥ `at`, so the stale frontier is never violated.
+    ///
+    /// When the object already has a pending update at a *later* tick
+    /// (its predecessor was quantized past `at` while this submission
+    /// arrives with the pressure gone), the tick is raised to the
+    /// pending one's: batches drain in tick order, so enqueuing the
+    /// successor earlier would apply it before its predecessor and
+    /// break the per-object `old_mbr` delete-chain. Appending to the
+    /// predecessor's batch preserves FIFO within the batch and hence
+    /// per-object order end to end.
+    fn effective_tick(&self, id: ObjectId, at: Time) -> Time {
+        let ShedPolicy::CoalesceHarder { window } = self.policy else {
+            return at;
+        };
+        let mut tick = at;
+        if self.pending >= self.low_watermark {
+            tick = ((at / window).ceil() * window).max(at);
+        }
+        if let Some(p) = self.latest_pending.get(&id) {
+            if p.0 > tick {
+                tick = p.0;
+            }
+        }
+        tick
+    }
+
     /// Offers one update for tick `at`.
-    pub fn submit(&mut self, update: ObjectUpdate, at: Time) -> IngestOutcome {
+    pub fn submit(&mut self, mut update: ObjectUpdate, at: Time) -> IngestOutcome {
         if at <= self.drained_through {
             return IngestOutcome::Stale;
         }
+        // Translate the producer's `last_update` to the tick the
+        // object's previous update actually applies at (they diverge
+        // when that apply was re-timed or submitted late) — the engines
+        // use the field to locate the existing index entry's bucket.
+        // A supersede-merge below overrides this with the superseded
+        // update's (already translated) stamp.
+        if let Some(&stamp) = self.applied_stamp.get(&update.id) {
+            update.last_update = stamp;
+        }
+        let tick = self.effective_tick(update.id, at);
         if !self.accepting || self.pending >= self.capacity {
+            if self.policy == ShedPolicy::DropStalePerObject && self.try_supersede(update, tick, at)
+            {
+                return IngestOutcome::Accepted;
+            }
             return IngestOutcome::QueueFull;
         }
-        self.batches.entry(TickKey(at)).or_default().push(update);
+        self.enqueue(update, tick, at);
+        IngestOutcome::Accepted
+    }
+
+    /// Supersedes the object's latest pending update with `update` at
+    /// tick `tick` — the `DropStalePerObject` shed path. The merged
+    /// update inherits the superseded one's `old_mbr`/`last_update`, so
+    /// applying it still deletes exactly what the index holds (the
+    /// pending update was never applied). Pending count is unchanged
+    /// (one out, one in), so the watermark state cannot flip here.
+    ///
+    /// Returns `false` (caller refuses as `QueueFull`) when the object
+    /// has no pending update, or its pending update sits at a *later*
+    /// tick than this submission (the pending one is newer).
+    fn try_supersede(&mut self, update: ObjectUpdate, tick: Time, submitted_for: Time) -> bool {
+        let Some(&pending_tick) = self.latest_pending.get(&update.id) else {
+            return false;
+        };
+        if pending_tick.0 > tick {
+            return false;
+        }
+        let batch = self
+            .batches
+            .get_mut(&pending_tick)
+            .expect("supersede index points at a live batch");
+        let pos = batch
+            .iter()
+            .rposition(|q| q.update.id == update.id)
+            .expect("supersede index tracks batch membership");
+        let superseded = batch.remove(pos);
+        if batch.is_empty() {
+            self.batches.remove(&pending_tick);
+        }
+        self.pending -= 1;
+        self.shed_dropped_stale += 1;
+        let merged = ObjectUpdate {
+            old_mbr: superseded.update.old_mbr,
+            last_update: superseded.update.last_update,
+            ..update
+        };
+        self.enqueue(merged, tick, submitted_for);
+        true
+    }
+
+    fn enqueue(&mut self, update: ObjectUpdate, tick: Time, submitted_for: Time) {
+        if tick > submitted_for {
+            // Only CoalesceHarder re-times ticks; count it on actual
+            // acceptance so refused submissions never inflate the stat.
+            self.shed_coalesced += 1;
+        }
+        let key = TickKey(tick);
+        self.batches.entry(key).or_default().push(QueuedUpdate {
+            update,
+            submitted_for,
+            enqueued: Instant::now(),
+        });
+        let slot = self.latest_pending.entry(update.id).or_insert(key);
+        if tick >= slot.0 {
+            *slot = key;
+        }
+        // The enqueued update will apply at `tick`; the object's next
+        // update must name that tick to find the entry it replaces.
+        self.applied_stamp.insert(update.id, tick);
         self.pending += 1;
         if self.pending >= self.high_watermark {
             self.accepting = false;
         }
-        IngestOutcome::Accepted
     }
 
     /// Removes and returns every batch with tick ≤ `t`, in tick order.
     /// Later submissions for the drained ticks are refused as
     /// [`Stale`](IngestOutcome::Stale).
-    pub fn drain_through(&mut self, t: Time) -> Vec<(Time, Vec<ObjectUpdate>)> {
+    pub fn drain_through(&mut self, t: Time) -> Vec<(Time, Vec<QueuedUpdate>)> {
         let mut out = Vec::new();
         while let Some(entry) = self.batches.first_entry() {
             if entry.key().0 > t {
@@ -104,6 +285,11 @@ impl IngestQueue {
             }
             let (key, updates) = entry.remove_entry();
             self.pending -= updates.len();
+            for q in &updates {
+                if self.latest_pending.get(&q.update.id) == Some(&key) {
+                    self.latest_pending.remove(&q.update.id);
+                }
+            }
             out.push((key.0, updates));
         }
         if t > self.drained_through {
@@ -145,13 +331,32 @@ impl IngestQueue {
     pub fn drained_through(&self) -> Time {
         self.drained_through
     }
+
+    /// The queue's shedding policy.
+    #[must_use]
+    pub fn policy(&self) -> ShedPolicy {
+        self.policy
+    }
+
+    /// Pending updates superseded-and-dropped by
+    /// [`ShedPolicy::DropStalePerObject`] (cumulative).
+    #[must_use]
+    pub fn shed_dropped_stale(&self) -> u64 {
+        self.shed_dropped_stale
+    }
+
+    /// Submissions re-timed onto the coarser grid by
+    /// [`ShedPolicy::CoalesceHarder`] (cumulative).
+    #[must_use]
+    pub fn shed_coalesced(&self) -> u64 {
+        self.shed_coalesced
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cij_geom::{MovingRect, Rect};
-    use cij_tpr::ObjectId;
     use cij_workload::SetTag;
 
     fn update(id: u64) -> ObjectUpdate {
@@ -165,6 +370,25 @@ mod tests {
         }
     }
 
+    /// An update whose old/new trajectories are distinguishable, for
+    /// supersede-merge assertions.
+    fn chained_update(id: u64, old_x: f64, new_x: f64, last_update: Time) -> ObjectUpdate {
+        ObjectUpdate {
+            id: ObjectId(id),
+            set: SetTag::A,
+            old_mbr: MovingRect::stationary(Rect::new([old_x, 0.0], [old_x + 1.0, 1.0]), 0.0),
+            last_update,
+            new_mbr: MovingRect::stationary(Rect::new([new_x, 0.0], [new_x + 1.0, 1.0]), 0.0),
+        }
+    }
+
+    fn drained_updates(drained: Vec<(Time, Vec<QueuedUpdate>)>) -> Vec<(Time, Vec<ObjectUpdate>)> {
+        drained
+            .into_iter()
+            .map(|(t, b)| (t, b.into_iter().map(|q| q.update).collect()))
+            .collect()
+    }
+
     #[test]
     fn coalesces_per_tick_in_order() {
         let mut q = IngestQueue::new(100, 80, 40, 0.0);
@@ -172,7 +396,7 @@ mod tests {
         assert_eq!(q.submit(update(2), 1.0), IngestOutcome::Accepted);
         assert_eq!(q.submit(update(3), 2.0), IngestOutcome::Accepted);
         assert_eq!(q.pending_ticks(), 2);
-        let drained = q.drain_through(2.0);
+        let drained = drained_updates(q.drain_through(2.0));
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].0, 1.0);
         assert_eq!(drained[0].1.len(), 1);
@@ -240,16 +464,335 @@ mod tests {
         assert_eq!(q.submit(update(2), 10.0), IngestOutcome::Accepted);
     }
 
+    // ------------------------------------------------------------------
+    // Watermark-hysteresis edge cases
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn degenerate_low_equals_high_watermark() {
+        // low == high == 4: the queue closes at 4 pending and re-opens
+        // on the very next drain call even if nothing was removed
+        // (pending 4 ≤ low 4). Degenerate hysteresis is defined, not UB.
+        let mut q = IngestQueue::new(10, 4, 4, 0.0);
+        for i in 0..4 {
+            assert_eq!(q.submit(update(i), 2.0), IngestOutcome::Accepted);
+        }
+        assert!(!q.is_accepting());
+        assert_eq!(q.submit(update(9), 2.0), IngestOutcome::QueueFull);
+        // A drain that removes nothing (no batch due at 1.0) still
+        // re-opens: pending == low.
+        assert!(q.drain_through(1.0).is_empty());
+        assert!(q.is_accepting());
+        assert_eq!(q.len(), 4);
+        // And the next accepted submission immediately closes it again.
+        assert_eq!(q.submit(update(9), 2.0), IngestOutcome::Accepted);
+        assert!(!q.is_accepting());
+    }
+
+    #[test]
+    fn stale_frontier_advance_and_reopen_on_same_drain() {
+        // One drain call both re-opens the queue (watermark crossing)
+        // and advances the stale frontier past tick 3: a producer whose
+        // submission was just refused cannot blindly resubmit for the
+        // same tick after the queue reopens — staleness wins over
+        // acceptance.
+        let mut q = IngestQueue::new(10, 3, 1, 0.0);
+        for i in 0..3 {
+            assert_eq!(q.submit(update(i), 3.0), IngestOutcome::Accepted);
+        }
+        assert!(!q.is_accepting());
+        assert_eq!(q.submit(update(7), 3.0), IngestOutcome::QueueFull);
+        let drained = q.drain_through(3.0);
+        assert_eq!(drained.len(), 1);
+        assert!(q.is_accepting());
+        // Reopened, but tick 3 is now behind the frontier: Stale, not
+        // Accepted — the stale check precedes the acceptance check.
+        assert_eq!(q.submit(update(7), 3.0), IngestOutcome::Stale);
+        assert_eq!(q.submit(update(7), 4.0), IngestOutcome::Accepted);
+    }
+
+    #[test]
+    fn reentry_flapping_alternates_per_submit_when_degenerate() {
+        // With low == high == 1 every accepted submission closes the
+        // queue and every drain re-opens it: maximal flapping. Pin the
+        // exact flip sequence (the service-level test pins the cij-obs
+        // flip counters for the same pattern).
+        let mut q = IngestQueue::new(4, 1, 1, 0.0);
+        let mut flips = 0u32;
+        let mut was = q.is_accepting();
+        for tick in 1..=6 {
+            let t = f64::from(tick);
+            assert_eq!(q.submit(update(tick as u64), t), IngestOutcome::Accepted);
+            if q.is_accepting() != was {
+                flips += 1;
+                was = q.is_accepting();
+            }
+            assert!(!q.is_accepting(), "tick {tick}: closed after submit");
+            q.drain_through(t);
+            if q.is_accepting() != was {
+                flips += 1;
+                was = q.is_accepting();
+            }
+            assert!(q.is_accepting(), "tick {tick}: reopened after drain");
+        }
+        assert_eq!(flips, 12, "one engage + one release per tick");
+    }
+
+    // ------------------------------------------------------------------
+    // Shed policies
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn coalesce_harder_quantizes_only_under_pressure() {
+        let mut q =
+            IngestQueue::with_policy(100, 80, 2, 0.0, ShedPolicy::CoalesceHarder { window: 4.0 });
+        // Below the low watermark: ticks pass through untouched.
+        assert_eq!(q.submit(update(1), 1.5), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(2), 2.5), IngestOutcome::Accepted);
+        assert_eq!(q.pending_ticks(), 2);
+        assert_eq!(q.shed_coalesced(), 0);
+        // At/above low: quantized up to the next multiple of 4.
+        assert_eq!(q.submit(update(3), 2.6), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(4), 3.1), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(5), 4.0), IngestOutcome::Accepted); // exact multiple: no re-time
+        assert_eq!(q.shed_coalesced(), 2);
+        let drained = q.drain_through(4.0);
+        // 1.5, 2.5, and one coalesced batch at 4.0 (2.6, 3.1, 4.0).
+        assert_eq!(drained.len(), 3);
+        let last = &drained[2];
+        assert_eq!(last.0, 4.0);
+        assert_eq!(last.1.len(), 3);
+        // Provenance: the re-timed updates remember their original tick.
+        assert_eq!(last.1[0].submitted_for, 2.6);
+        assert_eq!(last.1[2].submitted_for, 4.0);
+    }
+
+    #[test]
+    fn coalesce_harder_never_reorders_within_an_object() {
+        let mut q =
+            IngestQueue::with_policy(100, 80, 2, 0.0, ShedPolicy::CoalesceHarder { window: 4.0 });
+        // Two fillers push pending to the low watermark so the next
+        // submission gets quantized.
+        assert_eq!(q.submit(update(8), 1.2), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(9), 1.3), IngestOutcome::Accepted);
+        let u1 = chained_update(1, 0.0, 10.0, 0.0);
+        assert_eq!(q.submit(u1, 1.5), IngestOutcome::Accepted);
+        assert_eq!(q.shed_coalesced(), 1, "u1 re-timed from 1.5 to 4.0");
+        // Draining the fillers drops pending back below the low
+        // watermark — quantization is off again, but object 1 still has
+        // a pending update parked at tick 4.0.
+        assert_eq!(q.drain_through(2.0).len(), 2);
+        // A successor for object 1 at 2.5 would naively batch at 2.5,
+        // BEFORE its predecessor at 4.0 — the clamp must pull it up to
+        // the predecessor's tick so apply order matches submit order.
+        let u2 = chained_update(1, 10.0, 20.0, 1.5);
+        assert_eq!(q.submit(u2, 2.5), IngestOutcome::Accepted);
+        assert_eq!(q.shed_coalesced(), 2, "u2 re-timed by the clamp");
+        let drained = q.drain_through(4.0);
+        assert_eq!(drained.len(), 1, "both land in the tick-4.0 batch");
+        let (tick, batch) = &drained[0];
+        assert_eq!(*tick, 4.0);
+        assert_eq!(batch.len(), 2);
+        // Predecessor first, successor second; provenance preserved.
+        assert_eq!(batch[0].update.last_update, 0.0);
+        assert_eq!(batch[0].submitted_for, 1.5);
+        // The successor's `last_update` was translated from the
+        // producer's 1.5 to the predecessor's *effective* apply tick:
+        // the engines bucket entries by apply time, so the delete must
+        // be pointed at 4.0, where u1's entry actually lives.
+        assert_eq!(batch[1].update.last_update, 4.0);
+        assert_eq!(batch[1].submitted_for, 2.5);
+    }
+
+    #[test]
+    fn late_resubmission_is_translated_to_the_actual_apply_tick() {
+        // Producer-side retry after backpressure: u1 for object 1 is
+        // accepted at tick 2.0 (applying at 2.0). The producer's next
+        // update was generated believing "I last updated at 2.0" — but
+        // if u1 itself had been delayed (submitted late at 5.0 after a
+        // refusal), the successor's stamp must follow the apply tick.
+        let mut q = IngestQueue::new(100, 80, 40, 0.0);
+        // u1 generated for tick 2.0 but only submitted (retried) at 5.0.
+        let u1 = chained_update(1, 0.0, 10.0, 0.0);
+        assert_eq!(q.submit(u1, 5.0), IngestOutcome::Accepted);
+        // The successor carries the producer's stamp (2.0, when it
+        // *generated* u1) — translated to 5.0, where u1's entry lives.
+        let u2 = chained_update(1, 10.0, 20.0, 2.0);
+        assert_eq!(q.submit(u2, 6.0), IngestOutcome::Accepted);
+        let drained = q.drain_through(6.0);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[1].1[0].update.last_update, 5.0);
+        // The map persists across drains: a third update long after
+        // both applied still resolves against tick 6.0.
+        let u3 = chained_update(1, 20.0, 30.0, 3.0);
+        assert_eq!(q.submit(u3, 50.0), IngestOutcome::Accepted);
+        assert_eq!(q.drain_through(50.0)[0].1[0].update.last_update, 6.0);
+    }
+
+    #[test]
+    fn equal_watermarks_collapse_hysteresis_to_a_threshold() {
+        // low == high: the hysteresis band is empty, so ANY drain call
+        // reopens the queue — even one that removed nothing — and the
+        // next accepted submission closes it again. The flap rate
+        // degrades to the submit/drain cadence, exactly as documented.
+        let mut q = IngestQueue::new(10, 3, 3, 0.0);
+        assert_eq!(q.submit(update(1), 1.0), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(2), 1.5), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(3), 2.0), IngestOutcome::Accepted);
+        assert!(!q.is_accepting(), "pending == high must close");
+        // Drains nothing (every batch sits past 0.5) — but pending ≤
+        // low, so the queue reopens anyway.
+        assert!(q.drain_through(0.5).is_empty());
+        assert!(q.is_accepting(), "empty band: any drain reopens");
+        assert_eq!(q.submit(update(4), 2.5), IngestOutcome::Accepted);
+        assert!(!q.is_accepting(), "4 ≥ high closes again");
+        assert_eq!(q.drain_through(2.5).len(), 4);
+        assert!(q.is_accepting());
+    }
+
+    #[test]
+    fn stale_frontier_advance_and_reopening_share_one_drain() {
+        // A single drain_through call both advances the stale frontier
+        // and releases backpressure. Afterwards the frontier must win:
+        // a submission at (or before) the drained tick is Stale, never
+        // Accepted, even though the queue just reopened.
+        let mut q = IngestQueue::new(4, 2, 1, 0.0);
+        assert_eq!(q.submit(update(1), 1.0), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(2), 2.0), IngestOutcome::Accepted);
+        assert!(!q.is_accepting());
+        assert_eq!(q.drain_through(2.0).len(), 2);
+        assert!(q.is_accepting(), "one call: frontier forward + reopen");
+        assert_eq!(q.submit(update(3), 2.0), IngestOutcome::Stale);
+        assert_eq!(q.submit(update(3), 1.5), IngestOutcome::Stale);
+        assert_eq!(q.submit(update(3), 2.1), IngestOutcome::Accepted);
+    }
+
+    #[test]
+    fn stale_beats_supersession_and_supersession_beats_queue_full() {
+        // Refusal precedence on a closed queue under DropStalePerObject:
+        // the stale frontier is checked first (a drained tick can never
+        // be re-entered, not even by superseding), then supersession
+        // admissibility (pending tick ≤ submission tick), then
+        // QueueFull.
+        let mut q = IngestQueue::with_policy(4, 2, 1, 0.0, ShedPolicy::DropStalePerObject);
+        assert_eq!(q.submit(update(1), 1.0), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(2), 2.0), IngestOutcome::Accepted);
+        assert_eq!(q.drain_through(2.0).len(), 2);
+        assert_eq!(q.submit(update(1), 3.0), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(2), 3.0), IngestOutcome::Accepted);
+        assert!(!q.is_accepting());
+        // Stale wins even though object 2 has a pending update it could
+        // otherwise supersede.
+        assert_eq!(q.submit(update(2), 2.0), IngestOutcome::Stale);
+        // Fresh but EARLIER than the pending tick: supersession refused
+        // (the pending update is newer), so the closed queue says full.
+        assert_eq!(q.submit(update(2), 2.5), IngestOutcome::QueueFull);
+        // Fresh and at/after the pending tick: superseded.
+        assert_eq!(q.submit(update(2), 3.5), IngestOutcome::Accepted);
+        assert_eq!(q.shed_dropped_stale(), 1);
+        // Supersession keeps pending constant: the closed queue must
+        // NOT reopen from it (the watermark state cannot flip here).
+        assert!(
+            !q.is_accepting(),
+            "supersession must not release backpressure"
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drop_stale_supersedes_latest_pending_and_chains_old_mbr() {
+        let mut q = IngestQueue::with_policy(4, 2, 1, 0.0, ShedPolicy::DropStalePerObject);
+        // Chain for object 1: A(0)→B at tick 1, then B→C at tick 2.
+        assert_eq!(
+            q.submit(chained_update(1, 0.0, 10.0, 0.0), 1.0),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(
+            q.submit(chained_update(2, 50.0, 60.0, 0.0), 1.0),
+            IngestOutcome::Accepted
+        );
+        assert!(!q.is_accepting(), "high watermark reached");
+        // Closed — but object 1 has a pending update, so the fresh one
+        // supersedes it instead of being refused.
+        assert_eq!(
+            q.submit(chained_update(1, 10.0, 20.0, 1.0), 2.0),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(q.shed_dropped_stale(), 1);
+        assert_eq!(q.len(), 2, "supersede keeps pending count unchanged");
+        // Object 3 has nothing pending: refused.
+        assert_eq!(
+            q.submit(chained_update(3, 0.0, 1.0, 0.0), 2.0),
+            IngestOutcome::QueueFull
+        );
+        let drained = drained_updates(q.drain_through(2.0));
+        let all: Vec<ObjectUpdate> = drained.into_iter().flat_map(|(_, b)| b).collect();
+        assert_eq!(all.len(), 2);
+        let merged = all.iter().find(|u| u.id == ObjectId(1)).unwrap();
+        // The merged update deletes what the index holds (A, from the
+        // superseded update) and inserts the newest trajectory (C).
+        assert_eq!(merged.old_mbr.at(0.0).lo[0], 0.0);
+        assert_eq!(merged.last_update, 0.0);
+        assert_eq!(merged.new_mbr.at(0.0).lo[0], 20.0);
+        assert!(q.is_empty());
+        assert!(q.latest_pending.is_empty(), "supersede index fully drained");
+    }
+
+    #[test]
+    fn drop_stale_refuses_when_pending_is_newer() {
+        let mut q = IngestQueue::with_policy(2, 2, 0, 0.0, ShedPolicy::DropStalePerObject);
+        assert_eq!(q.submit(update(1), 5.0), IngestOutcome::Accepted);
+        assert_eq!(q.submit(update(2), 5.0), IngestOutcome::Accepted);
+        assert!(!q.is_accepting());
+        // Out-of-order arrival for an *earlier* tick than the pending
+        // update: superseding backwards would reorder time — refuse.
+        assert_eq!(q.submit(update(1), 3.0), IngestOutcome::QueueFull);
+        assert_eq!(q.shed_dropped_stale(), 0);
+    }
+
+    #[test]
+    fn drop_stale_chains_across_multiple_pendings() {
+        // Object 1 pending at ticks 1 (A→B) and 2 (B→C); the supersede
+        // at tick 3 (C→D) must merge with the *latest* pending (tick 2),
+        // leaving the tick-1 update untouched: the applied sequence is
+        // then A→B at 1, B→D at 3 — the delete-chain stays intact.
+        let mut q = IngestQueue::with_policy(3, 3, 0, 0.0, ShedPolicy::DropStalePerObject);
+        assert_eq!(
+            q.submit(chained_update(1, 0.0, 10.0, 0.0), 1.0),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(
+            q.submit(chained_update(1, 10.0, 20.0, 1.0), 2.0),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(
+            q.submit(chained_update(9, 0.0, 1.0, 0.0), 1.0),
+            IngestOutcome::Accepted
+        );
+        assert!(!q.is_accepting(), "at hard capacity");
+        assert_eq!(
+            q.submit(chained_update(1, 20.0, 30.0, 2.0), 3.0),
+            IngestOutcome::Accepted
+        );
+        let drained = drained_updates(q.drain_through(3.0));
+        let ones: Vec<&ObjectUpdate> = drained
+            .iter()
+            .flat_map(|(_, b)| b.iter())
+            .filter(|u| u.id == ObjectId(1))
+            .collect();
+        assert_eq!(ones.len(), 2);
+        assert_eq!(ones[0].old_mbr.at(0.0).lo[0], 0.0); // A→B untouched
+        assert_eq!(ones[1].old_mbr.at(0.0).lo[0], 10.0); // B→D merged
+        assert_eq!(ones[1].new_mbr.at(0.0).lo[0], 30.0);
+    }
+
     impl IngestQueue {
         /// Test helper: force-enqueue `n` updates at `at`, bypassing
-        /// the watermark gate.
+        /// the admission gate (`enqueue` still applies the high-water
+        /// closing rule, which is what the hysteresis tests rely on).
         fn submit_unchecked_for_test(&mut self, at: Time, n: usize) {
             for i in 0..n {
-                self.batches
-                    .entry(TickKey(at))
-                    .or_default()
-                    .push(update(1000 + i as u64));
-                self.pending += 1;
+                self.enqueue(update(1000 + i as u64), at, at);
             }
         }
     }

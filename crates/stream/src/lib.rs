@@ -41,12 +41,14 @@ mod error;
 mod event;
 mod ingest;
 mod service;
+mod shed;
 mod subscribe;
 mod wire;
 
 pub use config::{StreamConfig, StreamConfigBuilder};
 pub use error::{StreamError, StreamResult};
 pub use event::{OutboxItem, ResultDelta, StampedDelta};
-pub use ingest::{IngestOutcome, IngestQueue};
+pub use ingest::{IngestOutcome, IngestQueue, QueuedUpdate};
 pub use service::{EngineFactory, RecoveryReport, StreamService};
+pub use shed::ShedPolicy;
 pub use subscribe::{SubscriberId, SubscriptionFilter};

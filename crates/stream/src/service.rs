@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use cij_core::{ContinuousJoinEngine, EngineConfig, PairKey};
 use cij_geom::{MovingRect, Time};
-use cij_obs::{Counter, Gauge, MetricsRegistry};
+use cij_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use cij_storage::Wal;
 use cij_tpr::{ObjectId, TprResult};
 use cij_workload::{MovingObject, ObjectUpdate};
@@ -24,7 +24,8 @@ use crate::config::StreamConfig;
 use crate::delta::DeltaExtractor;
 use crate::error::{StreamError, StreamResult};
 use crate::event::{OutboxItem, StampedDelta};
-use crate::ingest::{IngestOutcome, IngestQueue};
+use crate::ingest::{IngestOutcome, IngestQueue, QueuedUpdate};
+use crate::shed::ShedPolicy;
 use crate::subscribe::{SubscriberId, SubscriptionFilter, SubscriptionRegistry};
 use crate::wire::WalRecord;
 
@@ -67,6 +68,10 @@ pub struct StreamService {
     tracks: HashMap<ObjectId, MovingRect>,
     wal: Option<Wal>,
     now: Time,
+    /// Whether a `DegradeToResync` degraded window is open: per-delta
+    /// delivery is suppressed (with exact gap accounting) until the
+    /// queue reopens, at which point every subscriber is resynced.
+    degraded: bool,
     /// Observability handles, shared with the engine's registry (all
     /// no-ops when `config.engine.metrics` is off).
     obs: ServiceMetrics,
@@ -85,6 +90,25 @@ struct ServiceMetrics {
     batches_applied: Counter,
     deltas_emitted: Counter,
     subscriber_dropped: Counter,
+    /// Pending updates superseded by `DropStalePerObject` (live mirror
+    /// of the queue's counter).
+    shed_dropped_stale: Counter,
+    /// Submissions re-timed onto the coarser grid by `CoalesceHarder`.
+    shed_coalesced: Counter,
+    /// `DegradeToResync` degraded windows opened.
+    degrade_engaged: Counter,
+    /// Subscribers force-resynced at degraded-window close.
+    degrade_resyncs: Counter,
+    /// Wall-clock nanoseconds from acceptance to application, one
+    /// observation per applied update.
+    ingest_latency: Histogram,
+    /// Simulation-time lag (milliticks: `(batch tick − submitted tick)
+    /// × 1000`) per applied update — nonzero only when a policy
+    /// re-timed the update.
+    freshness_lag: Histogram,
+    /// Queue depth observed at each submission (the distribution behind
+    /// the `stream.queue.depth` point gauge).
+    queue_depth_hist: Histogram,
 }
 
 impl ServiceMetrics {
@@ -98,6 +122,13 @@ impl ServiceMetrics {
             batches_applied: registry.counter("stream.batches_applied"),
             deltas_emitted: registry.counter("stream.deltas_emitted"),
             subscriber_dropped: registry.counter("stream.subscribers.dropped_deltas"),
+            shed_dropped_stale: registry.counter("stream.shed.dropped_stale"),
+            shed_coalesced: registry.counter("stream.shed.coalesced"),
+            degrade_engaged: registry.counter("stream.degrade.engaged"),
+            degrade_resyncs: registry.counter("stream.degrade.resyncs"),
+            ingest_latency: registry.histogram("stream.ingest.latency_ns"),
+            freshness_lag: registry.histogram("stream.freshness.lag_milliticks"),
+            queue_depth_hist: registry.histogram("stream.ingest.queue_depth"),
             registry,
         }
     }
@@ -167,11 +198,12 @@ impl StreamService {
         }
 
         Ok(Self {
-            queue: IngestQueue::new(
+            queue: IngestQueue::with_policy(
                 config.batch_capacity,
                 config.high_watermark,
                 config.low_watermark,
                 start,
+                config.shed_policy,
             ),
             registry: SubscriptionRegistry::new(config.outbox_capacity),
             config,
@@ -180,6 +212,7 @@ impl StreamService {
             tracks,
             wal,
             now: start,
+            degraded: false,
             obs,
         })
     }
@@ -249,6 +282,7 @@ impl StreamService {
         let mut registry = SubscriptionRegistry::new(config.outbox_capacity);
         let mut now = start;
         let mut batches_replayed = 0usize;
+        let mut applied_stamps: HashMap<cij_tpr::ObjectId, Time> = HashMap::new();
         {
             let _span = obs.registry.span("phase.wal_replay");
             for payload in records {
@@ -266,6 +300,9 @@ impl StreamService {
                             at,
                             &updates,
                         )?;
+                        for u in &updates {
+                            applied_stamps.insert(u.id, at);
+                        }
                         now = at;
                         batches_replayed += 1;
                     }
@@ -285,7 +322,7 @@ impl StreamService {
         // bound, the true loss is unknowable) and a catch-up snapshot.
         let current = extractor.current();
         for id in registry.ids() {
-            registry.reseed(id, 1, now, &current, &tracks);
+            registry.reseed(id, 1, now, &current, &tracks, false);
         }
         obs.subscriber_dropped.store(registry.total_dropped());
 
@@ -295,13 +332,21 @@ impl StreamService {
             tail_truncated: recovery.tail_corrupt,
             subscribers: registry.len(),
         };
+        let mut queue = IngestQueue::with_policy(
+            config.batch_capacity,
+            config.high_watermark,
+            config.low_watermark,
+            now,
+            config.shed_policy,
+        );
+        // Restore the `last_update` → apply-tick translation map, so
+        // post-recovery submissions still locate the index buckets the
+        // replayed batches actually populated.
+        for (id, at) in applied_stamps {
+            queue.note_applied(id, at);
+        }
         let service = Self {
-            queue: IngestQueue::new(
-                config.batch_capacity,
-                config.high_watermark,
-                config.low_watermark,
-                now,
-            ),
+            queue,
             registry,
             config,
             engine,
@@ -309,6 +354,7 @@ impl StreamService {
             tracks,
             wal: Some(wal),
             now,
+            degraded: false,
             obs,
         };
         Ok((service, report))
@@ -333,8 +379,24 @@ impl StreamService {
             _ => self.obs.submissions_accepted.inc(),
         }
         self.obs.queue_depth.set(self.queue.len() as i64);
+        self.obs.queue_depth_hist.record(self.queue.len() as u64);
+        self.obs
+            .shed_dropped_stale
+            .store(self.queue.shed_dropped_stale());
+        self.obs.shed_coalesced.store(self.queue.shed_coalesced());
         self.obs
             .record_backpressure_flip(was_accepting, self.queue.is_accepting());
+        if was_accepting
+            && !self.queue.is_accepting()
+            && self.config.shed_policy == ShedPolicy::DegradeToResync
+            && !self.degraded
+        {
+            // Saturation under DegradeToResync opens a degraded window:
+            // per-delta delivery is suppressed (exactly counted) until
+            // the queue reopens in `advance_to`.
+            self.degraded = true;
+            self.obs.degrade_engaged.inc();
+        }
         outcome
     }
 
@@ -357,7 +419,10 @@ impl StreamService {
         let was_accepting = self.queue.is_accepting();
         let mut out = Vec::new();
         let mut last_extracted = self.now;
-        for (at, updates) in self.queue.drain_through(t) {
+        for (at, queued) in self.queue.drain_through(t) {
+            let applied = std::time::Instant::now();
+            let updates: Vec<ObjectUpdate> = queued.iter().map(|q| q.update).collect();
+            self.record_ingest_observations(at, &queued, applied);
             self.journal(&WalRecord::Batch {
                 at,
                 updates: updates.clone(),
@@ -389,7 +454,47 @@ impl StreamService {
         self.obs.queue_depth.set(self.queue.len() as i64);
         self.obs
             .record_backpressure_flip(was_accepting, self.queue.is_accepting());
+        if self.degraded && self.queue.is_accepting() {
+            // Degraded window closes with the queue reopening: every
+            // subscriber is rebuilt from a catch-up snapshot; their gap
+            // counters already hold the exact suppressed count (plus
+            // any undelivered outbox items charged by the reseed).
+            let current = self.extractor.current();
+            let ids = self.registry.ids();
+            for id in &ids {
+                self.registry
+                    .reseed(*id, 0, t, &current, &self.tracks, true);
+            }
+            self.obs.degrade_resyncs.add(ids.len() as u64);
+            self.obs
+                .subscriber_dropped
+                .store(self.registry.total_dropped());
+            self.degraded = false;
+        }
         Ok(out)
+    }
+
+    /// Per-update ingest observations for one drained batch: wall-clock
+    /// acceptance→application latency and (when a policy re-timed the
+    /// update) simulation-time freshness lag.
+    fn record_ingest_observations(
+        &self,
+        at: Time,
+        queued: &[QueuedUpdate],
+        applied: std::time::Instant,
+    ) {
+        if !self.obs.registry.is_enabled() {
+            return;
+        }
+        for q in queued {
+            let nanos = applied
+                .saturating_duration_since(q.enqueued)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+            self.obs.ingest_latency.record(nanos);
+            let lag = ((at - q.submitted_for) * 1000.0).max(0.0) as u64;
+            self.obs.freshness_lag.record(lag);
+        }
     }
 
     /// One batch through the engine: advance, apply, gc, extract.
@@ -426,7 +531,7 @@ impl StreamService {
             .map(|delta| StampedDelta { at, delta })
             .collect();
         self.obs.deltas_emitted.add(stamped.len() as u64);
-        self.registry.deliver(&stamped, &self.tracks);
+        self.registry.deliver(&stamped, &self.tracks, self.degraded);
         self.obs
             .subscriber_dropped
             .store(self.registry.total_dropped());
@@ -453,7 +558,7 @@ impl StreamService {
         self.journal(&WalRecord::Subscribe { id, filter })?;
         let current = self.extractor.current();
         self.registry
-            .reseed(id, 0, self.now, &current, &self.tracks);
+            .reseed(id, 0, self.now, &current, &self.tracks, false);
         Ok(id)
     }
 
@@ -482,7 +587,7 @@ impl StreamService {
     pub fn resync(&mut self, id: SubscriberId) -> bool {
         let current = self.extractor.current();
         self.registry
-            .reseed(id, 0, self.now, &current, &self.tracks)
+            .reseed(id, 0, self.now, &current, &self.tracks, false)
     }
 
     /// The engine's reported pairs at instant `t` (valid for `t` at or
@@ -515,6 +620,27 @@ impl StreamService {
     #[must_use]
     pub fn is_accepting(&self) -> bool {
         self.queue.is_accepting()
+    }
+
+    /// Whether a [`ShedPolicy::DegradeToResync`] degraded window is
+    /// currently open (always `false` under other policies).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Pending updates superseded by
+    /// [`ShedPolicy::DropStalePerObject`] so far (cumulative).
+    #[must_use]
+    pub fn shed_dropped_stale(&self) -> u64 {
+        self.queue.shed_dropped_stale()
+    }
+
+    /// Submissions re-timed by [`ShedPolicy::CoalesceHarder`] so far
+    /// (cumulative).
+    #[must_use]
+    pub fn shed_coalesced(&self) -> u64 {
+        self.queue.shed_coalesced()
     }
 
     /// Number of registered subscribers.

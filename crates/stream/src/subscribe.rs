@@ -125,10 +125,18 @@ impl SubscriptionRegistry {
     }
 
     /// Routes one extraction's deltas to every subscriber.
+    ///
+    /// With `suppress` set (the service's `DegradeToResync` degraded
+    /// window), filters and the per-subscriber `delivered` membership
+    /// are evaluated exactly as in normal delivery, but instead of
+    /// entering the outbox each wanted delivery is counted into the
+    /// subscriber's gap counter — so the `Gap` a subscriber later sees
+    /// is **exact**, not a lower bound.
     pub(crate) fn deliver(
         &mut self,
         deltas: &[StampedDelta],
         tracks: &HashMap<ObjectId, MovingRect>,
+        suppress: bool,
     ) {
         let capacity = self.outbox_capacity;
         for state in self.subscribers.values_mut() {
@@ -139,7 +147,13 @@ impl SubscriptionRegistry {
                     }
                     ResultDelta::PairRemoved { pair } => state.delivered.remove(&pair),
                 };
-                if wanted {
+                if !wanted {
+                    continue;
+                }
+                if suppress {
+                    state.dropped += 1;
+                    self.total_dropped += 1;
+                } else {
                     Self::push_bounded(state, *item, capacity, &mut self.total_dropped);
                 }
             }
@@ -179,6 +193,14 @@ impl SubscriptionRegistry {
     /// outbox, records `lost` dropped deliveries (0 for a voluntary
     /// resync), and seeds filtered `PairAdded`s for the currently
     /// reported pairs. Returns whether the subscriber exists.
+    ///
+    /// `charge_cleared` additionally counts every undelivered outbox
+    /// item discarded by the clear into the gap counter — the
+    /// degrade-resync path uses it so gap accounting stays exact even
+    /// for subscribers that had not polled before degradation; crash
+    /// recovery passes `false` (those outboxes died with the process
+    /// and are covered by the explicit `lost` lower bound), as does a
+    /// voluntary resync (the subscriber itself asked for the clear).
     pub(crate) fn reseed(
         &mut self,
         id: SubscriberId,
@@ -186,11 +208,17 @@ impl SubscriptionRegistry {
         at: Time,
         current: &[(PairKey, cij_geom::TimeInterval)],
         tracks: &HashMap<ObjectId, MovingRect>,
+        charge_cleared: bool,
     ) -> bool {
         let capacity = self.outbox_capacity;
         let Some(state) = self.subscribers.get_mut(&id) else {
             return false;
         };
+        if charge_cleared {
+            let cleared = state.outbox.len() as u64;
+            state.dropped += cleared;
+            self.total_dropped += cleared;
+        }
         state.outbox.clear();
         state.delivered.clear();
         state.dropped += lost;
@@ -274,7 +302,11 @@ mod tests {
         let mut reg = SubscriptionRegistry::new(16);
         let s = reg.subscribe(SubscriptionFilter::Object(ObjectId(7)));
         let t = tracks(&[]);
-        reg.deliver(&[add(1.0, 7, 100), add(1.0, 8, 100), add(1.0, 3, 7)], &t);
+        reg.deliver(
+            &[add(1.0, 7, 100), add(1.0, 8, 100), add(1.0, 3, 7)],
+            &t,
+            false,
+        );
         let items = reg.poll(s).unwrap();
         assert_eq!(items.len(), 2);
         assert_eq!(items[0], OutboxItem::Delta(add(1.0, 7, 100)));
@@ -292,7 +324,7 @@ mod tests {
         )));
         // Object 1 inside the window, objects 2 and 3 far away.
         let t = tracks(&[(1, 5.0, 5.0), (2, 100.0, 100.0), (3, 200.0, 200.0)]);
-        reg.deliver(&[add(1.0, 1, 2), add(1.0, 2, 3)], &t);
+        reg.deliver(&[add(1.0, 1, 2), add(1.0, 2, 3)], &t, false);
         let items = reg.poll(s).unwrap();
         assert_eq!(items, vec![OutboxItem::Delta(add(1.0, 1, 2))]);
     }
@@ -305,15 +337,15 @@ mod tests {
             [10.0, 10.0],
         )));
         let inside = tracks(&[(1, 5.0, 5.0), (2, 5.0, 5.0)]);
-        reg.deliver(&[add(1.0, 1, 2)], &inside);
+        reg.deliver(&[add(1.0, 1, 2)], &inside, false);
         // Both objects have left the window by the time the pair ends.
         let outside = tracks(&[(1, 500.0, 500.0), (2, 500.0, 500.0)]);
-        reg.deliver(&[remove(9.0, 1, 2)], &outside);
+        reg.deliver(&[remove(9.0, 1, 2)], &outside, false);
         let items = reg.poll(s).unwrap();
         assert_eq!(items.len(), 2);
         assert_eq!(items[1], OutboxItem::Delta(remove(9.0, 1, 2)));
         // A removal of a never-delivered pair is filtered out entirely.
-        reg.deliver(&[remove(10.0, 3, 4)], &outside);
+        reg.deliver(&[remove(10.0, 3, 4)], &outside, false);
         assert!(reg.poll(s).unwrap().is_empty());
     }
 
@@ -323,7 +355,7 @@ mod tests {
         let s = reg.subscribe(SubscriptionFilter::All);
         let t = tracks(&[]);
         for i in 0..5 {
-            reg.deliver(&[add(i as f64, i, 100 + i)], &t);
+            reg.deliver(&[add(i as f64, i, 100 + i)], &t, false);
         }
         let items = reg.poll(s).unwrap();
         assert_eq!(items[0], OutboxItem::Gap { dropped: 2 });
@@ -338,16 +370,16 @@ mod tests {
         let mut reg = SubscriptionRegistry::new(16);
         let s = reg.subscribe(SubscriptionFilter::All);
         let t = tracks(&[]);
-        reg.deliver(&[add(1.0, 1, 2), add(1.0, 3, 4)], &t);
+        reg.deliver(&[add(1.0, 1, 2), add(1.0, 3, 4)], &t, false);
         let current = vec![(pair(5, 6), TimeInterval::from(2.0))];
-        assert!(reg.reseed(s, 7, 2.0, &current, &t));
+        assert!(reg.reseed(s, 7, 2.0, &current, &t, false));
         let items = reg.poll(s).unwrap();
         assert_eq!(items[0], OutboxItem::Gap { dropped: 7 });
         assert_eq!(items.len(), 2);
         assert!(
             matches!(items[1], OutboxItem::Delta(d) if d.delta.pair() == pair(5, 6) && d.delta.is_add())
         );
-        assert!(!reg.reseed(SubscriberId(99), 0, 2.0, &current, &t));
+        assert!(!reg.reseed(SubscriberId(99), 0, 2.0, &current, &t, false));
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Lockstep differential tests for the load-shedding policies.
+//!
+//! The shedding contract has two halves:
+//!
+//! * **Shedding disabled ⇒ bit-identical.** A service configured with
+//!   any [`ShedPolicy`] but never pushed into saturation emits exactly
+//!   the delta stream of the policy-less oracle — the policy machinery
+//!   is observable only under pressure.
+//! * **`DropStalePerObject` ⇒ post-tick equality.** Under saturation,
+//!   superseding a pending update with a newer one for the same object
+//!   is sound under the paper's `T_M` discipline: the merged update
+//!   chains the superseded one's `old_mbr`/`last_update`, so the index
+//!   delete hits exactly what the tree holds, and by the end of the
+//!   tick both services have registered the same final trajectory.
+//!   Intermediate deltas may differ (the oracle briefly reports pairs
+//!   involving the superseded position); the post-tick result set may
+//!   not. Pinned here at threads {1, 4}, with the delta stream
+//!   additionally bit-identical across thread counts.
+//!
+//! The saturation driver is deterministic by construction: wave 1 fills
+//! the shed service's queue exactly to its high watermark (closing it),
+//! wave 2 re-updates half of wave 1's objects — admissible only through
+//! supersession, which the test asserts happened every single time.
+//!
+//! A final test pins the backpressure flip counters end to end through
+//! cij-obs: a degenerate `high == 1, low == 0` queue must engage and
+//! release exactly once per tick, no more (re-entry flapping is bounded
+//! by the per-tick cadence, not amplified by it).
+
+mod common;
+
+use std::collections::HashSet;
+
+use cij_core::{EngineConfig, PairKey};
+use cij_geom::Time;
+use cij_stream::{
+    IngestOutcome, ResultDelta, ShedPolicy, StampedDelta, StreamConfig, StreamService,
+};
+use cij_workload::{generate_pair, Params, UpdateStream};
+
+use common::{mtb_factory, ChainedGen};
+
+/// First-wave updates per tick — also the shed queue's high watermark.
+const WAVE: usize = 30;
+/// Second-wave (superseding) updates per tick.
+const SUPERSEDE: usize = 15;
+const TICKS: u32 = 40;
+
+fn small_params(seed: u64) -> Params {
+    Params {
+        dataset_size: 100,
+        space: 200.0,
+        object_size_pct: 1.0,
+        seed,
+        ..Params::default()
+    }
+}
+
+fn service(
+    policy: ShedPolicy,
+    capacity: usize,
+    high: usize,
+    low: usize,
+    threads: usize,
+    a: &[cij_workload::MovingObject],
+    b: &[cij_workload::MovingObject],
+) -> StreamService {
+    let config = StreamConfig::builder()
+        .engine(
+            EngineConfig::builder()
+                .threads(threads)
+                .metrics(true)
+                .build(),
+        )
+        .batch_capacity(capacity)
+        .high_watermark(high)
+        .low_watermark(low)
+        .outbox_capacity(1 << 16)
+        .shed_policy(policy)
+        .build();
+    let factory = mtb_factory();
+    StreamService::new(config, a, b, 0.0, &factory).unwrap()
+}
+
+// ----------------------------------------------------------------------
+// Half 1: no saturation ⇒ every policy is bit-identical to the oracle.
+// ----------------------------------------------------------------------
+
+fn run_unsaturated(policy: ShedPolicy, threads: usize) -> Vec<StampedDelta> {
+    let params = small_params(610);
+    let (a, b) = generate_pair(&params, 0.0);
+    let mut svc = service(policy, 1 << 16, 1 << 15, 1 << 14, threads, &a, &b);
+    let mut stream = UpdateStream::new(&params, &a, &b, 0.0);
+    let mut out = Vec::new();
+    for tick in 1..=TICKS {
+        let now = Time::from(tick);
+        for u in stream.tick(now) {
+            assert_eq!(svc.submit(u, now), IngestOutcome::Accepted);
+        }
+        out.extend(svc.advance_to(now).unwrap());
+    }
+    assert_eq!(
+        svc.shed_dropped_stale(),
+        0,
+        "{policy:?}: unsaturated run shed"
+    );
+    assert_eq!(
+        svc.shed_coalesced(),
+        0,
+        "{policy:?}: unsaturated run re-timed"
+    );
+    assert!(!out.is_empty(), "vacuous run");
+    out
+}
+
+#[test]
+fn policies_are_bit_identical_to_oracle_without_saturation() {
+    for threads in [1usize, 4] {
+        let oracle = run_unsaturated(ShedPolicy::None, threads);
+        for policy in [
+            ShedPolicy::CoalesceHarder { window: 2.0 },
+            ShedPolicy::DropStalePerObject,
+            ShedPolicy::DegradeToResync,
+        ] {
+            let stream = run_unsaturated(policy, threads);
+            assert_eq!(
+                oracle, stream,
+                "{policy:?} diverged from the oracle below saturation (threads {threads})"
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Half 2: saturated DropStalePerObject ⇒ post-tick result equality.
+// ----------------------------------------------------------------------
+
+/// Drives the oracle (unbounded, no policy) and the shed service (queue
+/// closed by wave 1) over an identical two-wave schedule; returns the
+/// shed service's delta stream and the per-tick result sets.
+fn run_saturated_lockstep(threads: usize, seed: u64) -> (Vec<StampedDelta>, Vec<Vec<PairKey>>) {
+    let params = small_params(seed);
+    let (a, b) = generate_pair(&params, 0.0);
+    let mut oracle = service(ShedPolicy::None, 1 << 16, 1 << 15, 1 << 14, threads, &a, &b);
+    let mut shed = service(
+        ShedPolicy::DropStalePerObject,
+        WAVE * 2,
+        WAVE,
+        WAVE / 2,
+        threads,
+        &a,
+        &b,
+    );
+    let mut gen = ChainedGen::new(&params, &a, &b, 0.0);
+    let mut shed_stream = Vec::new();
+    let mut results = Vec::new();
+    for tick in 1..=TICKS {
+        let now = Time::from(tick);
+        let wave1_at = now - 0.5;
+        // Wave 1: WAVE distinct objects (rotating window over the id
+        // space, so every object refreshes well inside T_M). Fills the
+        // shed queue exactly to its high watermark.
+        let base = (tick as usize * WAVE * 2) % gen.len();
+        let mut wave1 = Vec::with_capacity(WAVE);
+        for k in 0..WAVE {
+            let u = gen.candidate(base + k, u64::from(tick), wave1_at);
+            gen.commit(&u, wave1_at);
+            assert_eq!(oracle.submit(u, wave1_at), IngestOutcome::Accepted);
+            assert_eq!(shed.submit(u, wave1_at), IngestOutcome::Accepted);
+            wave1.push(base + k);
+        }
+        assert!(!shed.is_accepting(), "wave 1 must close the shed queue");
+        assert!(oracle.is_accepting(), "the oracle must never close");
+        // Wave 2: newer updates for half of wave 1's objects. The shed
+        // queue is closed — admission is possible only by superseding
+        // the object's pending wave-1 update.
+        for k in 0..SUPERSEDE {
+            let u = gen.candidate(wave1[k * 2], u64::from(tick) ^ 0xDEAD_BEEF, now);
+            gen.commit(&u, now);
+            assert_eq!(oracle.submit(u, now), IngestOutcome::Accepted);
+            assert_eq!(
+                shed.submit(u, now),
+                IngestOutcome::Accepted,
+                "supersession must absorb wave 2 at t={now}"
+            );
+        }
+        oracle.advance_to(now).unwrap();
+        shed_stream.extend(shed.advance_to(now).unwrap());
+        assert!(shed.is_accepting(), "drain must reopen the shed queue");
+        let expect = oracle.result_at(now);
+        assert_eq!(
+            shed.result_at(now),
+            expect,
+            "post-tick result diverges at t={now} (threads {threads})"
+        );
+        results.push(expect);
+    }
+    assert_eq!(
+        shed.shed_dropped_stale(),
+        u64::from(TICKS) * SUPERSEDE as u64,
+        "every wave-2 update must shed its wave-1 predecessor"
+    );
+    assert_eq!(oracle.shed_dropped_stale(), 0);
+    (shed_stream, results)
+}
+
+#[test]
+fn drop_stale_post_tick_results_match_oracle_at_threads_1_and_4() {
+    let (stream_seq, results_seq) = run_saturated_lockstep(1, 611);
+    let (stream_par, results_par) = run_saturated_lockstep(4, 611);
+    assert_eq!(
+        results_seq, results_par,
+        "post-tick results differ between threads=1 and threads=4"
+    );
+    assert_eq!(
+        stream_seq, stream_par,
+        "shed delta stream differs between threads=1 and threads=4"
+    );
+    // Non-vacuity: the sheds really produced pairs to compare.
+    assert!(
+        results_seq.iter().any(|r| !r.is_empty()),
+        "no pairs ever reported"
+    );
+}
+
+/// The shed service's own delta stream stays strict and snapshot-exact
+/// even while it supersedes — replaying it reconstructs `result_at` at
+/// every tick.
+#[test]
+fn drop_stale_delta_stream_replays_to_snapshots_under_saturation() {
+    let params = small_params(612);
+    let (a, b) = generate_pair(&params, 0.0);
+    let mut shed = service(
+        ShedPolicy::DropStalePerObject,
+        WAVE * 2,
+        WAVE,
+        WAVE / 2,
+        1,
+        &a,
+        &b,
+    );
+    let mut gen = ChainedGen::new(&params, &a, &b, 0.0);
+    let mut replayed: HashSet<PairKey> = HashSet::new();
+    for tick in 1..=TICKS {
+        let now = Time::from(tick);
+        let wave1_at = now - 0.5;
+        let base = (tick as usize * WAVE * 2) % gen.len();
+        for k in 0..WAVE {
+            let u = gen.candidate(base + k, u64::from(tick), wave1_at);
+            gen.commit(&u, wave1_at);
+            assert_eq!(shed.submit(u, wave1_at), IngestOutcome::Accepted);
+        }
+        for k in 0..SUPERSEDE {
+            let u = gen.candidate(base + k * 2, u64::from(tick) ^ 0xDEAD_BEEF, now);
+            gen.commit(&u, now);
+            assert_eq!(shed.submit(u, now), IngestOutcome::Accepted);
+        }
+        for d in shed.advance_to(now).unwrap() {
+            match d.delta {
+                ResultDelta::PairAdded { pair, .. } => {
+                    assert!(replayed.insert(pair), "duplicate add {pair:?} at t={now}");
+                }
+                ResultDelta::PairRemoved { pair } => {
+                    assert!(
+                        replayed.remove(&pair),
+                        "removal of absent {pair:?} at t={now}"
+                    );
+                }
+            }
+        }
+        let mut got: Vec<PairKey> = replayed.iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, shed.result_at(now), "replay diverges at t={now}");
+    }
+    assert!(shed.shed_dropped_stale() > 0, "saturation never triggered");
+}
+
+// ----------------------------------------------------------------------
+// Backpressure flip counters, pinned end to end through cij-obs.
+// ----------------------------------------------------------------------
+
+/// Degenerate watermarks (`high == 1`, `low == 0`): every tick's single
+/// update closes the queue and every drain reopens it. The cij-obs flip
+/// counters must read exactly one engage and one release per tick —
+/// hysteresis makes the flap rate track the tick cadence, not the
+/// submission count.
+#[test]
+fn degenerate_watermarks_pin_backpressure_flip_counters() {
+    const FLAPS: u32 = 12;
+    let params = small_params(613);
+    let (a, b) = generate_pair(&params, 0.0);
+    let mut svc = service(ShedPolicy::None, 4, 1, 0, 1, &a, &b);
+    let mut gen = ChainedGen::new(&params, &a, &b, 0.0);
+    for tick in 1..=FLAPS {
+        let now = Time::from(tick);
+        let u = gen.candidate(tick as usize, u64::from(tick), now);
+        gen.commit(&u, now);
+        assert!(svc.is_accepting());
+        assert_eq!(svc.submit(u, now), IngestOutcome::Accepted);
+        assert!(!svc.is_accepting(), "high == 1 must close on every submit");
+        // A second same-tick submission is refused, not a second flip.
+        let refused = gen.candidate(tick as usize + 50, u64::from(tick), now);
+        assert_eq!(svc.submit(refused, now), IngestOutcome::QueueFull);
+        svc.advance_to(now).unwrap();
+        assert!(svc.is_accepting(), "drain to low == 0 must reopen");
+    }
+    let snap = svc.metrics_snapshot();
+    assert_eq!(
+        snap.counter("stream.backpressure.engaged"),
+        Some(u64::from(FLAPS)),
+        "exactly one engage per tick"
+    );
+    assert_eq!(
+        snap.counter("stream.backpressure.released"),
+        Some(u64::from(FLAPS)),
+        "exactly one release per tick"
+    );
+    let depth = snap.histogram("stream.ingest.queue_depth").unwrap();
+    assert_eq!(
+        depth.count,
+        u64::from(FLAPS) * 2,
+        "one sample per submission"
+    );
+    let latency = snap.histogram("stream.ingest.latency_ns").unwrap();
+    assert_eq!(
+        latency.count,
+        u64::from(FLAPS),
+        "one sample per applied update"
+    );
+}
