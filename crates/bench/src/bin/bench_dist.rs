@@ -1,0 +1,380 @@
+//! Machine-readable distribution benchmark: emits `BENCH_dist.json`
+//! and `BENCH_dist.prom`.
+//!
+//! ```text
+//! cargo run --release -p cij-bench --bin bench_dist            # full run
+//! cargo run --release -p cij-bench --bin bench_dist -- --smoke # CI gate
+//! cargo run --release -p cij-bench --bin bench_dist -- --out /tmp/d.json
+//! ```
+//!
+//! Prices the coordinator/worker split of `cij-dist` against the
+//! in-process shard coordinator it decomposes, on one deterministic
+//! skewed-velocity workload under a K = 2 velocity-band policy:
+//!
+//! * `inproc` — the [`ShardCoordinator`] baseline (no transport);
+//! * `loopback` — [`DistCoordinator`] over in-process loopback workers,
+//!   isolating the protocol codec cost (every request and response is
+//!   encoded and decoded) from socket cost;
+//! * `loopback-kill` — the same, with a worker killed mid-run and
+//!   restarted from its WAL: the recovery tax in wall-clock and
+//!   `dist.*` counters, with the final answer asserted unchanged;
+//! * `tcp` — workers served over real sockets (in-process threads, one
+//!   listener each), adding kernel round-trips to the codec cost.
+//!
+//! All modes must land on the same final pair set — the binary asserts
+//! it — so the numbers compare cost, never answers.
+
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, MtbEngine};
+use cij_dist::loopback::LoopbackHost;
+use cij_dist::tcp::TcpConnector;
+use cij_dist::{joinable_pairs, Connector, DistConfig, DistCoordinator, EngineKind, ShardWorker};
+use cij_obs::validate_prometheus;
+use cij_shard::{PartitionPolicy, ShardCoordinator, VelocityBandPolicy};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::TprResult;
+use cij_workload::{generate_pair, Distribution, Params, UpdateStream};
+
+struct Options {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        out: "BENCH_dist.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                i += 1;
+                opts.out = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            other => {
+                eprintln!("unknown flag {other} (use --smoke, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn policy(params: &Params) -> Arc<dyn PartitionPolicy> {
+    Arc::new(VelocityBandPolicy::new(2, params.max_speed))
+}
+
+fn engine_config(params: &Params) -> EngineConfig {
+    EngineConfig {
+        t_m: params.maximum_update_interval,
+        ..EngineConfig::default()
+    }
+}
+
+struct ModeResult {
+    name: &'static str,
+    wall_ms: f64,
+    final_pairs: usize,
+    workers: usize,
+    rpc_calls: u64,
+    reconnects: u64,
+    resyncs: u64,
+    replayed: u64,
+    /// Prometheus exposition of the coordinator's registry (`dist`
+    /// modes only).
+    exposition: Option<String>,
+}
+
+/// Drives any engine over the shared deterministic stream; the caller
+/// injects faults through `at_tick`.
+fn drive(
+    engine: &mut dyn ContinuousJoinEngine,
+    params: &Params,
+    ticks: u32,
+    mut at_tick: impl FnMut(u32),
+) -> TprResult<(f64, usize)> {
+    let (set_a, set_b) = generate_pair(params, 0.0);
+    let mut stream = UpdateStream::new(params, &set_a, &set_b, 0.0);
+    let t0 = Instant::now();
+    engine.run_initial_join(0.0)?;
+    let mut final_pairs = engine.result_at(0.0).len();
+    for tick in 1..=ticks {
+        at_tick(tick);
+        let now = f64::from(tick);
+        let updates = stream.tick(now);
+        engine.advance_time(now)?;
+        engine.apply_batch(&updates, now)?;
+        engine.gc(now);
+        final_pairs = engine.result_at(now).len();
+    }
+    Ok((t0.elapsed().as_secs_f64() * 1e3, final_pairs))
+}
+
+fn run_inproc(params: &Params, ticks: u32) -> ModeResult {
+    let pool = BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(4096),
+    );
+    let mut coord = ShardCoordinator::new(
+        pool,
+        engine_config(params),
+        policy(params),
+        &generate_pair(params, 0.0).0,
+        &generate_pair(params, 0.0).1,
+        0.0,
+        &|pool, cfg, a, b, now| Ok(Box::new(MtbEngine::new(pool, *cfg, a, b, now)?)),
+    )
+    .expect("inproc coordinator");
+    let workers = coord.engine_count();
+    let (wall_ms, final_pairs) = drive(&mut coord, params, ticks, |_| {}).expect("inproc run");
+    ModeResult {
+        name: "inproc",
+        wall_ms,
+        final_pairs,
+        workers,
+        rpc_calls: 0,
+        reconnects: 0,
+        resyncs: 0,
+        replayed: 0,
+        exposition: None,
+    }
+}
+
+fn dist_config(params: &Params) -> DistConfig {
+    let cfg = engine_config(params);
+    DistConfig {
+        engine: EngineKind::Mtb,
+        t_m: cfg.t_m,
+        buckets_per_tm: cfg.buckets_per_tm,
+        metrics: true,
+        ..DistConfig::default()
+    }
+}
+
+fn finish_dist(
+    name: &'static str,
+    mut coord: DistCoordinator,
+    wall_ms: f64,
+    final_pairs: usize,
+) -> ModeResult {
+    coord.publish_metrics();
+    let snap = coord.metrics_registry().snapshot();
+    let counter = |n: &str| snap.counter(n).unwrap_or(0);
+    let result = ModeResult {
+        name,
+        wall_ms,
+        final_pairs,
+        workers: coord.worker_count(),
+        rpc_calls: counter("dist.rpc.calls"),
+        reconnects: counter("dist.reconnects"),
+        resyncs: counter("dist.resyncs"),
+        replayed: counter("dist.replayed_requests"),
+        exposition: Some(snap.to_prometheus()),
+    };
+    coord.shutdown_workers();
+    result
+}
+
+/// `kill_at`: tick at which the middle worker is crashed (restarting
+/// from its WAL on the next dial); `None` runs fault-free on ephemeral
+/// hosts.
+fn run_loopback(
+    name: &'static str,
+    params: &Params,
+    ticks: u32,
+    kill_at: Option<u32>,
+) -> ModeResult {
+    let policy = policy(params);
+    let slots = joinable_pairs(&*policy).len();
+    let mut wal_paths = Vec::new();
+    let hosts: Vec<Arc<LoopbackHost>> = (0..slots)
+        .map(|idx| {
+            if kill_at.is_some() {
+                let path = std::env::temp_dir()
+                    .join(format!("cij-bench-dist-{idx}-{}.wal", std::process::id()));
+                let _ = std::fs::remove_file(&path);
+                wal_paths.push(path.clone());
+                LoopbackHost::durable(path).expect("durable host")
+            } else {
+                LoopbackHost::ephemeral()
+            }
+        })
+        .collect();
+    let connectors: Vec<Box<dyn Connector>> = hosts
+        .iter()
+        .map(|h| Box::new(h.connector()) as Box<dyn Connector>)
+        .collect();
+    let (set_a, set_b) = generate_pair(params, 0.0);
+    let mut coord =
+        DistCoordinator::new(dist_config(params), policy, connectors, &set_a, &set_b, 0.0)
+            .expect("loopback coordinator");
+    let victim = slots / 2;
+    let (wall_ms, final_pairs) = drive(&mut coord, params, ticks, |tick| {
+        if Some(tick) == kill_at {
+            hosts[victim].kill();
+        }
+    })
+    .expect("loopback run");
+    if kill_at.is_some() {
+        assert_eq!(hosts[victim].restarts(), 1, "the kill must force a restart");
+    }
+    let result = finish_dist(name, coord, wall_ms, final_pairs);
+    for path in wal_paths {
+        let _ = std::fs::remove_file(path);
+    }
+    result
+}
+
+fn run_tcp(params: &Params, ticks: u32) -> ModeResult {
+    let policy = policy(params);
+    let slots = joinable_pairs(&*policy).len();
+    let mut threads = Vec::new();
+    let mut connectors: Vec<Box<dyn Connector>> = Vec::new();
+    for _ in 0..slots {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker listener");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        connectors.push(Box::new(TcpConnector::new(addr, Duration::from_secs(10))));
+        threads.push(std::thread::spawn(move || {
+            let mut worker = ShardWorker::ephemeral();
+            cij_dist::tcp::serve(&listener, &mut worker).expect("serve");
+        }));
+    }
+    let (set_a, set_b) = generate_pair(params, 0.0);
+    let mut coord =
+        DistCoordinator::new(dist_config(params), policy, connectors, &set_a, &set_b, 0.0)
+            .expect("tcp coordinator");
+    let (wall_ms, final_pairs) = drive(&mut coord, params, ticks, |_| {}).expect("tcp run");
+    let result = finish_dist("tcp", coord, wall_ms, final_pairs);
+    for t in threads {
+        t.join().expect("worker thread");
+    }
+    result
+}
+
+fn mode_json(r: &ModeResult) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"final_pairs\": {}, \"workers\": {}, \
+         \"rpc_calls\": {}, \"reconnects\": {}, \"resyncs\": {}, \"replayed_requests\": {}}}",
+        r.name,
+        r.wall_ms,
+        r.final_pairs,
+        r.workers,
+        r.rpc_calls,
+        r.reconnects,
+        r.resyncs,
+        r.replayed
+    )
+}
+
+fn main() {
+    let opts = parse_args();
+    let params = Params {
+        dataset_size: if opts.smoke { 150 } else { 600 },
+        distribution: Distribution::VelocitySkew,
+        maximum_update_interval: 20.0,
+        seed: 11,
+        // Dense enough that the final answer is non-empty — the
+        // cross-mode equality assertions must compare real pair sets.
+        space: 200.0,
+        object_size_pct: 1.0,
+        ..Params::default()
+    };
+    let ticks: u32 = if opts.smoke { 12 } else { 40 };
+    let kill_at = ticks / 2;
+
+    let results = vec![
+        run_inproc(&params, ticks),
+        run_loopback("loopback", &params, ticks, None),
+        run_loopback("loopback-kill", &params, ticks, Some(kill_at)),
+        run_tcp(&params, ticks),
+    ];
+
+    // The transport must never change the answer — under a kill
+    // included — and the fault run must actually have recovered.
+    let baseline = &results[0];
+    for r in &results[1..] {
+        assert!(baseline.final_pairs > 0, "workload produced no pairs");
+        assert_eq!(
+            r.final_pairs, baseline.final_pairs,
+            "{} disagrees with the in-process answer",
+            r.name
+        );
+        assert!(r.rpc_calls > 0, "{}: no RPCs recorded", r.name);
+    }
+    let kill = &results[2];
+    assert!(
+        kill.reconnects >= 1,
+        "loopback-kill recorded no reconnect ({} reconnects)",
+        kill.reconnects
+    );
+    assert_eq!(
+        kill.resyncs, 0,
+        "a WAL-intact restart must not need a history resync"
+    );
+
+    // The richest registry — the fault run's — becomes the exposition.
+    let exposition = kill.exposition.clone().expect("dist mode has a registry");
+    let samples = validate_prometheus(&exposition).expect("valid prometheus exposition");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"dist\",");
+    let _ = writeln!(json, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(json, "  \"engine\": \"MTB-Join\",");
+    let _ = writeln!(json, "  \"policy\": \"velocity-band\",");
+    let _ = writeln!(json, "  \"k\": 2,");
+    let _ = writeln!(json, "  \"distribution\": \"{}\",", params.distribution);
+    let _ = writeln!(json, "  \"dataset_size\": {},", params.dataset_size);
+    let _ = writeln!(json, "  \"ticks\": {ticks},");
+    let _ = writeln!(json, "  \"kill_at\": {kill_at},");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{comma}", mode_json(r));
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"metrics\": {{\"prometheus_samples\": {samples}, \"validated\": true}}"
+    );
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&opts.out, &json).expect("write benchmark json");
+    let prom_out = format!("{}.prom", opts.out.trim_end_matches(".json"));
+    std::fs::write(&prom_out, &exposition).expect("write prometheus exposition");
+
+    for r in &results {
+        println!(
+            "{:<14} workers={} wall={:>8.1} ms final_pairs={:>5} rpc_calls={:>6} \
+             reconnects={} resyncs={} replayed={}",
+            r.name,
+            r.workers,
+            r.wall_ms,
+            r.final_pairs,
+            r.rpc_calls,
+            r.reconnects,
+            r.resyncs,
+            r.replayed
+        );
+    }
+    println!(
+        "loopback overhead vs inproc: {:.1}% wall; tcp overhead: {:.1}% wall",
+        100.0 * (results[1].wall_ms / results[0].wall_ms - 1.0),
+        100.0 * (results[3].wall_ms / results[0].wall_ms - 1.0),
+    );
+    println!("wrote {} and {prom_out}", opts.out);
+}

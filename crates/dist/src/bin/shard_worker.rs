@@ -1,0 +1,100 @@
+//! The shard-worker process: one WAL-backed [`ShardWorker`] served over
+//! TCP until a `Shutdown` request arrives.
+//!
+//! ```text
+//! shard_worker [--listen ADDR] [--wal PATH]
+//! ```
+//!
+//! `--listen` defaults to `127.0.0.1:0` (an OS-assigned port). The
+//! bound address is announced on stdout as `LISTENING <addr>` so a
+//! supervisor — or the multi-process smoke test — can scrape it.
+//! Without `--wal` the worker is ephemeral: a crash loses everything
+//! and the coordinator resyncs it from scratch.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+use cij_dist::{tcp, ShardWorker};
+
+struct Options {
+    listen: String,
+    wal: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        listen: "127.0.0.1:0".to_string(),
+        wal: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                options.listen = args.next().ok_or("--listen needs an address")?;
+            }
+            "--wal" => {
+                options.wal = Some(PathBuf::from(args.next().ok_or("--wal needs a path")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: shard_worker [--listen ADDR] [--wal PATH]".into())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut worker = match &options.wal {
+        Some(path) => match ShardWorker::open(path) {
+            Ok(w) => {
+                if w.recovered() > 0 {
+                    eprintln!(
+                        "recovered {} journaled requests (seq {})",
+                        w.recovered(),
+                        w.last_applied()
+                    );
+                }
+                w
+            }
+            Err(e) => {
+                eprintln!("cannot open WAL {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => ShardWorker::ephemeral(),
+    };
+
+    let listener = match TcpListener::bind(&options.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", options.listen);
+            std::process::exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            // The supervisor contract: announce the bound address.
+            println!("LISTENING {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Err(e) = tcp::serve(&listener, &mut worker) {
+        eprintln!("serve loop failed: {e}");
+        std::process::exit(1);
+    }
+}

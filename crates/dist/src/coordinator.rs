@@ -1,0 +1,776 @@
+//! The distributed coordinator: the shard coordinator's row/column
+//! topology, with each shard-pair engine living behind a transport.
+//!
+//! # Bit-identical merged streams
+//!
+//! [`DistCoordinator`] implements [`ContinuousJoinEngine`], so it wraps
+//! in the same `StreamService` as a single-process engine — and its
+//! merged delta stream is *bit-identical* to a `ShardCoordinator` over
+//! the same policy, because every engine-facing call maps to worker
+//! RPCs that preserve the exact single-process call cadence:
+//!
+//! - one [`Request::Step`] per tick per worker — empty op lists
+//!   included — bundling `advance_time → ops → gc → take_result_changes`
+//!   in the order the stream service performs them;
+//! - direct `insert_object`/`remove_object` trait calls map to
+//!   [`Request::Immediate`], which applies the op *without* the tick
+//!   bundle, so result-buffer changes stay queued until the next tick's
+//!   drain, exactly as in-process;
+//! - `pair_status_at` routes to the one worker owning the pair's shard
+//!   pair, mirroring the shard coordinator's lookup.
+//!
+//! # Fault handling
+//!
+//! Every RPC runs under a reconnect loop with bounded exponential
+//! backoff: a dead channel is redialed via the slot's [`Connector`],
+//! the handshake's [`Response::HelloAck`] reveals the worker's durable
+//! progress, and the coordinator replays its retained request history
+//! past that point. A worker that restarted from its WAL replays
+//! nothing; a worker that lost everything (outbox included) is rebuilt
+//! from the full history. Either way the resent in-flight request is
+//! answered from the worker's (rebuilt) outbox, so the merged stream
+//! does not fork — the crate's differential tests kill workers mid-run
+//! and compare streams byte for byte.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cij_core::{publish_engine_totals, ContinuousJoinEngine, EngineConfig, PairKey, PairStatus};
+use cij_geom::{MovingRect, Time};
+use cij_join::JoinCounters;
+use cij_obs::MetricsRegistry;
+use cij_shard::{PartitionPolicy, RouteDecision, ShardRouter};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_tpr::{ObjectId, TprError, TprResult};
+use cij_workload::{MovingObject, ObjectUpdate, SetTag};
+use parking_lot::Mutex;
+
+use crate::error::{DistError, DistResult};
+use crate::protocol::{EngineKind, Request, Response, ShardOp};
+use crate::transport::{Connector, Transport};
+
+/// Deployment parameters: what the workers build and how hard the
+/// coordinator tries to reach them.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Engine each worker builds ([`EngineKind::Mtb`] by default).
+    pub engine: EngineKind,
+    /// Maximum update interval `T_M`.
+    pub t_m: Time,
+    /// MTB bucket granularity.
+    pub buckets_per_tm: u32,
+    /// Enables the coordinator's metrics registry (`dist.*` counters,
+    /// per-worker RTT and ack-lag histograms).
+    pub metrics: bool,
+    /// Connection attempts per RPC before the worker is declared
+    /// unavailable.
+    pub connect_attempts: u32,
+    /// First-retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        let engine_defaults = EngineConfig::builder().build();
+        Self {
+            engine: EngineKind::Mtb,
+            t_m: engine_defaults.t_m,
+            buckets_per_tm: engine_defaults.buckets_per_tm,
+            metrics: false,
+            connect_attempts: 8,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The joinable shard pairs of `policy`, in the canonical slot order —
+/// row-major over `(shard_a, shard_b)`. Deployments must hand
+/// [`DistCoordinator::new`] one connector per entry, in this order.
+#[must_use]
+pub fn joinable_pairs(policy: &dyn PartitionPolicy) -> Vec<(usize, usize)> {
+    let k = policy.shard_count();
+    let mut pairs = Vec::new();
+    for i in 0..k {
+        for j in 0..k {
+            if policy.joinable(i, j) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+struct WorkerLink {
+    connector: Box<dyn Connector>,
+    transport: Option<Box<dyn Transport>>,
+    /// Every mutating request sent to this worker, in sequence order —
+    /// the recovery source for a worker that lost its WAL. Retained for
+    /// the deployment's lifetime (`dist.history_requests` tracks the
+    /// total).
+    history: Vec<Request>,
+    /// Highest sequence number whose response was consumed.
+    acked_seq: u64,
+    ever_connected: bool,
+    shard_a: usize,
+    shard_b: usize,
+}
+
+impl WorkerLink {
+    fn newest_seq(&self) -> u64 {
+        self.history.last().and_then(Request::seq).unwrap_or(0)
+    }
+}
+
+/// A [`ContinuousJoinEngine`] whose shard-pair engines live in worker
+/// processes (see the module docs). Drop-in wherever a single engine
+/// runs — including as a `StreamService` factory product.
+pub struct DistCoordinator {
+    config: DistConfig,
+    policy: Arc<dyn PartitionPolicy>,
+    router: ShardRouter,
+    slots: Vec<Mutex<WorkerLink>>,
+    /// (shard_a, shard_b) → slot index for joinable pairs.
+    slot_of: HashMap<(usize, usize), usize>,
+    /// Slot indices of row i (A-shard i) / column j (B-shard j).
+    rows: Vec<Vec<usize>>,
+    cols: Vec<Vec<usize>>,
+    population_a: Vec<usize>,
+    population_b: Vec<usize>,
+    /// Global mutating-request sequence; per-worker subsequences are
+    /// strictly increasing (with gaps).
+    seq: u64,
+    /// Heartbeat nonce source.
+    nonce: u64,
+    /// Result changes harvested from step acks, drained by
+    /// `take_result_changes`.
+    pending: Vec<PairKey>,
+    pending_none: bool,
+    deltas_enabled: bool,
+    /// An error from an infallible trait method (`enable_delta_tracking`),
+    /// surfaced by the next fallible call.
+    deferred: Option<DistError>,
+    /// Local dummy pool: worker I/O is not visible here.
+    pool: BufferPool,
+    obs: MetricsRegistry,
+}
+
+impl DistCoordinator {
+    /// Partitions both sets under `policy` and initialises one worker
+    /// per joinable shard pair over `connectors` (one per
+    /// [`joinable_pairs`] entry, same order). Workers receive their
+    /// subsets via [`Request::Init`]; delta tracking and the initial
+    /// join follow through the usual engine-trait calls.
+    ///
+    /// # Errors
+    /// [`DistError::Config`] on a connector-count mismatch; connection
+    /// or worker errors from the init round-trips.
+    pub fn new(
+        config: DistConfig,
+        policy: Arc<dyn PartitionPolicy>,
+        connectors: Vec<Box<dyn Connector>>,
+        set_a: &[MovingObject],
+        set_b: &[MovingObject],
+        now: Time,
+    ) -> DistResult<Self> {
+        let k = policy.shard_count();
+        let pairs = joinable_pairs(&*policy);
+        if connectors.len() != pairs.len() {
+            return Err(DistError::Config(format!(
+                "policy {} (K={k}) has {} joinable shard pairs but {} connectors were supplied",
+                policy.name(),
+                pairs.len(),
+                connectors.len()
+            )));
+        }
+
+        let mut router = ShardRouter::new(policy.clone());
+        let mut parts_a: Vec<Vec<MovingObject>> = vec![Vec::new(); k];
+        let mut parts_b: Vec<Vec<MovingObject>> = vec![Vec::new(); k];
+        for o in set_a {
+            parts_a[router.place(o.id, &o.mbr)].push(*o);
+        }
+        for o in set_b {
+            parts_b[router.place(o.id, &o.mbr)].push(*o);
+        }
+
+        let mut slot_of = HashMap::new();
+        let mut rows = vec![Vec::new(); k];
+        let mut cols = vec![Vec::new(); k];
+        let mut slots = Vec::new();
+        for (idx, (connector, &(i, j))) in connectors.into_iter().zip(&pairs).enumerate() {
+            slot_of.insert((i, j), idx);
+            rows[i].push(idx);
+            cols[j].push(idx);
+            slots.push(Mutex::new(WorkerLink {
+                connector,
+                transport: None,
+                history: Vec::new(),
+                acked_seq: 0,
+                ever_connected: false,
+                shard_a: i,
+                shard_b: j,
+            }));
+        }
+
+        let obs = MetricsRegistry::enabled_if(config.metrics);
+        let mut coordinator = Self {
+            config,
+            policy,
+            router,
+            slots,
+            slot_of,
+            rows,
+            cols,
+            population_a: parts_a.iter().map(Vec::len).collect(),
+            population_b: parts_b.iter().map(Vec::len).collect(),
+            seq: 0,
+            nonce: 0,
+            pending: Vec::new(),
+            pending_none: false,
+            deltas_enabled: false,
+            deferred: None,
+            pool: BufferPool::new(
+                Arc::new(InMemoryStore::new()),
+                BufferPoolConfig::with_capacity(8),
+            ),
+            obs,
+        };
+
+        for (idx, &(i, j)) in pairs.iter().enumerate() {
+            coordinator.seq += 1;
+            let req = Request::Init {
+                seq: coordinator.seq,
+                engine: coordinator.config.engine,
+                t_m: coordinator.config.t_m,
+                buckets_per_tm: coordinator.config.buckets_per_tm,
+                set_a: parts_a[i].clone(),
+                set_b: parts_b[j].clone(),
+                start: now,
+            };
+            coordinator.send_expect_ack(idx, req)?;
+        }
+        Ok(coordinator)
+    }
+
+    /// Shards per object set.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.policy.shard_count()
+    }
+
+    /// Workers in the join plan (one per joinable shard pair).
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Cross-shard migrations routed so far.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.router.migrations()
+    }
+
+    /// The shard pair each worker slot serves, in slot order.
+    #[must_use]
+    pub fn worker_pairs(&self) -> Vec<(usize, usize)> {
+        self.slots
+            .iter()
+            .map(|s| {
+                let link = s.lock();
+                (link.shard_a, link.shard_b)
+            })
+            .collect()
+    }
+
+    /// Pings every worker, reconnecting (and resyncing) any whose
+    /// channel died. A worker that cannot be revived within the backoff
+    /// budget surfaces as
+    /// [`DistError::WorkerUnavailable`].
+    ///
+    /// # Errors
+    /// The first unreachable or misbehaving worker, in slot order.
+    pub fn heartbeat(&mut self) -> DistResult<()> {
+        for idx in 0..self.slots.len() {
+            self.nonce += 1;
+            let nonce = self.nonce;
+            let mut link = self.slots[idx].lock();
+            let resp = self.call_link(idx, &mut link, &Request::Ping { nonce })?;
+            match resp {
+                Response::Pong { nonce: echoed } if echoed == nonce => {}
+                Response::Pong { .. } => {
+                    return Err(DistError::Worker(format!(
+                        "worker {idx} echoed a stale heartbeat nonce"
+                    )))
+                }
+                other => {
+                    return Err(DistError::UnexpectedResponse {
+                        expected: "Pong",
+                        got: other.kind(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends every worker a [`Request::Shutdown`] on a best-effort
+    /// basis (for deployments whose workers are real processes).
+    pub fn shutdown_workers(&mut self) {
+        for slot in &self.slots {
+            let mut link = slot.lock();
+            let mut transport = match link.transport.take() {
+                Some(t) => Some(t),
+                None => link.connector.connect().ok(),
+            };
+            if let Some(t) = transport.as_mut() {
+                let _ = t.call(&Request::Shutdown);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RPC plumbing
+    // ------------------------------------------------------------------
+
+    /// One RPC against a slot, with reconnect-and-resync on channel
+    /// failure, under the bounded backoff budget.
+    fn call_link(&self, idx: usize, link: &mut WorkerLink, req: &Request) -> DistResult<Response> {
+        let mut attempts: u32 = 0;
+        loop {
+            if link.transport.is_none() {
+                self.connect_link(idx, link, &mut attempts)?;
+            }
+            self.obs.counter("dist.rpc.calls").inc();
+            let t0 = Instant::now();
+            match link.transport.as_mut().expect("connected above").call(req) {
+                Ok(resp) => {
+                    self.obs
+                        .histogram(&format!("dist.worker.{idx}.rtt_us"))
+                        .record(t0.elapsed().as_micros() as u64);
+                    if let Response::Fail { message } = resp {
+                        // Deterministic worker-side failure: retrying
+                        // would reproduce it.
+                        return Err(DistError::Worker(message));
+                    }
+                    return Ok(resp);
+                }
+                Err(DistError::Io(_) | DistError::Protocol(_)) => {
+                    self.obs.counter("dist.rpc.errors").inc();
+                    link.transport = None;
+                    // Loop: `connect_link` enforces the attempt budget.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Dials the slot until connected or out of budget. On success the
+    /// worker has been handshaken and resynced: its applied history is
+    /// at least `link.newest_seq()`.
+    fn connect_link(
+        &self,
+        idx: usize,
+        link: &mut WorkerLink,
+        attempts: &mut u32,
+    ) -> DistResult<()> {
+        loop {
+            if *attempts >= self.config.connect_attempts {
+                return Err(DistError::WorkerUnavailable {
+                    slot: idx,
+                    attempts: *attempts,
+                });
+            }
+            if *attempts > 0 {
+                let exp = (*attempts - 1).min(16);
+                let delay = self
+                    .config
+                    .backoff_base
+                    .saturating_mul(1 << exp)
+                    .min(self.config.backoff_cap);
+                std::thread::sleep(delay);
+            }
+            *attempts += 1;
+
+            let Ok(mut transport) = link.connector.connect() else {
+                continue;
+            };
+            let Ok(resp) = transport.call(&Request::Hello) else {
+                continue;
+            };
+            let Response::HelloAck { last_applied } = resp else {
+                return Err(DistError::UnexpectedResponse {
+                    expected: "HelloAck",
+                    got: resp.kind(),
+                });
+            };
+            if link.ever_connected {
+                self.obs.counter("dist.reconnects").inc();
+            } else {
+                link.ever_connected = true;
+            }
+
+            if last_applied < link.newest_seq() {
+                // The worker is behind our history — it restarted with
+                // a stale (or empty) WAL. Replay what it is missing;
+                // sequence-number dedup makes over-replay harmless.
+                self.obs.counter("dist.resyncs").inc();
+                let mut replayed = 0u64;
+                let mut channel_ok = true;
+                for past in &link.history {
+                    let seq = past.seq().expect("history holds mutating requests");
+                    if seq <= last_applied {
+                        continue;
+                    }
+                    match transport.call(past) {
+                        Ok(Response::Fail { message }) => return Err(DistError::Worker(message)),
+                        Ok(_) => replayed += 1,
+                        Err(_) => {
+                            channel_ok = false;
+                            break;
+                        }
+                    }
+                }
+                self.obs.counter("dist.replayed_requests").add(replayed);
+                if !channel_ok {
+                    continue;
+                }
+            }
+            link.transport = Some(transport);
+            return Ok(());
+        }
+    }
+
+    /// Sends one mutating request and returns the worker's response.
+    /// The request joins the slot's history only once acknowledged: an
+    /// in-flight request is retried by `call_link` itself, so the
+    /// replay history must cover exactly the requests *before* it — a
+    /// worker that applied the in-flight request but lost the response
+    /// dedups the retry from its outbox either way.
+    fn send_mutating(&self, idx: usize, req: Request) -> DistResult<Response> {
+        let mut link = self.slots[idx].lock();
+        let resp = self.call_link(idx, &mut link, &req)?;
+        if let Some(seq) = req.seq() {
+            link.acked_seq = link.acked_seq.max(seq);
+        }
+        link.history.push(req);
+        Ok(resp)
+    }
+
+    fn send_expect_ack(&self, idx: usize, req: Request) -> DistResult<()> {
+        match self.send_mutating(idx, req)? {
+            Response::Ack { .. } => Ok(()),
+            other => Err(DistError::UnexpectedResponse {
+                expected: "Ack",
+                got: other.kind(),
+            }),
+        }
+    }
+
+    fn take_deferred(&mut self) -> TprResult<()> {
+        match self.deferred.take() {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing (the shard coordinator's topology, op-list flavoured)
+    // ------------------------------------------------------------------
+
+    /// The slot indices an update of (`set`, shard) must reach.
+    fn fan(&self, set: SetTag, shard: usize) -> &[usize] {
+        match set {
+            SetTag::A => &self.rows[shard],
+            SetTag::B => &self.cols[shard],
+        }
+    }
+
+    /// Projects one update onto per-slot op lists, updating the
+    /// router's placement as a side effect.
+    fn route_ops(&mut self, update: &ObjectUpdate, ops: &mut [Vec<ShardOp>]) {
+        match self.router.route(update.id, &update.new_mbr) {
+            RouteDecision::Stay(shard) => {
+                for &slot in self.fan(update.set, shard) {
+                    ops[slot].push(ShardOp::Apply(*update));
+                }
+            }
+            RouteDecision::Migrate { from, to } => {
+                for &slot in self.fan(update.set, from) {
+                    ops[slot].push(ShardOp::Remove {
+                        set: update.set,
+                        id: update.id,
+                        old_mbr: update.old_mbr,
+                        last_update: update.last_update,
+                    });
+                }
+                for &slot in self.fan(update.set, to) {
+                    ops[slot].push(ShardOp::Insert {
+                        set: update.set,
+                        id: update.id,
+                        mbr: update.new_mbr,
+                    });
+                }
+                match update.set {
+                    SetTag::A => {
+                        self.population_a[from] -= 1;
+                        self.population_a[to] += 1;
+                    }
+                    SetTag::B => {
+                        self.population_b[from] -= 1;
+                        self.population_b[to] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends an [`Request::Immediate`] op to every slot in the fan.
+    fn send_immediate(&mut self, fan: Vec<usize>, op: ShardOp, now: Time) -> TprResult<()> {
+        for idx in fan {
+            self.seq += 1;
+            let req = Request::Immediate {
+                seq: self.seq,
+                now,
+                op: op.clone(),
+            };
+            self.send_expect_ack(idx, req)?;
+        }
+        Ok(())
+    }
+}
+
+impl ContinuousJoinEngine for DistCoordinator {
+    fn name(&self) -> &'static str {
+        "Distributed"
+    }
+
+    fn run_initial_join(&mut self, now: Time) -> TprResult<()> {
+        self.take_deferred()?;
+        for idx in 0..self.slots.len() {
+            self.seq += 1;
+            self.send_expect_ack(idx, Request::Start { seq: self.seq, now })?;
+        }
+        Ok(())
+    }
+
+    fn apply_update(&mut self, update: &ObjectUpdate, now: Time) -> TprResult<()> {
+        self.apply_batch(std::slice::from_ref(update), now)
+    }
+
+    /// One tick: routes the batch onto per-worker op lists and sends
+    /// every worker — empty lists included — its [`Request::Step`], so
+    /// each remote engine sees exactly the advance/apply/gc cadence of
+    /// the in-process run. Harvested result changes queue locally until
+    /// [`take_result_changes`](ContinuousJoinEngine::take_result_changes).
+    fn apply_batch(&mut self, updates: &[ObjectUpdate], now: Time) -> TprResult<()> {
+        self.take_deferred()?;
+        let mut ops: Vec<Vec<ShardOp>> = vec![Vec::new(); self.slots.len()];
+        for u in updates {
+            self.route_ops(u, &mut ops);
+        }
+        for (idx, slot_ops) in ops.into_iter().enumerate() {
+            self.seq += 1;
+            let seq = self.seq;
+            let mut link = self.slots[idx].lock();
+            let ack_through = link.acked_seq;
+            self.obs
+                .histogram(&format!("dist.worker.{idx}.ack_lag"))
+                .record(seq - ack_through);
+            let req = Request::Step {
+                seq,
+                now,
+                ops: slot_ops,
+                ack_through,
+            };
+            let resp = self.call_link(idx, &mut link, &req)?;
+            let Response::StepAck { changes, .. } = resp else {
+                return Err(DistError::UnexpectedResponse {
+                    expected: "StepAck",
+                    got: resp.kind(),
+                }
+                .into());
+            };
+            link.acked_seq = seq;
+            link.history.push(req);
+            drop(link);
+            match changes {
+                Some(mut c) => self.pending.append(&mut c),
+                None => self.pending_none = true,
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        now: Time,
+    ) -> TprResult<()> {
+        self.take_deferred()?;
+        let shard = self.router.place(id, &mbr);
+        match set {
+            SetTag::A => self.population_a[shard] += 1,
+            SetTag::B => self.population_b[shard] += 1,
+        }
+        let fan = self.fan(set, shard).to_vec();
+        self.send_immediate(fan, ShardOp::Insert { set, id, mbr }, now)
+    }
+
+    fn remove_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        old_mbr: &MovingRect,
+        last_update: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        self.take_deferred()?;
+        let Some(shard) = self.router.remove(id) else {
+            return Err(TprError::ObjectNotFound(id));
+        };
+        match set {
+            SetTag::A => self.population_a[shard] -= 1,
+            SetTag::B => self.population_b[shard] -= 1,
+        }
+        let fan = self.fan(set, shard).to_vec();
+        self.send_immediate(
+            fan,
+            ShardOp::Remove {
+                set,
+                id,
+                old_mbr: *old_mbr,
+                last_update,
+            },
+            now,
+        )
+    }
+
+    // `advance_time` and `gc` ride inside each tick's `Step` bundle;
+    // locally they are no-ops so the cadence is dictated by
+    // `apply_batch` alone.
+
+    fn result_at(&self, t: Time) -> Vec<PairKey> {
+        let mut out = Vec::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let mut link = slot.lock();
+            match self.call_link(idx, &mut link, &Request::ResultAt { t }) {
+                Ok(Response::Pairs(mut pairs)) => out.append(&mut pairs),
+                // The trait's snapshot read is infallible: an
+                // unreachable worker degrades the snapshot (flagged by
+                // the counter) instead of panicking.
+                _ => self.obs.counter("dist.rpc.dropped_reads").inc(),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn pool(&self) -> &BufferPool {
+        // Worker I/O happens in the worker processes; this local pool
+        // is idle and reports zeros.
+        &self.pool
+    }
+
+    fn counters(&self) -> JoinCounters {
+        let mut total = JoinCounters::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let mut link = slot.lock();
+            match self.call_link(idx, &mut link, &Request::Counters) {
+                Ok(Response::CountersAck(c)) => total = total.merged(c),
+                _ => self.obs.counter("dist.rpc.dropped_reads").inc(),
+            }
+        }
+        total
+    }
+
+    fn enable_delta_tracking(&mut self) {
+        self.deltas_enabled = true;
+        for idx in 0..self.slots.len() {
+            self.seq += 1;
+            let req = Request::Track { seq: self.seq };
+            if let Err(e) = self.send_expect_ack(idx, req) {
+                // The trait method is infallible; park the error for
+                // the next fallible call (in practice the
+                // `run_initial_join` that immediately follows).
+                self.deferred = Some(e);
+                return;
+            }
+        }
+    }
+
+    fn take_result_changes(&mut self) -> Option<Vec<PairKey>> {
+        if !self.deltas_enabled {
+            return None;
+        }
+        if self.pending_none {
+            self.pending.clear();
+            self.pending_none = false;
+            return None;
+        }
+        let mut out = std::mem::take(&mut self.pending);
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    fn pair_status_at(&self, pair: PairKey, t: Time) -> PairStatus {
+        let (Some(sa), Some(sb)) = (self.router.shard_of(pair.0), self.router.shard_of(pair.1))
+        else {
+            return PairStatus::default();
+        };
+        let Some(&idx) = self.slot_of.get(&(sa, sb)) else {
+            // Pruned by the join plan: the policy guarantees the pair
+            // can never be active at an observable time.
+            return PairStatus::default();
+        };
+        let mut link = self.slots[idx].lock();
+        match self.call_link(idx, &mut link, &Request::PairStatusAt { pair, t }) {
+            Ok(Response::Status(status)) => status,
+            _ => {
+                self.obs.counter("dist.rpc.dropped_reads").inc();
+                PairStatus::default()
+            }
+        }
+    }
+
+    fn metrics_registry(&self) -> MetricsRegistry {
+        self.obs.clone()
+    }
+
+    fn publish_metrics(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        publish_engine_totals(&self.obs, self.counters(), None);
+        self.obs
+            .counter("dist.migrations")
+            .store(self.router.migrations());
+        self.obs.gauge("dist.workers").set(self.slots.len() as i64);
+        let mut history_total = 0usize;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let link = slot.lock();
+            history_total += link.history.len();
+            self.obs
+                .gauge(&format!("dist.worker.{idx}.acked_seq"))
+                .set(link.acked_seq as i64);
+        }
+        self.obs
+            .gauge("dist.history_requests")
+            .set(history_total as i64);
+        for (shard, (&a, &b)) in self.population_a.iter().zip(&self.population_b).enumerate() {
+            self.obs
+                .gauge(&format!("dist.population.a.{shard}"))
+                .set(a as i64);
+            self.obs
+                .gauge(&format!("dist.population.b.{shard}"))
+                .set(b as i64);
+        }
+    }
+}

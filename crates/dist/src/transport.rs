@@ -1,0 +1,36 @@
+//! The pluggable transport seam between coordinator and workers.
+
+use crate::error::DistResult;
+use crate::protocol::{Request, Response};
+
+/// One established coordinator→worker channel, carrying one
+/// request/response exchange at a time (the protocol is strictly
+/// synchronous — the coordinator is each worker's only client).
+///
+/// A transport does not retry, reconnect or resync; it reports faults
+/// and the coordinator decides. [`Err`] from [`call`](Self::call) means
+/// the channel is dead and must be discarded.
+pub trait Transport: Send {
+    /// Sends `req` and waits for the worker's response.
+    ///
+    /// # Errors
+    /// [`DistError::Io`](crate::DistError::Io) when the channel broke
+    /// mid-exchange, [`DistError::Protocol`](crate::DistError::Protocol)
+    /// when the peer's bytes failed validation.
+    fn call(&mut self, req: &Request) -> DistResult<Response>;
+}
+
+/// Establishes [`Transport`]s to one worker. The coordinator keeps a
+/// connector per worker slot and redials it — with bounded backoff —
+/// whenever the current transport dies.
+pub trait Connector: Send + Sync {
+    /// Dials the worker.
+    ///
+    /// # Errors
+    /// [`DistError`](crate::DistError) when the worker is not (yet)
+    /// reachable; the coordinator will retry within its backoff budget.
+    fn connect(&self) -> DistResult<Box<dyn Transport>>;
+
+    /// A human-readable endpoint description for diagnostics.
+    fn describe(&self) -> String;
+}

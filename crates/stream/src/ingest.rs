@@ -153,6 +153,36 @@ impl IngestQueue {
         self.applied_stamp.insert(id, at);
     }
 
+    /// Forgets a retired object's apply-tick stamp. This is what keeps
+    /// the translation map bounded by the *live* population instead of
+    /// every object that ever existed: entries persist across drains by
+    /// design (the next update may come `T_M` later), so deletion is
+    /// the only event that may prune them.
+    pub fn note_removed(&mut self, id: ObjectId) {
+        self.applied_stamp.remove(&id);
+    }
+
+    /// The tick the object's most recent accepted update applies (or
+    /// applied) at — `None` for objects still at their genesis
+    /// insertion (or already retired).
+    #[must_use]
+    pub fn applied_tick(&self, id: ObjectId) -> Option<Time> {
+        self.applied_stamp.get(&id).copied()
+    }
+
+    /// Whether the object has a queued-but-unapplied update.
+    #[must_use]
+    pub fn has_pending(&self, id: ObjectId) -> bool {
+        self.latest_pending.contains_key(&id)
+    }
+
+    /// Size of the per-object apply-tick translation map (the
+    /// `stream.ingest.translation_entries` gauge).
+    #[must_use]
+    pub fn translation_len(&self) -> usize {
+        self.applied_stamp.len()
+    }
+
     /// The tick a submission for `at` actually enqueues at: under
     /// [`ShedPolicy::CoalesceHarder`] with the queue in the pressure
     /// zone (pending ≥ low watermark), ticks are quantized **up** to

@@ -43,7 +43,7 @@ mod ingest;
 mod service;
 mod shed;
 mod subscribe;
-mod wire;
+pub mod wire;
 
 pub use config::{StreamConfig, StreamConfigBuilder};
 pub use error::{StreamError, StreamResult};
@@ -52,3 +52,4 @@ pub use ingest::{IngestOutcome, IngestQueue, QueuedUpdate};
 pub use service::{EngineFactory, RecoveryReport, StreamService};
 pub use shed::ShedPolicy;
 pub use subscribe::{SubscriberId, SubscriptionFilter};
+pub use wire::{WireError, PROTOCOL_MAGIC, PROTOCOL_VERSION};

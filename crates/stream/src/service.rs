@@ -18,7 +18,7 @@ use cij_geom::{MovingRect, Time};
 use cij_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use cij_storage::Wal;
 use cij_tpr::{ObjectId, TprResult};
-use cij_workload::{MovingObject, ObjectUpdate};
+use cij_workload::{MovingObject, ObjectUpdate, SetTag};
 
 use crate::config::StreamConfig;
 use crate::delta::DeltaExtractor;
@@ -66,7 +66,14 @@ pub struct StreamService {
     /// Currently registered trajectory per object — the state the
     /// window filters evaluate against.
     tracks: HashMap<ObjectId, MovingRect>,
+    /// Which side each live object belongs to — what
+    /// [`retire_object`](Self::retire_object) needs to address the
+    /// engine's `remove_object`.
+    sets: HashMap<ObjectId, SetTag>,
     wal: Option<Wal>,
+    /// The genesis tick: the apply tick of every object that has never
+    /// been updated since construction.
+    start: Time,
     now: Time,
     /// Whether a `DegradeToResync` degraded window is open: per-delta
     /// delivery is suppressed (with exact gap accounting) until the
@@ -99,6 +106,11 @@ struct ServiceMetrics {
     degrade_engaged: Counter,
     /// Subscribers force-resynced at degraded-window close.
     degrade_resyncs: Counter,
+    /// Live size of the ingest queue's per-object apply-tick
+    /// translation map (pruned by [`StreamService::retire_object`]).
+    translation_entries: Gauge,
+    /// Objects retired via [`StreamService::retire_object`].
+    objects_retired: Counter,
     /// Wall-clock nanoseconds from acceptance to application, one
     /// observation per applied update.
     ingest_latency: Histogram,
@@ -126,6 +138,8 @@ impl ServiceMetrics {
             shed_coalesced: registry.counter("stream.shed.coalesced"),
             degrade_engaged: registry.counter("stream.degrade.engaged"),
             degrade_resyncs: registry.counter("stream.degrade.resyncs"),
+            translation_entries: registry.gauge("stream.ingest.translation_entries"),
+            objects_retired: registry.counter("stream.objects.retired"),
             ingest_latency: registry.histogram("stream.ingest.latency_ns"),
             freshness_lag: registry.histogram("stream.freshness.lag_milliticks"),
             queue_depth_hist: registry.histogram("stream.ingest.queue_depth"),
@@ -193,8 +207,14 @@ impl StreamService {
         };
 
         let mut tracks = HashMap::with_capacity(set_a.len() + set_b.len());
-        for o in set_a.iter().chain(set_b) {
+        let mut sets = HashMap::with_capacity(set_a.len() + set_b.len());
+        for o in set_a {
             tracks.insert(o.id, o.mbr);
+            sets.insert(o.id, SetTag::A);
+        }
+        for o in set_b {
+            tracks.insert(o.id, o.mbr);
+            sets.insert(o.id, SetTag::B);
         }
 
         Ok(Self {
@@ -210,7 +230,9 @@ impl StreamService {
             engine,
             extractor: DeltaExtractor::new(),
             tracks,
+            sets,
             wal,
+            start,
             now: start,
             degraded: false,
             obs,
@@ -274,8 +296,14 @@ impl StreamService {
         wal.stats().register_in(&obs.registry, "stream.wal");
 
         let mut tracks = HashMap::with_capacity(set_a.len() + set_b.len());
-        for o in set_a.iter().chain(&set_b) {
+        let mut sets = HashMap::with_capacity(set_a.len() + set_b.len());
+        for o in &set_a {
             tracks.insert(o.id, o.mbr);
+            sets.insert(o.id, SetTag::A);
+        }
+        for o in &set_b {
+            tracks.insert(o.id, o.mbr);
+            sets.insert(o.id, SetTag::B);
         }
 
         let mut extractor = DeltaExtractor::new();
@@ -297,6 +325,7 @@ impl StreamService {
                             engine.as_mut(),
                             &mut extractor,
                             &mut tracks,
+                            &mut sets,
                             at,
                             &updates,
                         )?;
@@ -309,6 +338,27 @@ impl StreamService {
                     WalRecord::Subscribe { id, filter } => registry.insert_with_id(id, filter),
                     WalRecord::Unsubscribe { id } => {
                         registry.unsubscribe(id);
+                    }
+                    WalRecord::Retire { at, set, id } => {
+                        if !tracks.contains_key(&id) {
+                            return Err(StreamError::CorruptJournal(format!(
+                                "retire record for unknown object {id:?}"
+                            )));
+                        }
+                        // Same `last_update` derivation as the live
+                        // path: the object's last applied tick, or the
+                        // genesis tick if it was never updated.
+                        let last_update = applied_stamps.get(&id).copied().unwrap_or(start);
+                        Self::apply_retire(
+                            engine.as_mut(),
+                            &mut tracks,
+                            &mut sets,
+                            set,
+                            id,
+                            last_update,
+                            at,
+                        )?;
+                        applied_stamps.remove(&id);
                     }
                 }
             }
@@ -345,6 +395,7 @@ impl StreamService {
         for (id, at) in applied_stamps {
             queue.note_applied(id, at);
         }
+        obs.translation_entries.set(queue.translation_len() as i64);
         let service = Self {
             queue,
             registry,
@@ -352,7 +403,9 @@ impl StreamService {
             engine,
             extractor,
             tracks,
+            sets,
             wal: Some(wal),
+            start,
             now,
             degraded: false,
             obs,
@@ -360,9 +413,11 @@ impl StreamService {
         Ok((service, report))
     }
 
-    /// Decodes one journal payload, folding the storage layer's
-    /// `Corrupt` errors into [`StreamError::CorruptJournal`] so callers
-    /// see one typed "bad journal" condition.
+    /// Decodes one journal payload, folding the wire layer's typed
+    /// errors (bad magic, version mismatch, corrupt body) into
+    /// [`StreamError::CorruptJournal`] so callers see one typed "bad
+    /// journal" condition. The wire error's own message — which names
+    /// the exact mismatch — is preserved inside it.
     fn decode_journal(payload: &[u8]) -> StreamResult<WalRecord> {
         WalRecord::decode(payload)
             .map_err(|e| StreamError::CorruptJournal(format!("undecodable record: {e}")))
@@ -384,6 +439,9 @@ impl StreamService {
             .shed_dropped_stale
             .store(self.queue.shed_dropped_stale());
         self.obs.shed_coalesced.store(self.queue.shed_coalesced());
+        self.obs
+            .translation_entries
+            .set(self.queue.translation_len() as i64);
         self.obs
             .record_backpressure_flip(was_accepting, self.queue.is_accepting());
         if was_accepting
@@ -431,6 +489,7 @@ impl StreamService {
                 self.engine.as_mut(),
                 &mut self.extractor,
                 &mut self.tracks,
+                &mut self.sets,
                 at,
                 &updates,
             )?;
@@ -445,6 +504,7 @@ impl StreamService {
                 self.engine.as_mut(),
                 &mut self.extractor,
                 &mut self.tracks,
+                &mut self.sets,
                 t,
                 &[],
             )?;
@@ -504,6 +564,7 @@ impl StreamService {
         engine: &mut dyn ContinuousJoinEngine,
         extractor: &mut DeltaExtractor,
         tracks: &mut HashMap<ObjectId, MovingRect>,
+        sets: &mut HashMap<ObjectId, SetTag>,
         at: Time,
         updates: &[ObjectUpdate],
     ) -> TprResult<Vec<crate::event::ResultDelta>> {
@@ -515,9 +576,29 @@ impl StreamService {
         engine.apply_batch(updates, at)?;
         for u in updates {
             tracks.insert(u.id, u.new_mbr);
+            sets.insert(u.id, u.set);
         }
         engine.gc(at);
         Ok(extractor.extract(engine, at))
+    }
+
+    /// One retirement through the engine and the service's object maps.
+    /// Shared verbatim between [`retire_object`](Self::retire_object)
+    /// and WAL replay — the same property `apply_batch` keeps.
+    fn apply_retire(
+        engine: &mut dyn ContinuousJoinEngine,
+        tracks: &mut HashMap<ObjectId, MovingRect>,
+        sets: &mut HashMap<ObjectId, SetTag>,
+        set: SetTag,
+        id: ObjectId,
+        last_update: Time,
+        at: Time,
+    ) -> TprResult<()> {
+        let mbr = tracks[&id];
+        engine.remove_object(set, id, &mbr, last_update, at)?;
+        tracks.remove(&id);
+        sets.remove(&id);
+        Ok(())
     }
 
     fn emit(
@@ -544,6 +625,64 @@ impl StreamService {
             wal.sync()?;
         }
         Ok(())
+    }
+
+    /// Retires an object: removes it from the engine's indexes (its
+    /// pairs surface as `PairRemoved` deltas on the next
+    /// [`advance_to`](Self::advance_to)), journals the retirement, and
+    /// prunes the object's track, set tag, and ingest-queue apply-tick
+    /// translation entry — the pruning that keeps the translation map
+    /// bounded by the live population. Returns `false` for objects the
+    /// service does not hold.
+    ///
+    /// Retirement is refused while the object has a queued-but-unapplied
+    /// update: its translation stamp then points at a future batch whose
+    /// index entry does not exist yet, so the engine-side delete would
+    /// miss. Drain the queue past the pending tick first.
+    ///
+    /// # Errors
+    /// [`StreamError::InvalidConfig`] when an update for the object is
+    /// still pending; [`StreamError::Engine`] when the engine cannot
+    /// remove the object (e.g. an engine without routed single-object
+    /// deletes); [`StreamError::Storage`] when journaling fails.
+    pub fn retire_object(&mut self, id: ObjectId) -> StreamResult<bool> {
+        if !self.tracks.contains_key(&id) {
+            return Ok(false);
+        }
+        if self.queue.has_pending(id) {
+            return Err(StreamError::InvalidConfig(format!(
+                "cannot retire {id:?}: an update for it is still queued"
+            )));
+        }
+        let set = self.sets[&id];
+        let last_update = self.queue.applied_tick(id).unwrap_or(self.start);
+        self.journal(&WalRecord::Retire {
+            at: self.now,
+            set,
+            id,
+        })?;
+        Self::apply_retire(
+            self.engine.as_mut(),
+            &mut self.tracks,
+            &mut self.sets,
+            set,
+            id,
+            last_update,
+            self.now,
+        )?;
+        self.queue.note_removed(id);
+        self.obs
+            .translation_entries
+            .set(self.queue.translation_len() as i64);
+        self.obs.objects_retired.inc();
+        Ok(true)
+    }
+
+    /// Size of the ingest queue's per-object apply-tick translation map
+    /// (mirrored by the `stream.ingest.translation_entries` gauge).
+    #[must_use]
+    pub fn translation_entries(&self) -> usize {
+        self.queue.translation_len()
     }
 
     /// Registers a subscriber. Its outbox starts with a catch-up

@@ -10,7 +10,7 @@
 //! intact. [`ShedPolicy::DropStalePerObject`] exploits exactly that:
 //! superseding a pending update chains its `old_mbr`/`last_update` into
 //! the replacement, so the merged update still deletes what the index
-//! actually holds (see DESIGN.md §11 for the full soundness argument).
+//! actually holds (see DESIGN.md §8 for the full soundness argument).
 //!
 //! The other two policies trade different currencies:
 //! [`CoalesceHarder`](ShedPolicy::CoalesceHarder) spends *freshness*

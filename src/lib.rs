@@ -19,6 +19,7 @@
 //! | [`workload`] | `cij-workload` | the paper's synthetic workloads |
 //! | [`stream`] | `cij-stream` | update ingestion, result-delta subscriptions, WAL recovery |
 //! | [`shard`] | `cij-shard` | partitioned multi-engine coordinator with cross-shard join routing |
+//! | [`dist`] | `cij-dist` | coordinator/worker distributed deployment with pluggable transport |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@
 
 pub use cij_bx as bx;
 pub use cij_core as core;
+pub use cij_dist as dist;
 pub use cij_geom as geom;
 pub use cij_join as join;
 pub use cij_shard as shard;
