@@ -83,13 +83,26 @@ fn big_pool() -> BufferPool {
 struct MicroResult {
     dataset_size: usize,
     iterations: u32,
+    rounds: u32,
     pairs: usize,
     uncached_ns: f64,
     cached_ns: f64,
+    /// Uncached warm join over a tree written in the legacy v1 (AoS)
+    /// page encoding — every read pays the decode fallback. The
+    /// `legacy_ns / uncached_ns` ratio is the zero-copy page format's
+    /// isolated contribution.
+    legacy_ns: f64,
     speedup: f64,
+    zero_copy_speedup: f64,
     /// `None` when the cache-on trees saw no reads (degenerate run) —
     /// serialized as JSON `null`, never a fabricated 0.0.
     cache_hit_rate: Option<f64>,
+    /// Cache-off page reads served straight from the v2 SoA view — no
+    /// intermediate `Node`. The pair of counters proves which decode
+    /// path the uncached measurement actually took.
+    zero_copy_reads: u64,
+    /// Cache-off page reads that fell back to the legacy v1 decoder.
+    decode_fallbacks: u64,
 }
 
 /// Repeated warm `improved_join` with the cache off vs on.
@@ -99,9 +112,16 @@ fn micro(smoke: bool) -> TprResult<MicroResult> {
         ..Params::default()
     };
     let iterations: u32 = if smoke { 5 } else { 40 };
+    // Best-of-N rounds: each round times `iterations` joins; the fastest
+    // round is reported. The box this runs on shares cores, so a single
+    // timed window can absorb a 20%+ co-tenant spike — the minimum over
+    // rounds is the standard noise-robust estimator for a deterministic
+    // workload.
+    let rounds: u32 = if smoke { 2 } else { 5 };
     let base = tree_config(&params);
 
-    let run = |config| -> TprResult<(f64, usize, Option<f64>)> {
+    type RunStats = (f64, usize, Option<f64>, cij_storage::CacheSnapshot);
+    let run = |config| -> TprResult<RunStats> {
         let pool = big_pool();
         let (ta, tb, _, _) = build_pair_trees_with(&params, &pool, config)?;
         let mut scratch = JoinScratch::new();
@@ -109,31 +129,50 @@ fn micro(smoke: bool) -> TprResult<MicroResult> {
         // Warm-up: faults every page into the pool (and cache, if any).
         improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)?;
         let pairs = out.len();
-        let t0 = Instant::now();
-        for _ in 0..iterations {
-            improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)?;
+        let mut per_iter_ns = f64::INFINITY;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..iterations {
+                improved_join_into(&ta, &tb, 0.0, 60.0, techniques::ALL, &mut scratch, &mut out)?;
+            }
+            per_iter_ns = per_iter_ns.min(t0.elapsed().as_nanos() as f64 / f64::from(iterations));
         }
-        let per_iter_ns = t0.elapsed().as_nanos() as f64 / f64::from(iterations);
         let hit_rate = ta
             .node_cache_stats()
             .zip(tb.node_cache_stats())
             .and_then(|(a, b)| a.merged(&b).hit_rate());
-        Ok((per_iter_ns, pairs, hit_rate))
+        let format = ta.page_format_stats().merged(&tb.page_format_stats());
+        Ok((per_iter_ns, pairs, hit_rate, format))
     };
 
-    let (uncached_ns, pairs, none) = run(base)?;
+    let (uncached_ns, pairs, none, format) = run(base)?;
     assert!(none.is_none(), "cache-off run must report no cache stats");
-    let (cached_ns, cached_pairs, hit_rate) = run(base.with_node_cache(NODE_CACHE))?;
+    assert!(
+        format.zero_copy_reads > 0,
+        "cache-off micro must exercise the zero-copy page path"
+    );
+    let (legacy_ns, legacy_pairs, _, legacy_format) = run(base.with_legacy_pages(true))?;
+    assert_eq!(pairs, legacy_pairs, "page encoding changed the join answer");
+    assert!(
+        legacy_format.zero_copy_reads == 0 && legacy_format.decode_fallbacks > 0,
+        "legacy run must decode every page through the fallback"
+    );
+    let (cached_ns, cached_pairs, hit_rate, _) = run(base.with_node_cache(NODE_CACHE))?;
     assert_eq!(pairs, cached_pairs, "cache changed the join answer");
 
     Ok(MicroResult {
         dataset_size: params.dataset_size,
         iterations,
+        rounds,
         pairs,
         uncached_ns,
         cached_ns,
+        legacy_ns,
         speedup: uncached_ns / cached_ns,
+        zero_copy_speedup: legacy_ns / uncached_ns,
         cache_hit_rate: hit_rate,
+        zero_copy_reads: format.zero_copy_reads,
+        decode_fallbacks: format.decode_fallbacks,
     })
 }
 
@@ -276,6 +315,7 @@ fn main() {
     let _ = writeln!(json, "  \"micro\": {{");
     let _ = writeln!(json, "    \"dataset_size\": {},", micro.dataset_size);
     let _ = writeln!(json, "    \"iterations\": {},", micro.iterations);
+    let _ = writeln!(json, "    \"rounds\": {},", micro.rounds);
     let _ = writeln!(json, "    \"pairs\": {},", micro.pairs);
     let _ = writeln!(
         json,
@@ -287,12 +327,24 @@ fn main() {
         "    \"cached_ns_per_join\": {},",
         json_num(micro.cached_ns)
     );
+    let _ = writeln!(
+        json,
+        "    \"legacy_uncached_ns_per_join\": {},",
+        json_num(micro.legacy_ns)
+    );
     let _ = writeln!(json, "    \"speedup\": {},", json_num(micro.speedup));
     let _ = writeln!(
         json,
-        "    \"cache_hit_rate\": {}",
+        "    \"zero_copy_speedup\": {},",
+        json_num(micro.zero_copy_speedup)
+    );
+    let _ = writeln!(
+        json,
+        "    \"cache_hit_rate\": {},",
         json_opt(micro.cache_hit_rate)
     );
+    let _ = writeln!(json, "    \"zero_copy_reads\": {},", micro.zero_copy_reads);
+    let _ = writeln!(json, "    \"decode_fallbacks\": {}", micro.decode_fallbacks);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"engines\": [");
     for (i, e) in engines.iter().enumerate() {
@@ -316,13 +368,19 @@ fn main() {
     let prom_out = format!("{}.prom", opts.out.trim_end_matches(".json"));
     std::fs::write(&prom_out, &exposition).expect("write prometheus exposition");
     println!(
-        "join micro: uncached {:.0} ns, cached {:.0} ns, speedup {:.2}x (hit rate {})",
+        "join micro: legacy-pages {:.0} ns, zero-copy {:.0} ns ({:.2}x), cached {:.0} ns (residual {:.2}x, hit rate {})",
+        micro.legacy_ns,
         micro.uncached_ns,
+        micro.zero_copy_speedup,
         micro.cached_ns,
         micro.speedup,
         micro
             .cache_hit_rate
             .map_or_else(|| "n/a".to_string(), |h| format!("{:.1}%", h * 100.0)),
+    );
+    println!(
+        "join micro cache-off page reads: {} zero-copy, {} legacy-decode fallbacks",
+        micro.zero_copy_reads, micro.decode_fallbacks,
     );
     for e in &engines {
         println!(

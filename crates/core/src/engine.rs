@@ -278,6 +278,15 @@ pub trait ContinuousJoinEngine {
         None
     }
 
+    /// Aggregate page-format counters (zero-copy SoA reads vs legacy
+    /// decode fallbacks) across the engine's TPR-trees. Unlike
+    /// [`node_cache_snapshot`](Self::node_cache_snapshot) these are
+    /// tracked whether or not a node cache runs; `None` for engines whose
+    /// indexes are not TPR-trees (Bˣ).
+    fn page_format_snapshot(&self) -> Option<CacheSnapshot> {
+        None
+    }
+
     /// The engine's metrics registry (a cheap handle). Disabled — every
     /// handle a no-op — unless the engine was built with
     /// [`EngineConfig::metrics`] set; the default implementation is for
@@ -302,6 +311,7 @@ pub fn publish_engine_totals(
     registry: &MetricsRegistry,
     counters: JoinCounters,
     cache: Option<CacheSnapshot>,
+    page_format: Option<CacheSnapshot>,
 ) {
     if !registry.is_enabled() {
         return;
@@ -331,6 +341,14 @@ pub fn publish_engine_totals(
         registry
             .counter("engine.node_cache.stale_rejections")
             .store(c.stale_rejections);
+    }
+    if let Some(p) = page_format {
+        registry
+            .counter("storage.page.zero_copy_reads")
+            .store(p.zero_copy_reads);
+        registry
+            .counter("storage.page.decode_fallbacks")
+            .store(p.decode_fallbacks);
     }
 }
 
@@ -516,12 +534,25 @@ impl ContinuousJoinEngine for NaiveEngine {
         )
     }
 
+    fn page_format_snapshot(&self) -> Option<CacheSnapshot> {
+        Some(
+            self.tree_a
+                .page_format_stats()
+                .merged(&self.tree_b.page_format_stats()),
+        )
+    }
+
     fn metrics_registry(&self) -> MetricsRegistry {
         self.obs.clone()
     }
 
     fn publish_metrics(&self) {
-        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+        publish_engine_totals(
+            &self.obs,
+            self.counters,
+            self.node_cache_snapshot(),
+            self.page_format_snapshot(),
+        );
     }
 }
 
@@ -666,12 +697,25 @@ impl ContinuousJoinEngine for TcEngine {
         )
     }
 
+    fn page_format_snapshot(&self) -> Option<CacheSnapshot> {
+        Some(
+            self.tree_a
+                .page_format_stats()
+                .merged(&self.tree_b.page_format_stats()),
+        )
+    }
+
     fn metrics_registry(&self) -> MetricsRegistry {
         self.obs.clone()
     }
 
     fn publish_metrics(&self) {
-        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+        publish_engine_totals(
+            &self.obs,
+            self.counters,
+            self.node_cache_snapshot(),
+            self.page_format_snapshot(),
+        );
     }
 }
 
@@ -800,12 +844,25 @@ impl ContinuousJoinEngine for EtpEngine {
         )
     }
 
+    fn page_format_snapshot(&self) -> Option<CacheSnapshot> {
+        Some(
+            self.tree_a
+                .page_format_stats()
+                .merged(&self.tree_b.page_format_stats()),
+        )
+    }
+
     fn metrics_registry(&self) -> MetricsRegistry {
         self.obs.clone()
     }
 
     fn publish_metrics(&self) {
-        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+        publish_engine_totals(
+            &self.obs,
+            self.counters,
+            self.node_cache_snapshot(),
+            self.page_format_snapshot(),
+        );
         if self.obs.is_enabled() {
             self.obs.counter("engine.etp.reruns").store(self.reruns);
         }
@@ -1008,12 +1065,25 @@ impl ContinuousJoinEngine for MtbEngine {
         merge_cache_stats(self.mtb_a.node_cache_stats(), self.mtb_b.node_cache_stats())
     }
 
+    fn page_format_snapshot(&self) -> Option<CacheSnapshot> {
+        Some(
+            self.mtb_a
+                .page_format_stats()
+                .merged(&self.mtb_b.page_format_stats()),
+        )
+    }
+
     fn metrics_registry(&self) -> MetricsRegistry {
         self.obs.clone()
     }
 
     fn publish_metrics(&self) {
-        publish_engine_totals(&self.obs, self.counters, self.node_cache_snapshot());
+        publish_engine_totals(
+            &self.obs,
+            self.counters,
+            self.node_cache_snapshot(),
+            self.page_format_snapshot(),
+        );
     }
 }
 
@@ -1193,7 +1263,7 @@ impl ContinuousJoinEngine for BxEngine {
     }
 
     fn publish_metrics(&self) {
-        publish_engine_totals(&self.obs, self.counters, None);
+        publish_engine_totals(&self.obs, self.counters, None, None);
     }
 }
 

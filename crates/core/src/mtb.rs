@@ -130,6 +130,18 @@ impl MtbTree {
             .reduce(|acc, s| acc.merged(&s))
     }
 
+    /// Page-format counters (zero-copy SoA reads / legacy decode
+    /// fallbacks) summed over every live bucket tree; tracked regardless
+    /// of cache configuration.
+    #[must_use]
+    pub fn page_format_stats(&self) -> cij_storage::CacheSnapshot {
+        self.buckets
+            .values()
+            .map(|tree| tree.page_format_stats())
+            .reduce(|acc, s| acc.merged(&s))
+            .unwrap_or_default()
+    }
+
     /// Inserts `oid` whose last update happened at `updated_at`
     /// (normally `== now`).
     pub fn insert(

@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use cij_geom::{Time, TimeInterval};
-use cij_tpr::{Node, TprResult, TprTree};
+use cij_tpr::{EntryLanes, Node, TprResult, TprTree};
 
 use crate::counters::JoinCounters;
 use crate::pair::JoinPair;
@@ -425,6 +425,40 @@ fn join_aligned(
         }
         return Ok(());
     }
+
+    // Leaf zero-copy fast path: when the children are leaves and neither
+    // tree runs a decoded-node cache (which must observe every read for
+    // its hit/miss accounting to stay differential-identical), read each
+    // leaf's entries straight into SoA lanes — one logical read per
+    // child, exactly like `read_node_arc`, but no `Node` materialization
+    // and no per-entry `Entry` decode. The leaf-pair join then runs over
+    // the lanes with op-for-op identical math, so pairs, counters, and
+    // I/O match the `Arc<Node>` path bit-for-bit (pinned by the
+    // `cache_differential` suite). Spilling (`budget == 0`) hands out
+    // `Arc<Node>` tasks, so it keeps the general path below.
+    if na.level == 1 && budget > 0 && !tree_a.has_node_cache() && !tree_b.has_node_cache() {
+        let mut leaf = scratch.take_frame(depth + 1);
+        let mut result = Ok(());
+        for &(i, j, iv) in &frame.cands {
+            let pa = na.entries[frame.sa[i as usize] as usize].child.page();
+            let pb = nb.entries[frame.sb[j as usize] as usize].child.page();
+            result = tree_a
+                .read_node_lanes(pa, &mut leaf.lanes_a)
+                .and_then(|()| tree_b.read_node_lanes(pb, &mut leaf.lanes_b));
+            if result.is_err() {
+                break;
+            }
+            let (ws, we) = if tech.intersection_check {
+                (iv.start, iv.end)
+            } else {
+                (t_s, t_e)
+            };
+            join_leaf_lanes(ws, we, tech, out, counters, &mut leaf);
+        }
+        scratch.put_frame(depth + 1, leaf);
+        return result;
+    }
+
     for &(i, j, iv) in &frame.cands {
         let ca = tree_a.read_node_arc(na.entries[frame.sa[i as usize] as usize].child.page())?;
         let cb = tree_b.read_node_arc(nb.entries[frame.sb[j as usize] as usize].child.page())?;
@@ -456,4 +490,140 @@ fn join_aligned(
         }
     }
     Ok(())
+}
+
+/// One leaf-pair visit over the zero-copy lanes in `f.lanes_a` /
+/// `f.lanes_b`: the [`join_nodes`] + [`join_aligned`] body specialized to
+/// two leaves, with every counter increment and every floating-point
+/// operation in the same order as the `Arc<Node>` path — the two must
+/// stay bit-identical (cache differential suite).
+fn join_leaf_lanes(
+    t_s: Time,
+    t_e: Time,
+    tech: Techniques,
+    out: &mut Vec<JoinPair>,
+    counters: &mut JoinCounters,
+    f: &mut Frame,
+) {
+    counters.node_pairs += 1;
+    let (Some(a_mbr), Some(b_mbr)) = (f.lanes_a.bounding_mbr(), f.lanes_b.bounding_mbr()) else {
+        return;
+    };
+
+    f.sa.clear();
+    f.sb.clear();
+    let win = if tech.intersection_check {
+        let Some(win) = a_mbr.intersect_interval(&b_mbr, t_s, t_e) else {
+            counters.ic_pruned += (f.lanes_a.len() + f.lanes_b.len()) as u64;
+            return;
+        };
+        for i in 0..f.lanes_a.len() {
+            if f.lanes_a
+                .mbr(i)
+                .intersect_interval(&b_mbr, win.start, win.end)
+                .is_some()
+            {
+                f.sa.push(i as u32);
+            }
+        }
+        for j in 0..f.lanes_b.len() {
+            if f.lanes_b
+                .mbr(j)
+                .intersect_interval(&a_mbr, win.start, win.end)
+                .is_some()
+            {
+                f.sb.push(j as u32);
+            }
+        }
+        counters.ic_pruned += (f.lanes_a.len() - f.sa.len() + f.lanes_b.len() - f.sb.len()) as u64;
+        win
+    } else {
+        f.sa.extend(0..f.lanes_a.len() as u32);
+        f.sb.extend(0..f.lanes_b.len() as u32);
+        TimeInterval::new_unchecked(t_s, t_e)
+    };
+    if f.sa.is_empty() || f.sb.is_empty() {
+        return;
+    }
+
+    if tech.plane_sweep {
+        let dim = if tech.dim_selection {
+            let mass = |lanes: &EntryLanes, sel: &[u32], d: usize| -> f64 {
+                sel.iter()
+                    .map(|&i| lanes.mbr(i as usize).speed_sum(d))
+                    .sum::<f64>()
+            };
+            // Summation order matches `join_aligned`: side `a` first.
+            let m0 = mass(&f.lanes_a, &f.sa, 0) + mass(&f.lanes_b, &f.sb, 0);
+            let m1 = mass(&f.lanes_a, &f.sa, 1) + mass(&f.lanes_b, &f.sb, 1);
+            if m0 <= m1 {
+                0
+            } else {
+                1
+            }
+        } else {
+            0
+        };
+        if tech.intersection_check {
+            f.sweep_a.clear();
+            for (pos, &ei) in f.sa.iter().enumerate() {
+                f.sweep_a.push_from_lanes(
+                    &f.lanes_a,
+                    ei as usize,
+                    pos as u32,
+                    dim,
+                    win.start,
+                    win.end,
+                );
+            }
+            f.sweep_b.clear();
+            for (pos, &ej) in f.sb.iter().enumerate() {
+                f.sweep_b.push_from_lanes(
+                    &f.lanes_b,
+                    ej as usize,
+                    pos as u32,
+                    dim,
+                    win.start,
+                    win.end,
+                );
+            }
+        } else {
+            // Identity selection: refill whole lanes in bulk, no
+            // per-entry gather at all.
+            f.sweep_a
+                .fill_all_from_lanes(&f.lanes_a, dim, win.start, win.end);
+            f.sweep_b
+                .fill_all_from_lanes(&f.lanes_b, dim, win.start, win.end);
+        }
+        ps_intersection_soa(
+            &mut f.sweep_a,
+            &mut f.sweep_b,
+            win.start,
+            win.end,
+            counters,
+            &mut f.cands,
+        );
+    } else {
+        f.cands.clear();
+        for (i, &ea) in f.sa.iter().enumerate() {
+            let ma = f.lanes_a.mbr(ea as usize);
+            for (j, &eb) in f.sb.iter().enumerate() {
+                counters.entry_comparisons += 1;
+                if let Some(iv) =
+                    ma.intersect_interval(&f.lanes_b.mbr(eb as usize), win.start, win.end)
+                {
+                    f.cands.push((i as u32, j as u32, iv));
+                }
+            }
+        }
+    }
+
+    for &(i, j, iv) in &f.cands {
+        counters.pairs_emitted += 1;
+        out.push(JoinPair::new(
+            f.lanes_a.object(f.sa[i as usize] as usize),
+            f.lanes_b.object(f.sb[j as usize] as usize),
+            iv,
+        ));
+    }
 }

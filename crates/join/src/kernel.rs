@@ -1,0 +1,116 @@
+//! Chunked candidate-refinement kernel for the SoA plane sweep
+//! (`simd` cargo feature only — the default build uses the fused scalar
+//! loop inside [`ps_intersection_soa`](crate::ps_intersection_soa)).
+//!
+//! Under `simd`, each sweep step reduces to *"refine candidate `c`
+//! against the contiguous run `[from, to)` of the other side's
+//! rectangles"*, processed in 4-rectangle windows. Each of the four
+//! per-dimension linear constraints is applied as a branch-free select
+//! (`min`/`max` against a `±∞` sentinel), exactly mirroring
+//! `solve_linear_leq` + `TimeInterval::intersect`: `start` only ever
+//! grows, `end` only ever shrinks, and `f64::max` / `f64::min` never
+//! propagate `NaN`, so the fold order produces bit-identical
+//! `start`/`end` values to the sequential reference. Liveness (`alive`)
+//! tracks constraint feasibility — `c1 == 0` with a positive offset, or
+//! a `NaN` root — which is precisely the set of cases where the
+//! reference returns `None`. Emission happens in a scalar pass over each
+//! chunk in lane order, so pair order is identical too.
+//!
+//! The differential suites (`soa_matches_aos_output_and_order`, the
+//! engine `cache_differential` tests, the CI `--features simd` matrix
+//! leg) pin the two flavours to bit-identical pairs, intervals, and
+//! counter totals.
+
+use cij_geom::{MovingRect, Time, TimeInterval};
+
+use crate::sweep::SweepSoa;
+
+/// Chunk width of the vector kernel.
+const W: usize = 4;
+
+/// Refines candidate `c` against run `[from, to)` of `run`'s (lb-sorted)
+/// rectangles, appending surviving pairs in run order. `swap` emits
+/// `(run_idx, c_idx)` instead of `(c_idx, run_idx)` — the candidate came
+/// from side `b`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // hot inner loop, all state live
+pub(crate) fn refine_run(
+    c: &MovingRect,
+    c_idx: u32,
+    run: &SweepSoa,
+    from: usize,
+    to: usize,
+    t_s: Time,
+    t_e: Time,
+    swap: bool,
+    out: &mut Vec<(u32, u32, TimeInterval)>,
+) {
+    // Candidate constants hoisted out of the lane loop: each bound's
+    // offset at t = 0, matching the reference's
+    // `lo − vlo·t_ref` / `hi − vhi·t_ref` grouping exactly.
+    let ca_lo = [c.lo[0] - c.vlo[0] * c.t_ref, c.lo[1] - c.vlo[1] * c.t_ref];
+    let ca_hi = [c.hi[0] - c.vhi[0] * c.t_ref, c.hi[1] - c.vhi[1] * c.t_ref];
+
+    let mut k = from;
+    while k + W <= to {
+        let chunk: &[MovingRect] = &run.mbrs[k..k + W];
+        let mut start = [t_s; W];
+        let mut end = [t_e; W];
+        let mut alive = [t_s <= t_e; W];
+        for d in 0..2 {
+            for l in 0..W {
+                let b = &chunk[l];
+                // c.lo_d(t) <= other.hi_d(t): note the constraint set per
+                // dimension is symmetric in (c, other), so the math is
+                // independent of `swap` — only emission order is not.
+                let c0 = ca_lo[d] - (b.hi[d] - b.vhi[d] * b.t_ref);
+                let c1 = c.vlo[d] - b.vhi[d];
+                let root = -c0 / c1;
+                let upper = if c1 > 0.0 { root } else { f64::INFINITY };
+                let lower = if c1 < 0.0 { root } else { f64::NEG_INFINITY };
+                start[l] = start[l].max(lower);
+                end[l] = end[l].min(upper);
+                alive[l] &= if c1 == 0.0 { c0 <= 0.0 } else { !root.is_nan() };
+
+                // other.lo_d(t) <= c.hi_d(t)
+                let c0 = (b.lo[d] - b.vlo[d] * b.t_ref) - ca_hi[d];
+                let c1 = b.vlo[d] - c.vhi[d];
+                let root = -c0 / c1;
+                let upper = if c1 > 0.0 { root } else { f64::INFINITY };
+                let lower = if c1 < 0.0 { root } else { f64::NEG_INFINITY };
+                start[l] = start[l].max(lower);
+                end[l] = end[l].min(upper);
+                alive[l] &= if c1 == 0.0 { c0 <= 0.0 } else { !root.is_nan() };
+            }
+        }
+        for l in 0..W {
+            if alive[l] && start[l] <= end[l] {
+                let iv = TimeInterval::new_unchecked(start[l], end[l]);
+                out.push(if swap {
+                    (run.idx(k + l), c_idx, iv)
+                } else {
+                    (c_idx, run.idx(k + l), iv)
+                });
+            }
+        }
+        k += W;
+    }
+
+    // Remainder: reference semantics, identical to the default fused
+    // scalar loop.
+    for kk in k..to {
+        let other = run.mbr(kk);
+        let iv = if swap {
+            other.intersect_interval(c, t_s, t_e)
+        } else {
+            c.intersect_interval(other, t_s, t_e)
+        };
+        if let Some(iv) = iv {
+            out.push(if swap {
+                (run.idx(kk), c_idx, iv)
+            } else {
+                (c_idx, run.idx(kk), iv)
+            });
+        }
+    }
+}

@@ -38,6 +38,8 @@
 pub mod brute;
 mod counters;
 mod improved;
+#[cfg(feature = "simd")]
+mod kernel;
 mod naive;
 mod pair;
 mod parallel;

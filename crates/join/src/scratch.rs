@@ -10,6 +10,7 @@
 
 use crate::sweep::SweepSoa;
 use cij_geom::TimeInterval;
+use cij_tpr::EntryLanes;
 
 /// One recursion depth's worth of buffers. All vectors are cleared, not
 /// shrunk, between visits.
@@ -26,6 +27,10 @@ pub(crate) struct Frame {
     pub sweep_b: SweepSoa,
     /// Candidate pairs `(pos in sa, pos in sb, overlap interval)`.
     pub cands: Vec<(u32, u32, TimeInterval)>,
+    /// Leaf lanes for side `a` (zero-copy leaf fast path).
+    pub lanes_a: EntryLanes,
+    /// Leaf lanes for side `b`.
+    pub lanes_b: EntryLanes,
 }
 
 /// Depth-indexed pool of buffer frames threaded through a join

@@ -15,8 +15,11 @@
 //! processing.
 
 use cij_geom::{MovingRect, Time, TimeInterval};
+use cij_tpr::EntryLanes;
 
 use crate::counters::JoinCounters;
+#[cfg(feature = "simd")]
+use crate::kernel;
 
 /// A sweep participant: the moving rectangle plus its precomputed sweep
 /// bounds and the caller's index for identifying it in the output.
@@ -76,9 +79,19 @@ pub fn ps_intersection(
     counters: &mut JoinCounters,
 ) -> Vec<(usize, usize, TimeInterval)> {
     debug_assert!(t_e.is_finite(), "plane sweep requires a bounded window");
-    let by_lb = |x: &SweepItem, y: &SweepItem| x.lb.partial_cmp(&y.lb).expect("finite bounds");
-    sa.sort_by(by_lb);
-    sb.sort_by(by_lb);
+    // Unstable sort with an explicit `(lb, idx)` key: when callers assign
+    // `idx` in push order (every call site in this codebase does, via
+    // `enumerate` or ascending index lists), ties resolve to insertion
+    // order — the same permutation a stable sort by `lb` alone produces —
+    // without merge sort's `n/2` scratch allocation. Pinned by the
+    // `aos_sweep_sort_does_not_allocate` regression test.
+    let by_lb = |x: &SweepItem, y: &SweepItem| {
+        x.lb.partial_cmp(&y.lb)
+            .expect("finite bounds")
+            .then(x.idx.cmp(&y.idx))
+    };
+    sa.sort_unstable_by(by_lb);
+    sb.sort_unstable_by(by_lb);
 
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
@@ -112,26 +125,28 @@ pub fn ps_intersection(
 
 /// Structure-of-arrays sweep state with retained capacity.
 ///
-/// The hot-loop twin of [`SweepItem`]: instead of an array of structs
-/// built fresh per node pair, the four component arrays (`lb`, `ub`,
-/// rectangles, indices) live in parallel vectors that are `clear()`ed and
-/// refilled, so steady-state sweeps allocate nothing and the per-window
-/// bound computation is one tight loop over contiguous `f64`s. Sorting is
-/// done through a permutation array with ping-pong gather buffers — also
-/// capacity-retained.
+/// The hot-loop twin of [`SweepItem`]: the sort keys (`lb`/`ub`), the
+/// rectangles, and the caller indices live in parallel vectors that are
+/// `clear()`ed and refilled, so steady-state sweeps allocate nothing.
+/// The rectangles stay contiguous as structs — the refinement kernel
+/// (`crate::kernel`, simd builds) walks each candidate run as one `&[MovingRect]`
+/// stream (the `simd` flavour extracts its 4-wide chunks from that same
+/// slice), which keeps every run element on adjacent cache lines instead
+/// of scattering it across nine component arrays. Sorting is done
+/// through a permutation array with reusable gather buffers.
 ///
 /// Emission order of [`ps_intersection_soa`] is identical to
 /// [`ps_intersection`] on the same input: the permutation sort breaks
-/// `lb` ties by insertion position, matching the stable sort used there.
+/// `lb` ties by insertion position, matching the `(lb, idx)` key used
+/// there.
 #[derive(Debug, Default)]
 pub struct SweepSoa {
-    lb: Vec<f64>,
-    ub: Vec<f64>,
-    mbrs: Vec<MovingRect>,
-    idxs: Vec<u32>,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
+    pub(crate) mbrs: Vec<MovingRect>,
+    pub(crate) idxs: Vec<u32>,
     perm: Vec<u32>,
-    back_lb: Vec<f64>,
-    back_ub: Vec<f64>,
+    back_f64: Vec<f64>,
     back_mbrs: Vec<MovingRect>,
     back_idxs: Vec<u32>,
 }
@@ -173,9 +188,72 @@ impl SweepSoa {
         self.idxs.push(idx);
     }
 
-    /// Sorts all four arrays by `lb` (ties: insertion order, matching a
+    /// [`Self::push`] reading entry `i` of a zero-copy lane set directly —
+    /// no intermediate [`MovingRect`]. Bounds use the same
+    /// `lo + vlo·(t − t_ref)` expressions as [`MovingRect::lo_at`] /
+    /// [`MovingRect::hi_at`], so the buffered values are bit-identical to
+    /// the `push` path.
+    pub fn push_from_lanes(
+        &mut self,
+        lanes: &EntryLanes,
+        i: usize,
+        idx: u32,
+        dim: usize,
+        t_s: Time,
+        t_e: Time,
+    ) {
+        let (lo, vlo) = (lanes.lo[dim][i], lanes.vlo[dim][i]);
+        let (hi, vhi) = (lanes.hi[dim][i], lanes.vhi[dim][i]);
+        let tr = lanes.t_ref[i];
+        self.lb
+            .push((lo + vlo * (t_s - tr)).min(lo + vlo * (t_e - tr)));
+        self.ub
+            .push((hi + vhi * (t_s - tr)).max(hi + vhi * (t_e - tr)));
+        self.mbrs.push(lanes.mbr(i));
+        self.idxs.push(idx);
+    }
+
+    /// Bulk refill from a whole lane set (indices `0..lanes.len()` in
+    /// order): the sweep bounds are one tight loop per side over the
+    /// component lanes, the rectangles one assembly pass. Equivalent to
+    /// `clear` + `push_from_lanes` for every entry.
+    pub fn fill_all_from_lanes(&mut self, lanes: &EntryLanes, dim: usize, t_s: Time, t_e: Time) {
+        self.clear();
+        let n = lanes.len();
+        let (lo, vlo) = (&lanes.lo[dim], &lanes.vlo[dim]);
+        let (hi, vhi) = (&lanes.hi[dim], &lanes.vhi[dim]);
+        let tr = &lanes.t_ref;
+        self.lb.extend(
+            (0..n).map(|i| (lo[i] + vlo[i] * (t_s - tr[i])).min(lo[i] + vlo[i] * (t_e - tr[i]))),
+        );
+        self.ub.extend(
+            (0..n).map(|i| (hi[i] + vhi[i] * (t_s - tr[i])).max(hi[i] + vhi[i] * (t_e - tr[i]))),
+        );
+        self.mbrs.extend((0..n).map(|i| lanes.mbr(i)));
+        self.idxs.extend(0..n as u32);
+    }
+
+    /// Rectangle of item `i`.
+    #[cfg(feature = "simd")]
+    #[inline]
+    #[must_use]
+    pub(crate) fn mbr(&self, i: usize) -> &MovingRect {
+        &self.mbrs[i]
+    }
+
+    /// Caller index of item `i`.
+    #[cfg(feature = "simd")]
+    #[inline]
+    #[must_use]
+    pub(crate) fn idx(&self, i: usize) -> u32 {
+        self.idxs[i]
+    }
+
+    /// Sorts every array by `lb` (ties: insertion order, matching a
     /// stable sort) via a permutation + gather; no allocation once the
-    /// buffers have grown to size.
+    /// buffers have grown to size. The `back_f64` scratch buffer serves
+    /// both key lanes in turn — each gather swaps it with the lane it
+    /// just permuted.
     fn sort_by_lb(&mut self) {
         let n = self.len();
         self.perm.clear();
@@ -187,29 +265,39 @@ impl SweepSoa {
                 .expect("finite bounds")
                 .then(a.cmp(&b))
         });
-        self.back_lb.clear();
-        self.back_lb
-            .extend(self.perm.iter().map(|&p| self.lb[p as usize]));
-        self.back_ub.clear();
-        self.back_ub
-            .extend(self.perm.iter().map(|&p| self.ub[p as usize]));
+        gather_f64(&self.perm, &mut self.lb, &mut self.back_f64);
+        gather_f64(&self.perm, &mut self.ub, &mut self.back_f64);
         self.back_mbrs.clear();
         self.back_mbrs
             .extend(self.perm.iter().map(|&p| self.mbrs[p as usize]));
+        std::mem::swap(&mut self.mbrs, &mut self.back_mbrs);
         self.back_idxs.clear();
         self.back_idxs
             .extend(self.perm.iter().map(|&p| self.idxs[p as usize]));
-        std::mem::swap(&mut self.lb, &mut self.back_lb);
-        std::mem::swap(&mut self.ub, &mut self.back_ub);
-        std::mem::swap(&mut self.mbrs, &mut self.back_mbrs);
         std::mem::swap(&mut self.idxs, &mut self.back_idxs);
     }
+}
+
+/// Permutes `lane` by `perm` through the reusable `back` buffer (which
+/// takes over the lane's old allocation on the way out).
+fn gather_f64(perm: &[u32], lane: &mut Vec<f64>, back: &mut Vec<f64>) {
+    back.clear();
+    back.extend(perm.iter().map(|&p| lane[p as usize]));
+    std::mem::swap(lane, back);
 }
 
 /// [`ps_intersection`] over [`SweepSoa`] buffers, appending into a
 /// caller-owned (capacity-retained) output vector instead of returning a
 /// fresh one. Identical pairs in identical order; zero allocation in
 /// steady state.
+///
+/// By default each sweep step refines candidates in one fused scan (the
+/// reference semantics, fully inline). Under the `simd` cargo feature
+/// the step first measures the contiguous candidate run (`lb` is sorted,
+/// so `lb[k] <= c_ub` holds on exactly a prefix — the run length equals
+/// the per-iteration comparison count of the fused formulation, keeping
+/// `entry_comparisons` bit-identical) and hands the run to the chunked
+/// 4-lane kernel in `crate::kernel` (simd builds).
 pub fn ps_intersection_soa(
     sa: &mut SweepSoa,
     sb: &mut SweepSoa,
@@ -223,6 +311,7 @@ pub fn ps_intersection_soa(
     sa.sort_by_lb();
     sb.sort_by_lb();
     let (mut i, mut j) = (0usize, 0usize);
+    #[cfg(not(feature = "simd"))]
     while i < sa.lb.len() && j < sb.lb.len() {
         if sa.lb[i] <= sb.lb[j] {
             let (c_ub, c_idx) = (sa.ub[i], sa.idxs[i]);
@@ -247,6 +336,28 @@ pub fn ps_intersection_soa(
                 }
                 k += 1;
             }
+            j += 1;
+        }
+    }
+    #[cfg(feature = "simd")]
+    while i < sa.lb.len() && j < sb.lb.len() {
+        if sa.lb[i] <= sb.lb[j] {
+            let c_ub = sa.ub[i];
+            let mut end = j;
+            while end < sb.lb.len() && sb.lb[end] <= c_ub {
+                end += 1;
+            }
+            counters.entry_comparisons += (end - j) as u64;
+            kernel::refine_run(sa.mbr(i), sa.idxs[i], sb, j, end, t_s, t_e, false, out);
+            i += 1;
+        } else {
+            let c_ub = sb.ub[j];
+            let mut end = i;
+            while end < sa.lb.len() && sa.lb[end] <= c_ub {
+                end += 1;
+            }
+            counters.entry_comparisons += (end - i) as u64;
+            kernel::refine_run(sb.mbr(j), sb.idxs[j], sa, i, end, t_s, t_e, true, out);
             j += 1;
         }
     }

@@ -14,7 +14,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cij_geom::{MovingRect, Rect};
-use cij_join::{improved_join, improved_join_into, techniques, JoinScratch};
+use cij_join::{
+    improved_join, improved_join_into, ps_intersection, techniques, JoinCounters, JoinScratch,
+    SweepItem,
+};
 use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
 use cij_tpr::{ObjectId, TprTree, TreeConfig};
 
@@ -126,6 +129,39 @@ fn every_technique_combination_is_allocation_free_when_warm() {
         let after = ALLOCATIONS.load(Ordering::SeqCst);
         assert_eq!(after - before, 0, "technique set {tech:?} allocated");
     }
+}
+
+/// Pins the `sort_unstable_by` in [`ps_intersection`]: sorting the sweep
+/// inputs must not allocate (the old stable `sort_by` grabbed an `n/2`
+/// merge-scratch buffer for slices above the insertion-sort threshold).
+/// The inputs are far apart, so the sweep emits nothing and the
+/// zero-capacity output `Vec` never allocates either.
+#[test]
+fn aos_sweep_sort_does_not_allocate() {
+    // 96 items, well above any insertion-sort cutoff, in scrambled lb
+    // order so the sort does real work.
+    let make_side = |offset: f64| -> Vec<SweepItem> {
+        (0..96u64)
+            .map(|i| {
+                let x = offset + ((i * 61) % 96) as f64 * 10_000.0;
+                let m = MovingRect::rigid(Rect::new([x, 0.0], [x + 1.0, 1.0]), [0.0, 0.0], 0.0);
+                SweepItem::new(m, i as usize, 0, 0.0, 60.0)
+            })
+            .collect()
+    };
+    let mut sa = make_side(0.0);
+    let mut sb = make_side(2_000_000.0);
+    let mut counters = JoinCounters::new();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let pairs = ps_intersection(&mut sa, &mut sb, 0.0, 60.0, &mut counters);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(pairs.is_empty(), "workload must stay pair-free");
+    assert_eq!(after - before, 0, "ps_intersection sort allocated");
+    // The sides interleave in lb order, so the sweep really ran.
+    assert!(sa.windows(2).all(|w| w[0].lb <= w[1].lb), "sa not sorted");
+    assert!(sb.windows(2).all(|w| w[0].lb <= w[1].lb), "sb not sorted");
 }
 
 #[test]

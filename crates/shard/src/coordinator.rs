@@ -475,6 +475,16 @@ impl ContinuousJoinEngine for ShardCoordinator {
         })
     }
 
+    fn page_format_snapshot(&self) -> Option<CacheSnapshot> {
+        self.slots.iter().fold(None, |acc, s| {
+            match (acc, s.engine.lock().page_format_snapshot()) {
+                (Some(x), Some(y)) => Some(x.merged(&y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        })
+    }
+
     fn metrics_registry(&self) -> MetricsRegistry {
         self.obs.clone()
     }
@@ -483,7 +493,12 @@ impl ContinuousJoinEngine for ShardCoordinator {
         if !self.obs.is_enabled() {
             return;
         }
-        publish_engine_totals(&self.obs, self.counters(), self.node_cache_snapshot());
+        publish_engine_totals(
+            &self.obs,
+            self.counters(),
+            self.node_cache_snapshot(),
+            self.page_format_snapshot(),
+        );
         self.obs
             .counter("shard.migrations")
             .store(self.router.migrations());

@@ -38,14 +38,19 @@ impl<'a> PageWriter<'a> {
     }
 
     fn claim(&mut self, n: usize) -> StorageResult<&mut [u8]> {
-        if self.pos + n > PAGE_SIZE {
-            return Err(StorageError::PageOverflow {
-                offset: self.pos,
-                requested: n,
-            });
-        }
-        let slice = &mut self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // `checked_add`: a hostile `n` near `usize::MAX` would wrap the
+        // naive `pos + n` in release builds and bypass the bounds check.
+        let end = match self.pos.checked_add(n) {
+            Some(end) if end <= PAGE_SIZE => end,
+            _ => {
+                return Err(StorageError::PageOverflow {
+                    offset: self.pos,
+                    requested: n,
+                });
+            }
+        };
+        let slice = &mut self.buf[self.pos..end];
+        self.pos = end;
         Ok(slice)
     }
 
@@ -105,14 +110,18 @@ impl<'a> PageReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> StorageResult<&[u8]> {
-        if self.pos + n > PAGE_SIZE {
-            return Err(StorageError::PageOverflow {
-                offset: self.pos,
-                requested: n,
-            });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // `checked_add`: see `PageWriter::claim` — `pos + n` must not wrap.
+        let end = match self.pos.checked_add(n) {
+            Some(end) if end <= PAGE_SIZE => end,
+            _ => {
+                return Err(StorageError::PageOverflow {
+                    offset: self.pos,
+                    requested: n,
+                });
+            }
+        };
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(slice)
     }
 
@@ -258,14 +267,18 @@ impl<'a> ByteReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
-            return Err(StorageError::PageOverflow {
-                offset: self.pos,
-                requested: n,
-            });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // `checked_add`: see `PageWriter::claim` — `pos + n` must not wrap.
+        let end = match self.pos.checked_add(n) {
+            Some(end) if end <= self.buf.len() => end,
+            _ => {
+                return Err(StorageError::PageOverflow {
+                    offset: self.pos,
+                    requested: n,
+                });
+            }
+        };
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(slice)
     }
 
@@ -376,6 +389,51 @@ mod tests {
         assert!(w.put_u32(7).is_err());
         assert_eq!(w.position(), pos, "failed write must not consume space");
         assert!(w.put_u16(7).is_ok());
+    }
+
+    /// Regression: `pos + n` used to be computed unchecked, so a length
+    /// near `usize::MAX` wrapped in release builds and sailed past the
+    /// bounds check straight into a slice panic (or worse). All three
+    /// cursors must reject it as a clean `PageOverflow` and stay usable.
+    #[test]
+    fn huge_length_does_not_wrap_bounds_check() {
+        let mut page = crate::zeroed_page();
+        let mut w = PageWriter::new(&mut page);
+        w.put_u32(7).unwrap();
+        assert_eq!(
+            w.claim(usize::MAX).unwrap_err(),
+            StorageError::PageOverflow {
+                offset: 4,
+                requested: usize::MAX
+            }
+        );
+        assert_eq!(w.position(), 4, "failed write must not consume space");
+        assert!(w.put_u32(8).is_ok());
+
+        let mut r = PageReader::new(&page);
+        r.get_u32().unwrap();
+        assert_eq!(
+            r.get_bytes(usize::MAX),
+            Err(StorageError::PageOverflow {
+                offset: 4,
+                requested: usize::MAX
+            })
+        );
+        assert_eq!(r.position(), 4, "failed read must not advance");
+        assert_eq!(r.get_u32().unwrap(), 8);
+
+        let bytes = [1u8, 2, 3, 4];
+        let mut br = ByteReader::new(&bytes);
+        br.get_u16().unwrap();
+        assert_eq!(
+            br.get_bytes(usize::MAX),
+            Err(StorageError::PageOverflow {
+                offset: 2,
+                requested: usize::MAX
+            })
+        );
+        assert_eq!(br.position(), 2);
+        assert!(br.get_u16().is_ok());
     }
 
     #[test]

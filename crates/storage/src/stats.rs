@@ -186,6 +186,8 @@ pub struct CacheStats {
     evictions: Arc<CounterCell>,
     invalidations: Arc<CounterCell>,
     stale_rejections: Arc<CounterCell>,
+    zero_copy_reads: Arc<CounterCell>,
+    decode_fallbacks: Arc<CounterCell>,
 }
 
 impl CacheStats {
@@ -232,6 +234,20 @@ impl CacheStats {
         self.stale_rejections.inc();
     }
 
+    /// Records a page served through the zero-copy SoA view (no decoded
+    /// `Node` was materialized).
+    #[inline]
+    pub fn record_zero_copy_read(&self) {
+        self.zero_copy_reads.inc();
+    }
+
+    /// Records a page that had to go through the legacy (v1, AoS)
+    /// field-by-field decode because it predates the SoA layout.
+    #[inline]
+    pub fn record_decode_fallback(&self) {
+        self.decode_fallbacks.inc();
+    }
+
     /// Captures the current counter values.
     #[must_use]
     pub fn snapshot(&self) -> CacheSnapshot {
@@ -242,6 +258,8 @@ impl CacheStats {
             evictions: self.evictions.get(),
             invalidations: self.invalidations.get(),
             stale_rejections: self.stale_rejections.get(),
+            zero_copy_reads: self.zero_copy_reads.get(),
+            decode_fallbacks: self.decode_fallbacks.get(),
         }
     }
 
@@ -253,6 +271,8 @@ impl CacheStats {
         self.evictions.store(0);
         self.invalidations.store(0);
         self.stale_rejections.store(0);
+        self.zero_copy_reads.store(0);
+        self.decode_fallbacks.store(0);
     }
 
     /// Registers every counter in `registry` under `prefix` (e.g.
@@ -267,6 +287,8 @@ impl CacheStats {
             ("evictions", &self.evictions),
             ("invalidations", &self.invalidations),
             ("stale_rejections", &self.stale_rejections),
+            ("zero_copy_reads", &self.zero_copy_reads),
+            ("decode_fallbacks", &self.decode_fallbacks),
         ] {
             registry.register_counter_cell(&format!("{prefix}.{name}"), Arc::clone(cell));
         }
@@ -289,6 +311,10 @@ pub struct CacheSnapshot {
     pub invalidations: u64,
     /// Miss-fills rejected by the generation stamp.
     pub stale_rejections: u64,
+    /// Pages served through the zero-copy SoA view (no `Node` decode).
+    pub zero_copy_reads: u64,
+    /// Legacy (v1, AoS) pages decoded through the compat path.
+    pub decode_fallbacks: u64,
 }
 
 impl CacheSnapshot {
@@ -316,6 +342,10 @@ impl CacheSnapshot {
             stale_rejections: self
                 .stale_rejections
                 .saturating_sub(earlier.stale_rejections),
+            zero_copy_reads: self.zero_copy_reads.saturating_sub(earlier.zero_copy_reads),
+            decode_fallbacks: self
+                .decode_fallbacks
+                .saturating_sub(earlier.decode_fallbacks),
         }
     }
 
@@ -330,6 +360,8 @@ impl CacheSnapshot {
             evictions: self.evictions + other.evictions,
             invalidations: self.invalidations + other.invalidations,
             stale_rejections: self.stale_rejections + other.stale_rejections,
+            zero_copy_reads: self.zero_copy_reads + other.zero_copy_reads,
+            decode_fallbacks: self.decode_fallbacks + other.decode_fallbacks,
         }
     }
 }
@@ -454,9 +486,37 @@ mod tests {
             evictions: 4,
             invalidations: 5,
             stale_rejections: 6,
+            zero_copy_reads: 7,
+            decode_fallbacks: 8,
         };
         let b = a.merged(&a);
         assert_eq!(b.hits, 2);
         assert_eq!(b.stale_rejections, 12);
+        assert_eq!(b.zero_copy_reads, 14);
+        assert_eq!(b.decode_fallbacks, 16);
+    }
+
+    #[test]
+    fn page_format_counters_record_delta_and_register() {
+        let s = CacheStats::new();
+        s.record_zero_copy_read();
+        s.record_zero_copy_read();
+        s.record_decode_fallback();
+        let before = s.snapshot();
+        assert_eq!(before.zero_copy_reads, 2);
+        assert_eq!(before.decode_fallbacks, 1);
+        s.record_zero_copy_read();
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.zero_copy_reads, 1);
+        assert_eq!(delta.decode_fallbacks, 0);
+
+        let registry = MetricsRegistry::new();
+        s.register_in(&registry, "storage.page");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.page.zero_copy_reads"), Some(3));
+        assert_eq!(snap.counter("storage.page.decode_fallbacks"), Some(1));
+
+        s.reset();
+        assert_eq!(s.snapshot(), CacheSnapshot::default());
     }
 }

@@ -35,6 +35,7 @@ mod error;
 mod nn_interval;
 mod node;
 mod tree;
+mod view;
 
 pub use config::TreeConfig;
 pub use entry::{ChildRef, Entry, ObjectId};
@@ -42,3 +43,4 @@ pub use error::{TprError, TprResult};
 pub use nn_interval::NnSlice;
 pub use node::{Node, NODE_HEADER_BYTES};
 pub use tree::{TprTree, TreeStats};
+pub use view::{EntryLanes, NodeView, SOA_HEADER_BYTES, SOA_MAGIC, SOA_SLOTS, SOA_VERSION};

@@ -3,17 +3,26 @@
 //! A node is a level tag plus up to `capacity` entries. Level 0 is the
 //! leaf level (entries point at objects); higher levels point at child
 //! pages. Nodes serialize into one 4 KB page each.
+//!
+//! Two on-page layouts exist: the current v2 structure-of-arrays layout
+//! (see [`crate::view`]) that [`Node::to_page`] writes and
+//! [`NodeView`](crate::NodeView) reads without decoding, and the legacy
+//! v1 array-of-structs layout kept as a read-only migration path
+//! ([`Node::from_page`] auto-detects it by magic; [`Node::to_page_legacy`]
+//! still writes it for tests and round-trip proofs).
 
 use cij_geom::{MovingRect, Time};
 use cij_storage::codec::{PageReader, PageWriter};
 use cij_storage::{PageBuf, PageId, StorageError, StorageResult, PAGE_SIZE};
 
 use crate::entry::{ChildRef, Entry, ObjectId};
+use crate::view::{NodeView, SOA_HEADER_BYTES, SOA_LANE_BYTES, SOA_MAGIC, SOA_VERSION};
 
-/// Bytes of fixed node header: magic (2) + level (1) + pad (1) + count (2).
+/// Bytes of fixed legacy (v1) node header: magic (2) + level (1) +
+/// pad (1) + count (2).
 pub const NODE_HEADER_BYTES: usize = 6;
 
-const NODE_MAGIC: u16 = 0x5452; // "TR"
+pub(crate) const NODE_MAGIC: u16 = 0x5452; // "TR" (legacy v1 layout)
 
 const TAG_OBJECT: u8 = 0;
 const TAG_PAGE: u8 = 1;
@@ -45,6 +54,10 @@ impl Node {
     }
 
     /// Maximum entry count that physically fits in one page.
+    ///
+    /// Both layouts must accept every node the tree can produce, so this
+    /// is the v1 bound (50); the v2 lanes hold one slot more (51) and the
+    /// difference is slack.
     #[must_use]
     pub fn max_capacity() -> usize {
         (PAGE_SIZE - NODE_HEADER_BYTES) / Entry::SERIALIZED_BYTES
@@ -67,8 +80,53 @@ impl Node {
             .map(|m| if m.t_ref < t { m.rebase(t) } else { m })
     }
 
-    /// Serializes into a fresh page buffer.
+    /// Serializes into a fresh page buffer in the v2 SoA layout.
     pub fn to_page(&self) -> StorageResult<PageBuf> {
+        if self.entries.len() > Self::max_capacity() {
+            return Err(StorageError::Corrupt(format!(
+                "entry count {} exceeds physical capacity {}",
+                self.entries.len(),
+                Self::max_capacity()
+            )));
+        }
+        let mut page = cij_storage::zeroed_page();
+        page[0..2].copy_from_slice(&SOA_MAGIC.to_le_bytes());
+        page[2] = SOA_VERSION;
+        page[3] = self.level;
+        let count = u16::try_from(self.entries.len())
+            .map_err(|_| StorageError::Corrupt("entry count > u16".into()))?;
+        page[4..6].copy_from_slice(&count.to_le_bytes());
+        // Lane-major writes: one sequential pass per field.
+        let mut off = SOA_HEADER_BYTES;
+        let mut lane = |page: &mut PageBuf, f: &mut dyn FnMut(&Entry) -> u64| {
+            for (i, e) in self.entries.iter().enumerate() {
+                let at = off + i * 8;
+                page[at..at + 8].copy_from_slice(&f(e).to_le_bytes());
+            }
+            off += SOA_LANE_BYTES;
+        };
+        lane(&mut page, &mut |e| e.mbr.lo[0].to_bits());
+        lane(&mut page, &mut |e| e.mbr.lo[1].to_bits());
+        lane(&mut page, &mut |e| e.mbr.hi[0].to_bits());
+        lane(&mut page, &mut |e| e.mbr.hi[1].to_bits());
+        lane(&mut page, &mut |e| e.mbr.vlo[0].to_bits());
+        lane(&mut page, &mut |e| e.mbr.vlo[1].to_bits());
+        lane(&mut page, &mut |e| e.mbr.vhi[0].to_bits());
+        lane(&mut page, &mut |e| e.mbr.vhi[1].to_bits());
+        lane(&mut page, &mut |e| e.mbr.t_ref.to_bits());
+        lane(&mut page, &mut |e| match e.child {
+            ChildRef::Object(oid) => oid.0,
+            ChildRef::Page(pid) => u64::from(pid.0),
+        });
+        Ok(page)
+    }
+
+    /// Serializes into a fresh page buffer in the legacy v1 (AoS) layout.
+    ///
+    /// Kept so the migration path stays exercised: round-trip tests prove
+    /// v1 and v2 encodings decode bit-identically, and old files written
+    /// by previous versions remain readable through [`Node::from_page`].
+    pub fn to_page_legacy(&self) -> StorageResult<PageBuf> {
         let mut page = cij_storage::zeroed_page();
         let mut w = PageWriter::new(&mut page);
         w.put_u16(NODE_MAGIC)?;
@@ -98,8 +156,18 @@ impl Node {
         Ok(page)
     }
 
-    /// Deserializes from a page buffer.
+    /// Deserializes from a page buffer, auto-detecting the layout by
+    /// magic: v2 (SoA) pages bulk-decode through [`NodeView`], legacy v1
+    /// pages fall back to the sequential field-by-field decode.
     pub fn from_page(page: &[u8; PAGE_SIZE]) -> StorageResult<Self> {
+        match NodeView::parse(page)? {
+            Some(view) => Ok(view.to_node()),
+            None => Self::from_page_legacy(page),
+        }
+    }
+
+    /// Deserializes a legacy v1 (AoS) page.
+    pub fn from_page_legacy(page: &[u8; PAGE_SIZE]) -> StorageResult<Self> {
         let mut r = PageReader::new(page);
         let magic = r.get_u16()?;
         if magic != NODE_MAGIC {
@@ -223,10 +291,12 @@ mod tests {
     }
 
     #[test]
-    fn level_entry_kind_mismatch_rejected() {
-        // Serialize a leaf then flip its level byte to 1.
+    fn legacy_level_entry_kind_mismatch_rejected() {
+        // Serialize a v1 leaf then flip its level byte to 1: the per-entry
+        // tags no longer agree with the level. (The v2 layout has no tags
+        // to disagree — entry kind is *derived* from the level.)
         let node = sample_node(0, 2);
-        let mut page = node.to_page().unwrap();
+        let mut page = node.to_page_legacy().unwrap();
         page[2] = 1;
         assert!(matches!(
             Node::from_page(&page),
@@ -238,6 +308,19 @@ mod tests {
     fn inverted_rect_rejected() {
         let node = sample_node(0, 1);
         let mut page = node.to_page().unwrap();
+        // lo.x of entry 0 is the first element of the first v2 lane.
+        let off = crate::view::SOA_HEADER_BYTES;
+        page[off..off + 8].copy_from_slice(&1e9f64.to_le_bytes());
+        assert!(matches!(
+            Node::from_page(&page),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_inverted_rect_rejected() {
+        let node = sample_node(0, 1);
+        let mut page = node.to_page_legacy().unwrap();
         // lo.x is the first f64 of the first entry: header 6 + tag 1 + ref 8.
         let off = 15;
         page[off..off + 8].copy_from_slice(&1e9f64.to_le_bytes());
@@ -245,6 +328,25 @@ mod tests {
             Node::from_page(&page),
             Err(StorageError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn legacy_page_decodes_identically() {
+        // The one-time migration shim: a page written in the v1 layout
+        // decodes to the same node a v2 round trip produces.
+        for (level, n) in [(0u8, 17usize), (3, 30), (0, 0)] {
+            let node = sample_node(level, n);
+            let legacy = Node::from_page(&node.to_page_legacy().unwrap()).unwrap();
+            let soa = Node::from_page(&node.to_page().unwrap()).unwrap();
+            assert_eq!(legacy, node);
+            assert_eq!(soa, node);
+        }
+    }
+
+    #[test]
+    fn overfull_node_refuses_to_serialize() {
+        let node = sample_node(0, Node::max_capacity() + 1);
+        assert!(matches!(node.to_page(), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

@@ -19,12 +19,15 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use cij_geom::{MovingRect, Rect, Time, TimeInterval};
-use cij_storage::{BufferPool, CacheSnapshot, DecodedCache, PageId};
+use cij_storage::{
+    BufferPool, CacheSnapshot, CacheStats, DecodedCache, PageId, StorageResult, PAGE_SIZE,
+};
 
 use crate::config::TreeConfig;
 use crate::entry::{ChildRef, Entry, ObjectId};
 use crate::error::{TprError, TprResult};
 use crate::node::Node;
+use crate::view::{EntryLanes, NodeView};
 
 /// A disk-resident TPR-tree over moving rectangles.
 ///
@@ -63,6 +66,10 @@ pub struct TprTree {
     height: u32,
     /// Number of data objects.
     len: usize,
+    /// Page-format counters: zero-copy SoA reads vs legacy decode
+    /// fallbacks. Only the two `storage.page.*` fields are ever non-zero
+    /// here; merged into [`Self::node_cache_stats`] when a cache exists.
+    format_stats: CacheStats,
 }
 
 /// Aggregate statistics returned by [`TprTree::stats`].
@@ -105,6 +112,7 @@ impl TprTree {
             root: None,
             height: 0,
             len: 0,
+            format_stats: CacheStats::new(),
         }
     }
 
@@ -158,9 +166,49 @@ impl TprTree {
         }
         let node = self
             .pool
-            .read(page, Node::from_page)
+            .read(page, |p| self.decode_page(p))
             .map_err(TprError::from)??;
         Ok(node)
+    }
+
+    /// Decodes a page, counting whether the zero-copy SoA view or the
+    /// legacy v1 decoder served it. Behaviourally identical to
+    /// [`Node::from_page`].
+    fn decode_page(&self, page: &[u8; PAGE_SIZE]) -> StorageResult<Node> {
+        match NodeView::parse(page)? {
+            Some(view) => {
+                self.format_stats.record_zero_copy_read();
+                Ok(view.to_node())
+            }
+            None => {
+                self.format_stats.record_decode_fallback();
+                Node::from_page_legacy(page)
+            }
+        }
+    }
+
+    /// Reads a node's entries straight into SoA `lanes` without
+    /// materialising a [`Node`]. On a v2 page this is a zero-copy lane
+    /// copy (no per-entry decode, no `Vec<Entry>` allocation); legacy v1
+    /// pages fall back to a full decode. Counts one logical read exactly
+    /// like [`read_node`](Self::read_node) with the cache disabled.
+    pub fn read_node_lanes(&self, page: PageId, lanes: &mut EntryLanes) -> TprResult<()> {
+        self.pool
+            .read(page, |p| -> StorageResult<()> {
+                match NodeView::parse(p)? {
+                    Some(view) => {
+                        self.format_stats.record_zero_copy_read();
+                        lanes.fill_from_view(&view);
+                    }
+                    None => {
+                        self.format_stats.record_decode_fallback();
+                        lanes.fill_from_node(&Node::from_page_legacy(p)?);
+                    }
+                }
+                Ok(())
+            })
+            .map_err(TprError::from)??;
+        Ok(())
     }
 
     /// Reads a node as a shared immutable [`Arc`]. On a decoded-cache hit
@@ -173,7 +221,7 @@ impl TprTree {
         let Some(cache) = &self.cache else {
             let node = self
                 .pool
-                .read(page, Node::from_page)
+                .read(page, |p| self.decode_page(p))
                 .map_err(TprError::from)??;
             return Ok(Arc::new(node));
         };
@@ -183,7 +231,7 @@ impl TprTree {
         let gen = cache.begin_insert(page);
         let node = Arc::new(
             self.pool
-                .read(page, Node::from_page)
+                .read(page, |p| self.decode_page(p))
                 .map_err(TprError::from)??,
         );
         cache.try_insert(page, Arc::clone(&node), gen);
@@ -191,7 +239,11 @@ impl TprTree {
     }
 
     fn write_node(&self, page: PageId, node: &Node) -> TprResult<()> {
-        let buf = node.to_page()?;
+        let buf = if self.config.legacy_pages {
+            node.to_page_legacy()?
+        } else {
+            node.to_page()?
+        };
         // Consistency rule: the cache learns of the new contents *before*
         // the page write lands, so no reader can decode the old bytes and
         // install them afterwards (the install bumps the generation,
@@ -212,11 +264,35 @@ impl TprTree {
         self.pool.free(page).map_err(TprError::from)
     }
 
-    /// Counters of the decoded-node cache; `None` when the cache is
-    /// disabled (`node_cache_capacity == 0`).
+    /// Counters of the decoded-node cache, with this tree's page-format
+    /// counters (zero-copy reads / decode fallbacks) folded in; `None`
+    /// when the cache is disabled (`node_cache_capacity == 0`).
     #[must_use]
     pub fn node_cache_stats(&self) -> Option<CacheSnapshot> {
-        self.cache.as_ref().map(DecodedCache::snapshot)
+        self.cache
+            .as_ref()
+            .map(|c| c.snapshot().merged(&self.format_stats.snapshot()))
+    }
+
+    /// Whether this tree runs with a decoded-node cache.
+    #[must_use]
+    pub fn has_node_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Page-format counters alone (zero-copy SoA reads vs legacy decode
+    /// fallbacks), available regardless of cache configuration.
+    #[must_use]
+    pub fn page_format_stats(&self) -> CacheSnapshot {
+        self.format_stats.snapshot()
+    }
+
+    /// Switches the page encoding used for subsequent node writes (see
+    /// [`TreeConfig::legacy_pages`]). Flipping a legacy tree to `false`
+    /// is the migration path: reads accept both formats, and every node
+    /// rewrite upgrades its page to v2 in place.
+    pub fn set_legacy_pages(&mut self, legacy: bool) {
+        self.config.legacy_pages = legacy;
     }
 
     /// Drops every cached decoded node (counters are kept). No-op when

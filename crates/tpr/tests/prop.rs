@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cij_geom::{MovingRect, Rect};
-use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
-use cij_tpr::{ObjectId, TprTree, TreeConfig};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore, PageId};
+use cij_tpr::{ChildRef, Entry, Node, NodeView, ObjectId, TprTree, TreeConfig};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -165,5 +165,135 @@ proptest! {
         got.sort();
         expect.sort();
         prop_assert_eq!(got, expect);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Page-format properties: the v2 SoA layout, the legacy v1 layout, and
+// the zero-copy view must all describe the same node — bit for bit, even
+// through NaN and infinite velocities (compared via `to_bits`, since
+// `NaN != NaN` under `PartialEq`).
+// ----------------------------------------------------------------------
+
+/// A velocity component: usually finite, sometimes `NaN` or `±∞`.
+fn arb_velocity() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -50.0..50.0f64,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+    ]
+}
+
+/// Raw entry material: a moving rectangle with finite, ordered spatial
+/// bounds (`from_page` rejects inverted rectangles, and a `NaN` bound
+/// *is* inverted under `!(lo <= hi)`) — velocities and only velocities
+/// carry the special values — plus child-id material for either kind.
+fn arb_raw_entry() -> impl Strategy<Value = (MovingRect, u32, u64)> {
+    (
+        (-1e6..1e6f64, -1e6..1e6f64),
+        (0.0..1e3f64, 0.0..1e3f64),
+        (arb_velocity(), arb_velocity()),
+        (arb_velocity(), arb_velocity()),
+        -1e6..1e6f64,
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |((x, y), (w, h), (vlx, vly), (vhx, vhy), t_ref, page, oid)| {
+                let mbr = MovingRect {
+                    lo: [x, y],
+                    hi: [x + w, y + h],
+                    vlo: [vlx, vly],
+                    vhi: [vhx, vhy],
+                    t_ref,
+                };
+                (mbr, page, oid)
+            },
+        )
+}
+
+fn arb_node() -> impl Strategy<Value = Node> {
+    (
+        0u8..3,
+        proptest::collection::vec(arb_raw_entry(), 0..Node::max_capacity() + 1),
+    )
+        .prop_map(|(level, raw)| {
+            let mut node = Node::new(level);
+            node.entries = raw
+                .into_iter()
+                .map(|(mbr, page, oid)| Entry {
+                    mbr,
+                    child: if level == 0 {
+                        ChildRef::Object(ObjectId(oid))
+                    } else {
+                        ChildRef::Page(PageId(page))
+                    },
+                })
+                .collect();
+            node
+        })
+}
+
+/// Field-by-field bit equality (velocities may be NaN).
+fn assert_entries_bit_equal(a: &Node, b: &Node) {
+    prop_assert_eq!(a.level, b.level);
+    prop_assert_eq!(a.entries.len(), b.entries.len());
+    for (ea, eb) in a.entries.iter().zip(&b.entries) {
+        for d in 0..2 {
+            prop_assert_eq!(ea.mbr.lo[d].to_bits(), eb.mbr.lo[d].to_bits());
+            prop_assert_eq!(ea.mbr.hi[d].to_bits(), eb.mbr.hi[d].to_bits());
+            prop_assert_eq!(ea.mbr.vlo[d].to_bits(), eb.mbr.vlo[d].to_bits());
+            prop_assert_eq!(ea.mbr.vhi[d].to_bits(), eb.mbr.vhi[d].to_bits());
+        }
+        prop_assert_eq!(ea.mbr.t_ref.to_bits(), eb.mbr.t_ref.to_bits());
+        prop_assert_eq!(ea.child, eb.child);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any node decodes bit-identically from its v2 (SoA) and legacy v1
+    /// (AoS) encodings — including NaN / infinite velocities.
+    #[test]
+    fn page_roundtrip_v2_and_legacy_bit_identical(node in arb_node()) {
+        let v2 = node.to_page().unwrap();
+        let v1 = node.to_page_legacy().unwrap();
+        let from_v2 = Node::from_page(&v2).unwrap();
+        let from_v1 = Node::from_page(&v1).unwrap();
+        assert_entries_bit_equal(&node, &from_v2);
+        assert_entries_bit_equal(&node, &from_v1);
+        assert_entries_bit_equal(&from_v2, &from_v1);
+    }
+
+    /// Every `NodeView` accessor agrees bit-for-bit with the decoded
+    /// node: the zero-copy read path and the materializing path are the
+    /// same function of the page bytes.
+    #[test]
+    fn view_accessors_agree_with_decoded_node(node in arb_node()) {
+        let page = node.to_page().unwrap();
+        let view = NodeView::parse(&page).unwrap().expect("v2 page");
+        let decoded = Node::from_page(&page).unwrap();
+
+        prop_assert_eq!(view.level(), decoded.level);
+        prop_assert_eq!(view.len(), decoded.entries.len());
+        for (i, e) in decoded.entries.iter().enumerate() {
+            for d in 0..2 {
+                prop_assert_eq!(view.lo(d, i).to_bits(), e.mbr.lo[d].to_bits());
+                prop_assert_eq!(view.hi(d, i).to_bits(), e.mbr.hi[d].to_bits());
+                prop_assert_eq!(view.vlo(d, i).to_bits(), e.mbr.vlo[d].to_bits());
+                prop_assert_eq!(view.vhi(d, i).to_bits(), e.mbr.vhi[d].to_bits());
+            }
+            prop_assert_eq!(view.t_ref(i).to_bits(), e.mbr.t_ref.to_bits());
+            prop_assert_eq!(view.child(i), e.child);
+            let vm = view.mbr(i);
+            prop_assert_eq!(vm.t_ref.to_bits(), e.mbr.t_ref.to_bits());
+            for d in 0..2 {
+                prop_assert_eq!(vm.lo[d].to_bits(), e.mbr.lo[d].to_bits());
+                prop_assert_eq!(vm.hi[d].to_bits(), e.mbr.hi[d].to_bits());
+            }
+        }
+        assert_entries_bit_equal(&view.to_node(), &decoded);
     }
 }
