@@ -353,6 +353,36 @@ impl MovingRect {
         u.area_integral(t0, t1) - self.area_integral(t0, t1)
     }
 
+    /// The Minkowski-inflated rectangle: every spatial bound pushed
+    /// outward by `eps`, velocities unchanged (a rigid inflation, so the
+    /// result is a valid TPR registration with the same `t_ref`).
+    ///
+    /// Inflation turns a distance predicate into an intersection one:
+    /// `self` intersects `other.inflate(eps)` at `t` **iff** every
+    /// per-dimension gap between `self` and `other` is ≤ `eps` at `t`
+    /// (L∞ distance ≤ `eps`). Since the Euclidean rectangle distance
+    /// dominates every per-dimension gap, `dist(self, other) ≤ eps`
+    /// implies the inflated intersection — the candidate-superset
+    /// property the ε-threshold similarity join (`cij-simjoin`) builds
+    /// its filter phase on.
+    #[must_use]
+    pub fn inflate(&self, eps: f64) -> Self {
+        debug_assert!(eps >= 0.0, "negative inflation {eps}");
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for d in 0..DIMS {
+            lo[d] -= eps;
+            hi[d] += eps;
+        }
+        Self {
+            lo,
+            hi,
+            vlo: self.vlo,
+            vhi: self.vhi,
+            t_ref: self.t_ref,
+        }
+    }
+
     /// Sum over dimensions of `|vlo| + |vhi|` — the speed mass used by the
     /// paper's *dimension selection* heuristic (§IV-D2) to pick the
     /// sorting dimension with the least movement.
@@ -563,6 +593,29 @@ mod tests {
         let parent = MovingRect::new([0.0, 0.0], [2.0, 2.0], [0.0, 0.0], [0.0, 0.0], 0.0);
         let outsider = rigid(5.0, 5.0, 1.0, 0.0, 0.0, 0.0);
         assert!(parent.enlargement_integral(&outsider, 0.0, 10.0) > 0.0);
+    }
+
+    #[test]
+    fn inflate_pushes_bounds_and_keeps_motion() {
+        let m = rigid(3.0, 4.0, 2.0, 1.0, -0.5, 7.0);
+        let f = m.inflate(1.5);
+        assert_eq!(f.lo, [1.5, 2.5]);
+        assert_eq!(f.hi, [6.5, 7.5]);
+        assert_eq!(f.vlo, m.vlo);
+        assert_eq!(f.vhi, m.vhi);
+        assert_eq!(f.t_ref, 7.0);
+        // Zero inflation is the identity.
+        assert_eq!(m.inflate(0.0), m);
+    }
+
+    #[test]
+    fn inflated_intersection_is_linf_distance() {
+        // Static geometry: gap 3 in x, 0 in y ⇒ L∞ distance 3. The pair
+        // intersects the inflated partner exactly when eps ≥ 3.
+        let a = rigid(0.0, 0.0, 1.0, 0.0, 0.0, 0.0);
+        let b = rigid(4.0, 0.0, 1.0, 0.0, 0.0, 0.0);
+        assert!(a.intersect_interval(&b.inflate(3.0), 0.0, 10.0).is_some());
+        assert!(a.intersect_interval(&b.inflate(2.9), 0.0, 10.0).is_none());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Oracle differential for the proximity join.
+//!
+//! The engine's contract is **bit-identical** agreement with the
+//! brute-force oracle — not tolerance bands. Both sides refine with the
+//! same `within_dist_sq_interval` primitive over the same window
+//! `[now, now + T_M]`, so pair sets, stored intervals (observed through
+//! `pair_status_at`) and activation times are exact-`assert_eq!`-equal
+//! at every tick, for ε ∈ {0, small, large} × threads ∈ {1, 4}. The
+//! parallel candidate sweep additionally reproduces the sequential
+//! engine's answer *and traversal counters* bit-for-bit.
+//!
+//! A final test routes the same workload through the shard coordinator
+//! (proximity engines behind `proximity_shard_factory`) and pins it to
+//! the unsharded engine.
+
+use std::sync::Arc;
+
+use cij_core::{ContinuousJoinEngine, EngineConfig, PairKey, PairStatus};
+use cij_geom::Time;
+use cij_shard::{HashPolicy, PartitionPolicy, ShardCoordinator};
+use cij_simjoin::{
+    proximity_shard_factory, BruteProximityEngine, ProximityConfig, ProximityJoinEngine,
+};
+use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
+use cij_workload::{generate_pair, Distribution, MovingObject, ObjectUpdate, Params, UpdateStream};
+
+const TICKS: u32 = 40;
+
+fn small_params(seed: u64) -> Params {
+    Params {
+        dataset_size: 80,
+        distribution: Distribution::Uniform,
+        seed,
+        space: 200.0,
+        object_size_pct: 1.0,
+        ..Params::default()
+    }
+}
+
+fn pool() -> BufferPool {
+    BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::sharded(128, 8),
+    )
+}
+
+fn scheduled_updates(
+    params: &Params,
+    a: &[MovingObject],
+    b: &[MovingObject],
+    ticks: u32,
+) -> Vec<(Time, Vec<ObjectUpdate>)> {
+    let mut stream = UpdateStream::new(params, a, b, 0.0);
+    (1..=ticks)
+        .map(|tick| {
+            let now = Time::from(tick);
+            (now, stream.tick(now))
+        })
+        .collect()
+}
+
+/// One tick's observable answer: the active pairs and, for each, its
+/// exact `PairStatus` (current interval + next activation) — the floats
+/// the delta layer schedules on.
+type Snapshot = (Time, Vec<(PairKey, PairStatus)>);
+
+/// Drives any engine over the schedule, snapshotting after every tick.
+fn drive(
+    engine: &mut dyn ContinuousJoinEngine,
+    schedule: &[(Time, Vec<ObjectUpdate>)],
+) -> Vec<Snapshot> {
+    engine.run_initial_join(0.0).unwrap();
+    let mut out = Vec::with_capacity(schedule.len() + 1);
+    let observe = |engine: &dyn ContinuousJoinEngine, t: Time| {
+        let pairs = engine.result_at(t);
+        (
+            t,
+            pairs
+                .into_iter()
+                .map(|p| (p, engine.pair_status_at(p, t)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    out.push(observe(engine, 0.0));
+    for (now, updates) in schedule {
+        engine.advance_time(*now).unwrap();
+        for u in updates {
+            engine.apply_update(u, *now).unwrap();
+        }
+        engine.gc(*now);
+        out.push(observe(engine, *now));
+    }
+    out
+}
+
+fn assert_snapshots_match(got: &[Snapshot], expect: &[Snapshot], context: &str) {
+    assert_eq!(got.len(), expect.len());
+    let mut nonempty = 0usize;
+    for ((tg, pg), (te, pe)) in got.iter().zip(expect) {
+        assert_eq!(tg, te);
+        assert_eq!(pg, pe, "{context}: answers diverge at t={tg}");
+        nonempty += usize::from(!pg.is_empty());
+    }
+    assert!(
+        nonempty >= 3,
+        "{context}: answer almost always empty — vacuous differential"
+    );
+}
+
+/// Engine (threads 1 and 4) vs brute-force oracle on one workload: pair
+/// sets and interval floats identical at every tick; the two engine runs
+/// also agree on traversal counters and candidate/refine tallies.
+fn differential_for(eps: f64, seed: u64) {
+    let params = small_params(seed);
+    let (a, b) = generate_pair(&params, 0.0);
+    let schedule = scheduled_updates(&params, &a, &b, TICKS);
+
+    let mut oracle =
+        BruteProximityEngine::new(ProximityConfig::new(EngineConfig::default(), eps), &a, &b);
+    let expect = drive(&mut oracle, &schedule);
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let config = ProximityConfig::new(EngineConfig::builder().threads(threads).build(), eps);
+        let mut engine = ProximityJoinEngine::new(pool(), config, &a, &b, 0.0).unwrap();
+        let got = drive(&mut engine, &schedule);
+        assert_snapshots_match(&got, &expect, &format!("eps={eps} threads={threads}"));
+        assert!(
+            engine.candidates() >= engine.refine_rejects(),
+            "rejects cannot exceed candidates"
+        );
+        runs.push((
+            engine.counters(),
+            engine.candidates(),
+            engine.refine_rejects(),
+        ));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "eps={eps}: parallel run not bit-identical to sequential (counters/candidates)"
+    );
+}
+
+#[test]
+fn proximity_matches_oracle_at_eps_zero() {
+    // ε = 0 degenerates to the plain intersection predicate.
+    differential_for(0.0, 501);
+}
+
+#[test]
+fn proximity_matches_oracle_at_small_eps() {
+    // Comparable to an object side (2.0 in this parameterization).
+    differential_for(2.5, 502);
+}
+
+#[test]
+fn proximity_matches_oracle_at_large_eps() {
+    // A sizeable fraction of the 200-unit space: dense answers, heavy
+    // candidate traffic.
+    differential_for(30.0, 503);
+}
+
+#[test]
+fn refine_pass_actually_rejects_candidates() {
+    // Sanity against silent refine-bypass: with a small ε the inflated
+    // intersection join must over-approximate, so some candidates get
+    // rejected — otherwise the differential above would also pass for a
+    // candidates-only engine with an inflated answer.
+    let params = small_params(504);
+    let (a, b) = generate_pair(&params, 0.0);
+    let schedule = scheduled_updates(&params, &a, &b, TICKS);
+    let config = ProximityConfig::new(EngineConfig::default(), 1.0);
+    let mut engine = ProximityJoinEngine::new(pool(), config, &a, &b, 0.0).unwrap();
+    drive(&mut engine, &schedule);
+    assert!(engine.candidates() > 0, "no candidates generated");
+    assert!(
+        engine.refine_rejects() > 0,
+        "refine never rejected — inflation is not over-approximating"
+    );
+}
+
+#[test]
+fn sharded_proximity_matches_unsharded() {
+    let eps = 2.5;
+    let params = small_params(505);
+    let (a, b) = generate_pair(&params, 0.0);
+    let schedule = scheduled_updates(&params, &a, &b, TICKS);
+
+    let config = ProximityConfig::new(EngineConfig::default(), eps);
+    let mut reference = ProximityJoinEngine::new(pool(), config, &a, &b, 0.0).unwrap();
+    let expect = drive(&mut reference, &schedule);
+
+    let policy = Arc::new(HashPolicy::new(3)) as Arc<dyn PartitionPolicy>;
+    let factory = proximity_shard_factory(eps);
+    let mut sharded = ShardCoordinator::new(
+        pool(),
+        EngineConfig::default(),
+        policy,
+        &a,
+        &b,
+        0.0,
+        &factory,
+    )
+    .unwrap();
+    let got = drive(&mut sharded, &schedule);
+    assert_snapshots_match(&got, &expect, "sharded(k=3)");
+}

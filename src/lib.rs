@@ -20,6 +20,7 @@
 //! | [`stream`] | `cij-stream` | update ingestion, result-delta subscriptions, WAL recovery |
 //! | [`shard`] | `cij-shard` | partitioned multi-engine coordinator with cross-shard join routing |
 //! | [`dist`] | `cij-dist` | coordinator/worker distributed deployment with pluggable transport |
+//! | [`simjoin`] | `cij-simjoin` | continuous ε-threshold similarity join (Minkowski candidates + exact refine) |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use cij_dist as dist;
 pub use cij_geom as geom;
 pub use cij_join as join;
 pub use cij_shard as shard;
+pub use cij_simjoin as simjoin;
 pub use cij_storage as storage;
 pub use cij_stream as stream;
 pub use cij_tpr as tpr;
