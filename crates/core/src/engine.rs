@@ -232,6 +232,35 @@ pub trait ContinuousJoinEngine {
         })
     }
 
+    /// Re-registers an object that is *already live in the system* —
+    /// last updated at `registered_at ≤ now` — into this engine at
+    /// `now`, and joins it against the other side. The shard
+    /// coordinator's re-partition path moves objects between engines
+    /// *without* a fresh trajectory update, so unlike
+    /// [`insert_object`](Self::insert_object) (where `mbr.t_ref == now`)
+    /// the registration must keep the object's original update time:
+    /// engines that key removal by update time (MTB buckets, Bˣ
+    /// partitions) file the object under `registered_at`, so the *next*
+    /// producer update — which still carries the old `last_update` —
+    /// finds it exactly where the unsharded engine would. Probe windows
+    /// may use `now` (they end at or after the windows the original
+    /// registration used, and every window is exact inside its span, so
+    /// observable answers are unchanged — the invariant the rebalance
+    /// differential suite pins).
+    ///
+    /// The default delegates to `insert_object`, which is correct for
+    /// engines that locate objects purely by trajectory (Naive, TC).
+    fn restore_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        _registered_at: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        self.insert_object(set, id, mbr, now)
+    }
+
     /// Garbage-collects answer state that can never be reported again
     /// (intervals entirely before `now`). Engines with interval buffers
     /// override this; the simulation driver calls it once per tick.
@@ -1028,6 +1057,33 @@ impl ContinuousJoinEngine for MtbEngine {
         Ok(())
     }
 
+    fn restore_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        registered_at: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        let t_m = self.config.t_m;
+        let (own, other) = match set {
+            SetTag::A => (&mut self.mtb_a, &self.mtb_b),
+            SetTag::B => (&mut self.mtb_b, &self.mtb_a),
+        };
+        // Bucket by the object's *original* update time: MTB buckets
+        // live on a global grid, so the restored object lands in the
+        // same bucket the unsharded engine holds it in — its next
+        // producer update (still stamped with the old `last_update`)
+        // removes it from exactly that bucket, and every Theorem-2
+        // per-bucket window it participates in keeps the oracle's t_eb.
+        own.insert(id, mbr, registered_at, now)?;
+        for (partner, iv) in other.join_object(&mbr, now, |t_eb| t_eb.min(now) + t_m)? {
+            let (a, b) = orient(set, id, partner);
+            self.buffer.add(a, b, iv);
+        }
+        Ok(())
+    }
+
     fn remove_object(
         &mut self,
         set: SetTag,
@@ -1212,6 +1268,33 @@ impl ContinuousJoinEngine for BxEngine {
             SetTag::B => (&mut self.bx_b, &self.bx_a),
         };
         own.insert(id, mbr, now)?;
+        if set == SetTag::A {
+            self.reg_a.insert(id, mbr);
+        }
+        for (partner, iv) in other.intersect_window(&mbr, now, now + t_m)? {
+            let (a, b) = orient(set, id, partner);
+            self.buffer.add(a, b, iv);
+        }
+        Ok(())
+    }
+
+    fn restore_object(
+        &mut self,
+        set: SetTag,
+        id: ObjectId,
+        mbr: MovingRect,
+        registered_at: Time,
+        now: Time,
+    ) -> TprResult<()> {
+        let t_m = self.config.t_m;
+        let (own, other) = match set {
+            SetTag::A => (&mut self.bx_a, &self.bx_b),
+            SetTag::B => (&mut self.bx_b, &self.bx_a),
+        };
+        // File under the original update time: Bˣ partitions are keyed
+        // by registration timestamp, and the next producer update still
+        // carries the old `last_update`.
+        own.insert(id, mbr, registered_at)?;
         if set == SetTag::A {
             self.reg_a.insert(id, mbr);
         }

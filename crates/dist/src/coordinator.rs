@@ -191,10 +191,10 @@ impl DistCoordinator {
         let mut parts_a: Vec<Vec<MovingObject>> = vec![Vec::new(); k];
         let mut parts_b: Vec<Vec<MovingObject>> = vec![Vec::new(); k];
         for o in set_a {
-            parts_a[router.place(o.id, &o.mbr)].push(*o);
+            parts_a[router.place(o.id, SetTag::A, &o.mbr, now)].push(*o);
         }
         for o in set_b {
-            parts_b[router.place(o.id, &o.mbr)].push(*o);
+            parts_b[router.place(o.id, SetTag::B, &o.mbr, now)].push(*o);
         }
 
         let mut slot_of = HashMap::new();
@@ -491,8 +491,8 @@ impl DistCoordinator {
 
     /// Projects one update onto per-slot op lists, updating the
     /// router's placement as a side effect.
-    fn route_ops(&mut self, update: &ObjectUpdate, ops: &mut [Vec<ShardOp>]) {
-        match self.router.route(update.id, &update.new_mbr) {
+    fn route_ops(&mut self, update: &ObjectUpdate, ops: &mut [Vec<ShardOp>], now: Time) {
+        match self.router.route(update, now) {
             RouteDecision::Stay(shard) => {
                 for &slot in self.fan(update.set, shard) {
                     ops[slot].push(ShardOp::Apply(*update));
@@ -570,7 +570,7 @@ impl ContinuousJoinEngine for DistCoordinator {
         self.take_deferred()?;
         let mut ops: Vec<Vec<ShardOp>> = vec![Vec::new(); self.slots.len()];
         for u in updates {
-            self.route_ops(u, &mut ops);
+            self.route_ops(u, &mut ops, now);
         }
         for (idx, slot_ops) in ops.into_iter().enumerate() {
             self.seq += 1;
@@ -613,7 +613,7 @@ impl ContinuousJoinEngine for DistCoordinator {
         now: Time,
     ) -> TprResult<()> {
         self.take_deferred()?;
-        let shard = self.router.place(id, &mbr);
+        let shard = self.router.place(id, set, &mbr, now);
         match set {
             SetTag::A => self.population_a[shard] += 1,
             SetTag::B => self.population_b[shard] += 1,
@@ -631,9 +631,10 @@ impl ContinuousJoinEngine for DistCoordinator {
         now: Time,
     ) -> TprResult<()> {
         self.take_deferred()?;
-        let Some(shard) = self.router.remove(id) else {
+        let Some(record) = self.router.remove(id) else {
             return Err(TprError::ObjectNotFound(id));
         };
+        let shard = record.shard;
         match set {
             SetTag::A => self.population_a[shard] -= 1,
             SetTag::B => self.population_b[shard] -= 1,

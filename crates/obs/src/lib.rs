@@ -21,6 +21,9 @@
 //! * [`MetricsSnapshot`] — a deterministic (name-sorted) point-in-time
 //!   view with a Prometheus text-exposition encoder, a JSON encoder,
 //!   and delta arithmetic for per-phase attribution.
+//! * [`QuantileSketch`] — a deterministic fixed-range streaming
+//!   quantile sketch (linear histogram + interpolation), the substrate
+//!   the adaptive shard controller reads partition boundaries from.
 //!
 //! The crate is dependency-free and allocation-free on the record path.
 
@@ -29,10 +32,12 @@
 
 mod encode;
 mod histogram;
+mod quantile;
 mod registry;
 
 pub use encode::validate_prometheus;
 pub use histogram::{HistogramCell, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use quantile::QuantileSketch;
 pub use registry::{
     Counter, CounterCell, Gauge, GaugeCell, Histogram, MetricsRegistry, MetricsSnapshot, Span,
 };

@@ -22,6 +22,17 @@
 //! bit-identical to the single-engine oracle by the differential suite
 //! in `tests/differential.rs`.
 //!
+//! Partitions need not stay fixed: a coordinator built
+//! [`with_factory`](ShardCoordinator::with_factory) can
+//! [`rebalance_to`](ShardCoordinator::rebalance_to) a new policy while
+//! the join runs (boundary shift, shard split, shard merge), and
+//! [`enable_adaptive`](ShardCoordinator::enable_adaptive) arms an
+//! [`AdaptiveController`] that derives equal-weight boundaries from a
+//! streaming quantile sketch of the observed trajectories and triggers
+//! those rebalances when the population imbalance crosses a threshold —
+//! the differential suite pins the merged answer across re-partition
+//! events too.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use cij_core::{ContinuousJoinEngine, EngineConfig, MtbEngine};
@@ -52,12 +63,17 @@
 
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod coordinator;
 pub mod policy;
 pub mod report;
 pub mod router;
 
-pub use coordinator::{ShardCoordinator, ShardEngineFactory};
-pub use policy::{HashPolicy, PartitionPolicy, SpatialGridPolicy, VelocityBandPolicy};
+pub use adaptive::{AdaptiveAxis, AdaptiveConfig, AdaptiveController};
+pub use coordinator::{ShardCoordinator, ShardEngineFactory, SharedShardEngineFactory};
+pub use policy::{
+    worst_corner_speed, HashPolicy, PartitionPolicy, SpatialBoundsPolicy, SpatialGridPolicy,
+    VelocityBandPolicy, VelocityBoundsPolicy,
+};
 pub use report::{PairReport, ShardReport};
-pub use router::{RouteDecision, ShardRouter};
+pub use router::{ObjectRecord, RebalanceMove, RouteDecision, ShardRouter};

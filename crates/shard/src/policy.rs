@@ -18,6 +18,22 @@
 //! keeps each TPR-tree's velocity bounding rectangles tight, which is
 //! exactly the dead space that inflates time-parameterized MBRs on a
 //! mixed population.
+//!
+//! # Boundary discipline
+//!
+//! Placement must be *reproducible*: the router re-evaluates
+//! `shard_of` on every update and during re-partitioning, and recovery
+//! replays it — a value sitting exactly on a partition boundary must
+//! land in the same shard every single time, under every equivalent
+//! formulation of the boundaries. Every policy here therefore stores
+//! its boundaries as **explicit precomputed values** and classifies by
+//! direct comparison (`partition_point` over ascending edges, with
+//! boundary-exact values going to the upper side), never by re-deriving
+//! the edge arithmetically per call: `(speed / max_speed * k).floor()`
+//! can round a boundary-exact speed to either side depending on how
+//! `max_speed / k` rounds, which would disagree with an adaptive
+//! bounds policy carrying the numerically identical edges (the same
+//! exact-tie class of bug the simjoin inflation padding fixed).
 
 use cij_geom::MovingRect;
 use cij_tpr::ObjectId;
@@ -46,6 +62,27 @@ pub trait PartitionPolicy: Send + Sync {
     fn joinable(&self, _shard_a: usize, _shard_b: usize) -> bool {
         true
     }
+}
+
+/// The speed key every velocity policy bands on: the faster of the two
+/// corner velocities. Workload rectangles are rigid (`vlo == vhi`), but
+/// for a non-rigid rect the corners can straddle a band boundary — the
+/// worst corner is the one whose expansion actually dominates the
+/// tree's velocity bounding rectangle, and keying on it keeps placement
+/// and the migration re-check in agreement (keying on `vlo` alone let
+/// them disagree).
+#[must_use]
+pub fn worst_corner_speed(mbr: &MovingRect) -> f64 {
+    let lo = (mbr.vlo[0].powi(2) + mbr.vlo[1].powi(2)).sqrt();
+    let hi = (mbr.vhi[0].powi(2) + mbr.vhi[1].powi(2)).sqrt();
+    lo.max(hi)
+}
+
+/// Classifies `value` against ascending band edges: the number of edges
+/// `≤ value`, so a value exactly on an edge deterministically takes the
+/// upper band. One comparison discipline shared by every banded policy.
+fn band_of(edges: &[f64], value: f64) -> usize {
+    edges.partition_point(|&e| e <= value)
 }
 
 /// Trajectory-independent placement by object id — the neutral baseline:
@@ -82,35 +119,59 @@ impl PartitionPolicy for HashPolicy {
     }
 }
 
-/// Placement by velocity magnitude: band `⌊|v| / max_speed · K⌋`
-/// (clamped). Slow objects share trees whose velocity rectangles stay
-/// tight; the fast minority pays its own expansion. Objects migrate when
-/// a trajectory update crosses a band boundary.
-#[derive(Debug, Clone, Copy)]
+/// Placement by velocity magnitude into `K` equal-width speed bands
+/// over `[0, max_speed]`. Slow objects share trees whose velocity
+/// rectangles stay tight; the fast minority pays its own expansion.
+/// Objects migrate when a trajectory update crosses a band boundary.
+///
+/// Band edges are precomputed at construction and classified by direct
+/// comparison (see the module docs); speeds at or above `max_speed`
+/// clamp into the top band because only `k - 1` interior edges exist.
+#[derive(Debug, Clone)]
 pub struct VelocityBandPolicy {
     k: usize,
     max_speed: f64,
+    /// Ascending interior edges: `edges[i] = max_speed · (i+1) / k`,
+    /// the lower edge of band `i + 1`. Empty when `max_speed == 0`
+    /// (degenerate: everyone in band 0).
+    edges: Vec<f64>,
 }
 
 impl VelocityBandPolicy {
-    /// `k ≥ 1` equal-width speed bands over `[0, max_speed]`. Speeds
-    /// above `max_speed` (not produced by the workloads) clamp into the
-    /// top band.
+    /// `k ≥ 1` equal-width speed bands over `[0, max_speed]`.
     #[must_use]
     pub fn new(k: usize, max_speed: f64) -> Self {
         assert!(k >= 1, "shard count must be at least 1");
         assert!(max_speed >= 0.0, "max_speed must be non-negative");
-        Self { k, max_speed }
+        let edges = if max_speed > 0.0 {
+            (1..k).map(|i| max_speed * i as f64 / k as f64).collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            k,
+            max_speed,
+            edges,
+        }
     }
 
     /// The band of a given speed.
     #[must_use]
     pub fn band_of_speed(&self, speed: f64) -> usize {
-        if self.max_speed <= 0.0 {
-            return 0;
-        }
-        let band = (speed / self.max_speed * self.k as f64).floor() as usize;
-        band.min(self.k - 1)
+        band_of(&self.edges, speed)
+    }
+
+    /// The precomputed interior band edges (ascending, `k - 1` values —
+    /// the exact floats placement compares against).
+    #[must_use]
+    pub fn boundaries(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// The `max_speed` the equal-width edges were derived from.
+    #[must_use]
+    pub fn max_speed(&self) -> f64 {
+        self.max_speed
     }
 }
 
@@ -124,10 +185,58 @@ impl PartitionPolicy for VelocityBandPolicy {
     }
 
     fn shard_of(&self, _id: ObjectId, mbr: &MovingRect) -> usize {
-        // Workload objects are rigid (vlo == vhi); for a non-rigid rect
-        // the lower-corner velocity still gives a consistent, stable key.
-        let speed = (mbr.vlo[0].powi(2) + mbr.vlo[1].powi(2)).sqrt();
-        self.band_of_speed(speed)
+        self.band_of_speed(worst_corner_speed(mbr))
+    }
+}
+
+/// Velocity banding over *explicit* edges — the shape the adaptive
+/// controller emits: edges are observed speed quantiles, so each band
+/// holds an equal share of the population instead of an equal share of
+/// the speed range. Classification is the same direct comparison as
+/// [`VelocityBandPolicy`]; a policy built from numerically identical
+/// edges places every object identically.
+#[derive(Debug, Clone)]
+pub struct VelocityBoundsPolicy {
+    edges: Vec<f64>,
+}
+
+impl VelocityBoundsPolicy {
+    /// A policy over `edges.len() + 1` bands split at the given
+    /// ascending interior edges.
+    ///
+    /// # Panics
+    /// If any edge is non-finite or the sequence is not non-decreasing.
+    #[must_use]
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(
+            edges.iter().all(|e| e.is_finite()),
+            "band edges must be finite"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] <= w[1]),
+            "band edges must be ascending"
+        );
+        Self { edges }
+    }
+
+    /// The interior band edges.
+    #[must_use]
+    pub fn boundaries(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+impl PartitionPolicy for VelocityBoundsPolicy {
+    fn name(&self) -> &'static str {
+        "velocity-bounds"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    fn shard_of(&self, _id: ObjectId, mbr: &MovingRect) -> usize {
+        band_of(&self.edges, worst_corner_speed(mbr))
     }
 }
 
@@ -145,11 +254,14 @@ impl PartitionPolicy for VelocityBandPolicy {
 /// other. Two strips farther apart than `2·max_speed·T_M + extent` can
 /// never meet those conditions; [`SpatialGridPolicy::for_horizon`] adds
 /// one more extent of slack on top of that bound.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SpatialGridPolicy {
     k: usize,
     space: f64,
     reach: f64,
+    /// Ascending interior strip edges `space · (i+1) / k` — strip `i`
+    /// ends at `edges[i]`.
+    edges: Vec<f64>,
 }
 
 impl SpatialGridPolicy {
@@ -161,7 +273,13 @@ impl SpatialGridPolicy {
         assert!(k >= 1, "shard count must be at least 1");
         assert!(space > 0.0, "space must be positive");
         assert!(reach >= 0.0, "reach must be non-negative");
-        Self { k, space, reach }
+        let edges = (1..k).map(|i| space * i as f64 / k as f64).collect();
+        Self {
+            k,
+            space,
+            reach,
+            edges,
+        }
     }
 
     /// Strips with the safe reach `2·max_speed·t_m + 2·extent` for a
@@ -172,8 +290,16 @@ impl SpatialGridPolicy {
         Self::new(k, space, 2.0 * max_speed * t_m + 2.0 * extent)
     }
 
-    fn strip_width(&self) -> f64 {
-        self.space / self.k as f64
+    /// The interior strip edges.
+    #[must_use]
+    pub fn boundaries(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// The pruning reach.
+    #[must_use]
+    pub fn reach(&self) -> f64 {
+        self.reach
     }
 }
 
@@ -188,20 +314,88 @@ impl PartitionPolicy for SpatialGridPolicy {
 
     fn shard_of(&self, _id: ObjectId, mbr: &MovingRect) -> usize {
         let cx = (mbr.lo[0] + mbr.hi[0]) / 2.0;
-        let strip = (cx.clamp(0.0, self.space) / self.strip_width()).floor() as usize;
-        strip.min(self.k - 1)
+        band_of(&self.edges, cx.clamp(0.0, self.space))
     }
 
     fn joinable(&self, shard_a: usize, shard_b: usize) -> bool {
-        let w = self.strip_width();
-        let (lo, hi) = if shard_a <= shard_b {
-            (shard_a, shard_b)
-        } else {
-            (shard_b, shard_a)
-        };
-        // Gap between the strips' x-intervals.
-        let gap = (hi - lo) as f64 * w - w;
-        gap <= self.reach
+        strip_gap(&self.edges, shard_a, shard_b) <= self.reach
+    }
+}
+
+/// The gap between the x-intervals of strips `a` and `b` under the
+/// given interior edges (0 for the same or adjacent strips): strip `j`
+/// starts at `edges[j-1]` and strip `i` ends at `edges[i]`.
+fn strip_gap(edges: &[f64], a: usize, b: usize) -> f64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    if hi - lo <= 1 {
+        return 0.0;
+    }
+    edges[hi - 1] - edges[lo]
+}
+
+/// Spatial strips over *explicit* edges — the adaptive controller's
+/// spatial shape: edges are observed x-center quantiles, so dense
+/// regions get narrow strips. Keeps [`SpatialGridPolicy`]'s reach-based
+/// join-plan pruning, computed from the actual (uneven) strip gaps, so
+/// the drift soundness argument carries over verbatim: `reach` must
+/// still dominate `2·max_speed·T_M + 2·extent`.
+#[derive(Debug, Clone)]
+pub struct SpatialBoundsPolicy {
+    edges: Vec<f64>,
+    reach: f64,
+}
+
+impl SpatialBoundsPolicy {
+    /// A policy over `edges.len() + 1` strips split at the given
+    /// ascending interior edges, pruning pairs whose strips are farther
+    /// than `reach` apart.
+    ///
+    /// # Panics
+    /// If any edge is non-finite, the sequence is not non-decreasing,
+    /// or `reach` is negative.
+    #[must_use]
+    pub fn new(edges: Vec<f64>, reach: f64) -> Self {
+        assert!(
+            edges.iter().all(|e| e.is_finite()),
+            "strip edges must be finite"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] <= w[1]),
+            "strip edges must be ascending"
+        );
+        assert!(reach >= 0.0, "reach must be non-negative");
+        Self { edges, reach }
+    }
+
+    /// The interior strip edges.
+    #[must_use]
+    pub fn boundaries(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// The pruning reach.
+    #[must_use]
+    pub fn reach(&self) -> f64 {
+        self.reach
+    }
+}
+
+impl PartitionPolicy for SpatialBoundsPolicy {
+    fn name(&self) -> &'static str {
+        "spatial-bounds"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    fn shard_of(&self, _id: ObjectId, mbr: &MovingRect) -> usize {
+        let cx = (mbr.lo[0] + mbr.hi[0]) / 2.0;
+        band_of(&self.edges, cx)
+    }
+
+    fn joinable(&self, shard_a: usize, shard_b: usize) -> bool {
+        strip_gap(&self.edges, shard_a, shard_b) <= self.reach
     }
 }
 
@@ -246,6 +440,67 @@ mod tests {
         assert_eq!(z.shard_of(ObjectId(1), &rect_at(0.0, [0.0, 0.0])), 0);
     }
 
+    /// Regression (satellite: non-rigid banding): placement must key on
+    /// the *worst* corner speed. With the old `vlo`-only key, a rect
+    /// whose lower corner crawls while the upper corner races landed in
+    /// band 0 — and any consumer re-deriving the band from the true
+    /// velocity extent disagreed with the router's placement.
+    #[test]
+    fn non_rigid_rects_band_on_worst_corner() {
+        let p = VelocityBandPolicy::new(4, 4.0);
+        let mut mbr = rect_at(0.0, [0.1, 0.0]);
+        mbr.vhi = [3.9, 0.0]; // upper corner near top speed
+        assert_eq!(worst_corner_speed(&mbr), 3.9);
+        assert_eq!(p.shard_of(ObjectId(1), &mbr), 3, "must band on vhi");
+        // Symmetric: the lower corner can be the fast one (shrinking
+        // rect) — still the worst corner.
+        let mut shrink = rect_at(0.0, [-3.9, 0.0]);
+        shrink.vhi = [0.1, 0.0];
+        assert_eq!(p.shard_of(ObjectId(1), &shrink), 3);
+        // Rigid rects are unchanged by the fix.
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [1.5, 0.0])), 1);
+    }
+
+    /// Regression (satellite: boundary float ties): a speed exactly on
+    /// a band edge classifies into the upper band, by direct comparison
+    /// against the precomputed edge — for every k/max_speed, including
+    /// ones where `(speed / max_speed * k).floor()` rounds the other
+    /// way (e.g. 0.1 / 0.3 * 3 = 0.999…).
+    #[test]
+    fn boundary_exact_speeds_take_the_upper_band() {
+        for (k, max_speed) in [(3usize, 0.3f64), (4, 4.0), (7, 1.1), (5, 3.0)] {
+            let p = VelocityBandPolicy::new(k, max_speed);
+            for (i, &edge) in p.boundaries().iter().enumerate() {
+                assert_eq!(
+                    p.band_of_speed(edge),
+                    i + 1,
+                    "k={k} max={max_speed}: edge {i} must go up"
+                );
+                // And an equivalent explicit-bounds policy agrees on the
+                // exact edge floats — the invariant a rebalance between
+                // the two shapes depends on.
+                let q = VelocityBoundsPolicy::new(p.boundaries().to_vec());
+                let mbr = rect_at(0.0, [edge, 0.0]);
+                assert_eq!(q.shard_of(ObjectId(9), &mbr), p.shard_of(ObjectId(9), &mbr));
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_bounds_places_and_prunes_nothing() {
+        let p = VelocityBoundsPolicy::new(vec![0.5, 2.0]);
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [0.4, 0.0])), 0);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [0.5, 0.0])), 1);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [1.9, 0.0])), 1);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(0.0, [2.0, 0.0])), 2);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(p.joinable(i, j));
+            }
+        }
+    }
+
     #[test]
     fn spatial_strips_place_by_center_and_prune_far_pairs() {
         let p = SpatialGridPolicy::new(4, 2000.0, 22.0);
@@ -264,5 +519,23 @@ mod tests {
                 assert!(all.joinable(i, j));
             }
         }
+    }
+
+    #[test]
+    fn spatial_bounds_uneven_strips_gap_by_actual_edges() {
+        // Strips: [..,10), [10,20), [20,500), [500,..) — the wide strip
+        // 2 keeps strips 1 and 3 adjacent-but-far.
+        let p = SpatialBoundsPolicy::new(vec![10.0, 20.0, 500.0], 30.0);
+        assert_eq!(p.shard_count(), 4);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(4.0, [0.0, 0.0])), 0);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(21.0, [0.0, 0.0])), 2);
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(999.0, [0.0, 0.0])), 3);
+        // Exact edge goes to the upper strip (center of rect at
+        // x=9.5..10.5 is exactly 10).
+        assert_eq!(p.shard_of(ObjectId(1), &rect_at(9.5, [0.0, 0.0])), 1);
+        // Gaps: (0,2) = 20-10 = 10 ≤ 30 joinable; (0,3) = 500-10 pruned;
+        // (1,3) = 500-20 pruned; adjacency always joinable.
+        assert!(p.joinable(0, 1) && p.joinable(0, 2) && p.joinable(2, 3));
+        assert!(!p.joinable(0, 3) && !p.joinable(3, 1));
     }
 }

@@ -30,8 +30,13 @@ pub struct ShardReport {
     pub k: usize,
     /// Coordinator fan-out width.
     pub threads: usize,
-    /// Cross-shard migrations routed so far.
+    /// Cross-shard migrations routed so far (update-driven).
     pub migrations: u64,
+    /// Re-partition events committed so far.
+    pub rebalances: u64,
+    /// Objects relocated by re-partitioning so far (policy-driven,
+    /// counted separately from `migrations`).
+    pub rebalance_moved: u64,
     /// A-side objects per shard.
     pub population_a: Vec<usize>,
     /// B-side objects per shard.
@@ -76,12 +81,14 @@ impl std::fmt::Display for ShardReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "policy={} K={} threads={} engines={} migrations={}",
+            "policy={} K={} threads={} engines={} migrations={} rebalances={} rebalanced={}",
             self.policy,
             self.k,
             self.threads,
             self.engine_count(),
-            self.migrations
+            self.migrations,
+            self.rebalances,
+            self.rebalance_moved
         )?;
         writeln!(
             f,

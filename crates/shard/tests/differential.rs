@@ -2,19 +2,21 @@
 //! observationally identical to the single engine it decomposes —
 //! `result_at` every tick, and the stream-service delta sequence — for
 //! every partition policy × K ∈ {1, 2, 4} × coordinator threads ∈
-//! {1, 4}, including runs with forced cross-shard migrations and plans
-//! with pruned shard pairs.
+//! {1, 4}, including runs with forced cross-shard migrations, plans
+//! with pruned shard pairs, and **forced mid-run re-partitions**
+//! (boundary shifts, shard splits, shard merges via
+//! [`ShardCoordinator::rebalance_to`]).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use cij_core::{ContinuousJoinEngine, EngineConfig, MtbEngine, NaiveEngine, TcEngine};
+use cij_core::{BxEngine, ContinuousJoinEngine, EngineConfig, MtbEngine, NaiveEngine, TcEngine};
 use cij_geom::{MovingRect, Rect, Time};
 use cij_shard::{
-    HashPolicy, PartitionPolicy, ShardCoordinator, SpatialGridPolicy, VelocityBandPolicy,
+    HashPolicy, PartitionPolicy, ShardCoordinator, SharedShardEngineFactory, SpatialBoundsPolicy,
+    SpatialGridPolicy, VelocityBandPolicy, VelocityBoundsPolicy,
 };
 use cij_storage::{BufferPool, BufferPoolConfig, InMemoryStore};
-use cij_tpr::TprResult;
 use cij_workload::{generate_pair, Distribution, ObjectUpdate, Params, SetTag, UpdateStream};
 
 fn pool() -> BufferPool {
@@ -50,63 +52,60 @@ enum Kind {
     Naive,
     Tc,
     Mtb,
+    Bx,
 }
 
-fn build_single(
-    kind: Kind,
-    config: EngineConfig,
-    a: &[cij_workload::MovingObject],
-    b: &[cij_workload::MovingObject],
-    now: Time,
-) -> TprResult<Box<dyn ContinuousJoinEngine + Send>> {
-    Ok(match kind {
-        Kind::Naive => Box::new(NaiveEngine::new(pool(), config, a, b, now)?),
-        Kind::Tc => Box::new(TcEngine::new(pool(), config, a, b, now)?),
-        Kind::Mtb => Box::new(MtbEngine::new(pool(), config, a, b, now)?),
+/// One engine builder serves both roles: called directly it builds the
+/// single-engine oracle; handed to the coordinator it builds shard-pair
+/// engines — including fresh ones mid-run during a rebalance.
+fn make_factory(kind: Kind, params: &Params) -> SharedShardEngineFactory {
+    let bx = cij_bx::BxConfig {
+        t_m: params.maximum_update_interval,
+        space: params.space,
+        max_speed: params.max_speed,
+        max_extent: params.object_side(),
+        ..Default::default()
+    };
+    Arc::new(move |pool, cfg, a, b, now| {
+        Ok(match kind {
+            Kind::Naive => Box::new(NaiveEngine::new(pool, *cfg, a, b, now)?)
+                as Box<dyn ContinuousJoinEngine + Send>,
+            Kind::Tc => Box::new(TcEngine::new(pool, *cfg, a, b, now)?),
+            Kind::Mtb => Box::new(MtbEngine::new(pool, *cfg, a, b, now)?),
+            Kind::Bx => Box::new(BxEngine::new(pool, *cfg, bx, a, b, now)?),
+        })
     })
 }
 
-fn build_coordinator(
-    kind: Kind,
-    config: EngineConfig,
-    policy: Arc<dyn PartitionPolicy>,
-    a: &[cij_workload::MovingObject],
-    b: &[cij_workload::MovingObject],
-    now: Time,
-) -> TprResult<ShardCoordinator> {
-    ShardCoordinator::new(
-        pool(),
-        config,
-        policy,
-        a,
-        b,
-        now,
-        &|pool, cfg, a, b, now| {
-            Ok(match kind {
-                Kind::Naive => Box::new(NaiveEngine::new(pool, *cfg, a, b, now)?),
-                Kind::Tc => Box::new(TcEngine::new(pool, *cfg, a, b, now)?),
-                Kind::Mtb => Box::new(MtbEngine::new(pool, *cfg, a, b, now)?),
-            })
-        },
-    )
-}
-
 /// Runs coordinator and single-engine oracle in lockstep over the same
-/// deterministic stream, asserting equal answers every tick. Returns
-/// the coordinator for post-run assertions.
-fn run_lockstep(
+/// deterministic stream, re-partitioning the coordinator at every
+/// `(tick, policy)` of `schedule`, asserting equal answers every tick —
+/// including the rebalance ticks themselves — and counter/population
+/// conservation at the end. Returns the coordinator for further
+/// assertions.
+fn run_lockstep_rebalancing(
     kind: Kind,
-    policy: Arc<dyn PartitionPolicy>,
+    initial: Arc<dyn PartitionPolicy>,
+    schedule: &[(u32, Arc<dyn PartitionPolicy>)],
     params: &Params,
     threads: usize,
     ticks: u32,
 ) -> ShardCoordinator {
     let (a, b) = generate_pair(params, 0.0);
     let config = engine_config(params);
-    let mut oracle = build_single(kind, config, &a, &b, 0.0).expect("oracle");
+    let factory = make_factory(kind, params);
+    let mut oracle = factory(pool(), &config, &a, &b, 0.0).expect("oracle");
     let sharded_config = EngineConfig { threads, ..config };
-    let mut coord =
-        build_coordinator(kind, sharded_config, policy.clone(), &a, &b, 0.0).expect("coordinator");
+    let mut coord = ShardCoordinator::with_factory(
+        pool(),
+        sharded_config,
+        initial.clone(),
+        &a,
+        &b,
+        0.0,
+        factory,
+    )
+    .expect("coordinator");
 
     let mut stream = UpdateStream::new(params, &a, &b, 0.0);
     oracle.run_initial_join(0.0).expect("oracle initial");
@@ -115,10 +114,12 @@ fn run_lockstep(
         coord.result_at(0.0),
         oracle.result_at(0.0),
         "policy={} K={} threads={threads}: initial join diverged",
-        policy.name(),
-        policy.shard_count()
+        initial.name(),
+        initial.shard_count()
     );
 
+    let mut expected_rebalances = 0u64;
+    let mut expected_moved = 0u64;
     for tick in 1..=ticks {
         let now = Time::from(tick);
         let updates = stream.tick(now);
@@ -130,15 +131,45 @@ fn run_lockstep(
         coord.apply_batch(&updates, now).expect("sharded batch");
         oracle.gc(now);
         coord.gc(now);
+        if let Some((_, next)) = schedule.iter().find(|(t, _)| *t == tick) {
+            let moved = coord
+                .rebalance_to(next.clone(), now)
+                .expect("forced rebalance");
+            expected_rebalances += 1;
+            expected_moved += moved as u64;
+            assert_eq!(coord.shard_count(), next.shard_count(), "t={now}");
+        }
         assert_eq!(
             coord.result_at(now),
             oracle.result_at(now),
             "policy={} K={} threads={threads}: diverged at t={now}",
-            policy.name(),
-            policy.shard_count()
+            initial.name(),
+            initial.shard_count()
         );
     }
+
+    // Conservation: every rebalance is counted, every object is still
+    // placed in exactly one shard, and the per-shard populations sum
+    // back to the datasets.
+    assert_eq!(coord.rebalances(), expected_rebalances);
+    assert_eq!(coord.rebalance_moved(), expected_moved);
+    let report = coord.report();
+    assert_eq!(report.rebalances, expected_rebalances);
+    assert_eq!(report.rebalance_moved, expected_moved);
+    assert_eq!(report.population_a.iter().sum::<usize>(), a.len());
+    assert_eq!(report.population_b.iter().sum::<usize>(), b.len());
     coord
+}
+
+/// Lockstep without re-partitions — the fixed-policy contract.
+fn run_lockstep(
+    kind: Kind,
+    policy: Arc<dyn PartitionPolicy>,
+    params: &Params,
+    threads: usize,
+    ticks: u32,
+) -> ShardCoordinator {
+    run_lockstep_rebalancing(kind, policy, &[], params, threads, ticks)
 }
 
 #[test]
@@ -233,6 +264,162 @@ fn naive_engine_sharded_matches_oracle() {
     );
 }
 
+/// Forced re-partitions under the velocity axis: a boundary shift at
+/// K = 2, a split to K = 4 (fresh engines for every new row/column),
+/// and a merge back to K = 2 (engines dropped, fresh ones fully
+/// re-populated) — each × threads {1, 4}, all bit-identical to the
+/// oracle every tick.
+#[test]
+fn velocity_rebalance_shift_split_merge_matches_oracle() {
+    let params = skew_params(48);
+    for threads in [1usize, 4] {
+        let schedule: Vec<(u32, Arc<dyn PartitionPolicy>)> = vec![
+            // K=2 boundary shift: 1.5 (equal-width) → 0.9.
+            (10, Arc::new(VelocityBoundsPolicy::new(vec![0.9]))),
+            // Split: K=2 → K=4 at skew-aware edges.
+            (20, Arc::new(VelocityBoundsPolicy::new(vec![0.5, 1.5, 2.4]))),
+            // Merge: K=4 → K=2.
+            (30, Arc::new(VelocityBoundsPolicy::new(vec![1.2]))),
+        ];
+        let coord = run_lockstep_rebalancing(
+            Kind::Mtb,
+            Arc::new(VelocityBandPolicy::new(2, params.max_speed)),
+            &schedule,
+            &params,
+            threads,
+            40,
+        );
+        assert_eq!(coord.rebalances(), 3);
+        assert!(coord.rebalance_moved() > 0, "no object ever relocated");
+        assert_eq!(coord.shard_count(), 2);
+        assert_eq!(coord.engine_count(), 4);
+    }
+}
+
+/// Forced re-partitions under id-hash placement: K=2 → K=4 → K=2.
+/// Hash shards are trajectory-independent, so the movers are exactly
+/// the ids whose hash changes modulus — a pure split/merge stress of
+/// the evict/rebuild/restore machinery.
+#[test]
+fn hash_rebalance_split_merge_matches_oracle() {
+    let params = skew_params(49);
+    for threads in [1usize, 4] {
+        let schedule: Vec<(u32, Arc<dyn PartitionPolicy>)> = vec![
+            (12, Arc::new(HashPolicy::new(4))),
+            (24, Arc::new(HashPolicy::new(2))),
+        ];
+        let coord = run_lockstep_rebalancing(
+            Kind::Mtb,
+            Arc::new(HashPolicy::new(2)),
+            &schedule,
+            &params,
+            threads,
+            36,
+        );
+        assert_eq!(coord.rebalances(), 2);
+        assert!(coord.rebalance_moved() > 0);
+        // Rebalance moves must not be misattributed to update routing.
+        assert_eq!(coord.migrations(), 0);
+    }
+}
+
+/// Forced re-partitions under the spatial axis, with join-plan pruning
+/// in play: an uneven boundary shift at K = 2, a split to the pruned
+/// K = 4 strip plan (10 of 16 pairs), and a merge back to K = 2 —
+/// engines are created *and* dropped by joinability changes, not just
+/// by shard-count changes.
+#[test]
+fn spatial_rebalance_with_pruned_plans_matches_oracle() {
+    let params = Params {
+        max_speed: 1.0,
+        space: 300.0,
+        dataset_size: 150,
+        ..skew_params(50)
+    };
+    let side = params.object_side();
+    let reach = 2.0 * params.max_speed * params.maximum_update_interval + 2.0 * side;
+    for threads in [1usize, 4] {
+        let schedule: Vec<(u32, Arc<dyn PartitionPolicy>)> = vec![
+            // K=2 uneven boundary shift: 150 → 120.
+            (12, Arc::new(SpatialBoundsPolicy::new(vec![120.0], reach))),
+            // Split to the pruned equal-width K=4 plan.
+            (
+                24,
+                Arc::new(SpatialGridPolicy::for_horizon(
+                    4,
+                    params.space,
+                    params.max_speed,
+                    params.maximum_update_interval,
+                    side,
+                )),
+            ),
+            // Merge back to an uneven K=2.
+            (34, Arc::new(SpatialBoundsPolicy::new(vec![160.0], reach))),
+        ];
+        let coord = run_lockstep_rebalancing(
+            Kind::Mtb,
+            Arc::new(SpatialGridPolicy::for_horizon(
+                2,
+                params.space,
+                params.max_speed,
+                params.maximum_update_interval,
+                side,
+            )),
+            &schedule,
+            &params,
+            threads,
+            40,
+        );
+        assert_eq!(coord.rebalances(), 3);
+        assert!(coord.rebalance_moved() > 0);
+        assert_eq!(coord.shard_count(), 2);
+    }
+}
+
+/// The engines with *default* `restore_object` (trajectory-keyed
+/// removal: Naive, TC) survive split + merge too.
+#[test]
+fn tc_and_naive_rebalance_match_oracle() {
+    let params = skew_params(51);
+    let schedule: Vec<(u32, Arc<dyn PartitionPolicy>)> = vec![
+        (8, Arc::new(VelocityBoundsPolicy::new(vec![0.6, 1.5, 2.5]))),
+        (16, Arc::new(VelocityBoundsPolicy::new(vec![1.5]))),
+    ];
+    for (kind, threads) in [(Kind::Tc, 4), (Kind::Naive, 1)] {
+        let coord = run_lockstep_rebalancing(
+            kind,
+            Arc::new(VelocityBandPolicy::new(2, params.max_speed)),
+            &schedule,
+            &params,
+            threads,
+            24,
+        );
+        assert_eq!(coord.rebalances(), 2);
+    }
+}
+
+/// The Bˣ engine keys removals by (id, mbr, last-update) partition —
+/// the restore path must re-file relocated objects under their original
+/// registration so later producer updates still find them.
+#[test]
+fn bx_engine_rebalance_matches_oracle() {
+    let params = skew_params(52);
+    let schedule: Vec<(u32, Arc<dyn PartitionPolicy>)> = vec![
+        (10, Arc::new(VelocityBoundsPolicy::new(vec![0.5, 1.2, 2.2]))),
+        (22, Arc::new(VelocityBoundsPolicy::new(vec![1.0]))),
+    ];
+    let coord = run_lockstep_rebalancing(
+        Kind::Bx,
+        Arc::new(VelocityBandPolicy::new(2, params.max_speed)),
+        &schedule,
+        &params,
+        4,
+        32,
+    );
+    assert_eq!(coord.rebalances(), 2);
+    assert!(coord.rebalance_moved() > 0);
+}
+
 /// A hand-built update that flips an object between the extreme speed
 /// bands must migrate it and keep the answers identical — the surgical
 /// version of the migration property the lockstep runs hit statistically.
@@ -242,9 +429,11 @@ fn forced_migration_preserves_results_and_placement() {
     let (a, b) = generate_pair(&params, 0.0);
     let config = engine_config(&params);
     let policy = Arc::new(VelocityBandPolicy::new(4, params.max_speed));
-    let mut oracle = build_single(Kind::Mtb, config, &a, &b, 0.0).expect("oracle");
+    let factory = make_factory(Kind::Mtb, &params);
+    let mut oracle = factory(pool(), &config, &a, &b, 0.0).expect("oracle");
     let mut coord =
-        build_coordinator(Kind::Mtb, config, policy.clone(), &a, &b, 0.0).expect("coordinator");
+        ShardCoordinator::with_factory(pool(), config, policy.clone(), &a, &b, 0.0, factory)
+            .expect("coordinator");
     oracle.run_initial_join(0.0).expect("oracle initial");
     coord.run_initial_join(0.0).expect("sharded initial");
 

@@ -161,6 +161,100 @@ fn shard_report_metrics_match_legacy_fields_bit_exactly() {
     }
 }
 
+/// Re-partitioning must keep the metrics view conserved: rebalance
+/// counters track the coordinator's own tallies, population gauges sum
+/// to the datasets under the *new* K, and names from the retired
+/// topology (higher shard indices, dropped pairs) read zero rather than
+/// lingering at their last pre-rebalance values.
+#[test]
+fn rebalance_keeps_metrics_conserved_and_zeroes_stale_names() {
+    let p = params(13);
+    let pool = BufferPool::new(
+        Arc::new(InMemoryStore::new()),
+        BufferPoolConfig::with_capacity(1024),
+    );
+    let config = EngineConfig {
+        t_m: p.maximum_update_interval,
+        metrics: true,
+        ..EngineConfig::default()
+    };
+    let (a, b) = generate_pair(&p, 0.0);
+    let factory: cij_shard::SharedShardEngineFactory =
+        Arc::new(|pool, cfg, sa, sb, now| Ok(Box::new(MtbEngine::new(pool, *cfg, sa, sb, now)?)));
+    let mut coord = ShardCoordinator::with_factory(
+        pool,
+        config,
+        Arc::new(HashPolicy::new(2)),
+        &a,
+        &b,
+        0.0,
+        factory,
+    )
+    .expect("coordinator");
+    coord.run_initial_join(0.0).expect("initial join");
+
+    let mut stream = UpdateStream::new(&p, &a, &b, 0.0);
+    let mut run = |coord: &mut ShardCoordinator, from: u32, to: u32| {
+        for tick in from..=to {
+            let now = Time::from(tick);
+            let updates = stream.tick(now);
+            coord.advance_time(now).expect("advance");
+            coord.apply_batch(&updates, now).expect("batch");
+            coord.gc(now);
+        }
+    };
+
+    run(&mut coord, 1, 10);
+    let moved_split = coord
+        .rebalance_to(Arc::new(HashPolicy::new(4)), Time::from(10u32))
+        .expect("split");
+    run(&mut coord, 11, 20);
+
+    let snap = coord.report().metrics.expect("metrics-on snapshot");
+    assert_eq!(snap.counter("shard.rebalances"), Some(1));
+    assert_eq!(
+        snap.counter("shard.rebalance.moved_objects"),
+        Some(moved_split as u64)
+    );
+    let pop = |snap: &cij_obs::MetricsSnapshot, side: char, i: usize| {
+        snap.gauge(&format!("shard.population.{side}.{i}"))
+            .unwrap_or_else(|| panic!("population.{side}.{i} missing"))
+    };
+    let total_a: i64 = (0..4).map(|i| pop(&snap, 'a', i)).sum();
+    let total_b: i64 = (0..4).map(|i| pop(&snap, 'b', i)).sum();
+    assert_eq!(total_a, a.len() as i64);
+    assert_eq!(total_b, b.len() as i64);
+
+    let moved_merge = coord
+        .rebalance_to(Arc::new(HashPolicy::new(2)), Time::from(20u32))
+        .expect("merge");
+    run(&mut coord, 21, 30);
+
+    let snap = coord.report().metrics.expect("metrics-on snapshot");
+    assert_eq!(snap.counter("shard.rebalances"), Some(2));
+    assert_eq!(
+        snap.counter("shard.rebalance.moved_objects"),
+        Some((moved_split + moved_merge) as u64)
+    );
+    // Shards 2 and 3 are gone: their gauges must read zero, and the
+    // surviving two must again account for every object.
+    for i in 2..4 {
+        assert_eq!(pop(&snap, 'a', i), 0, "stale shard {i} gauge lingered");
+        assert_eq!(pop(&snap, 'b', i), 0, "stale shard {i} gauge lingered");
+    }
+    assert_eq!(pop(&snap, 'a', 0) + pop(&snap, 'a', 1), a.len() as i64);
+    assert_eq!(pop(&snap, 'b', 0) + pop(&snap, 'b', 1), b.len() as i64);
+    assert_eq!(snap.gauge("shard.engines"), Some(4));
+    // Retired pair counters (any index touching shard 2 or 3) read zero.
+    for (i, j) in [(0usize, 2usize), (2, 0), (3, 3), (1, 2)] {
+        for metric in ["node_pairs", "pairs_emitted"] {
+            if let Some(v) = snap.counter(&format!("shard.pair.{i}_{j}.{metric}")) {
+                assert_eq!(v, 0, "stale pair ({i},{j}) {metric} lingered");
+            }
+        }
+    }
+}
+
 #[test]
 fn metrics_off_coordinator_reports_no_snapshot() {
     let p = params(12);

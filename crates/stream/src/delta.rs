@@ -15,6 +15,19 @@
 //! changelog; for them the extractor falls back to diffing
 //! `result_at` snapshots, trading the incremental cost model for the
 //! same delta contract.
+//!
+//! The changelog is a *dirty list*, not an event stream: every recheck
+//! resolves pair membership from the engine's current state, so
+//! spurious entries are harmless and only missing ones would be a bug.
+//! That is what makes online shard re-partitioning (the `cij-shard`
+//! coordinator's `rebalance_to`) transparent here — a rebalance drains
+//! the changelogs of dropped
+//! shard-pair engines into the coordinator's own changelog, so every
+//! pair whose owning engine changed gets rechecked against the *new*
+//! topology, and pairs pruned out of the join plan read as inactive
+//! exactly when their predicted intervals say so. The rebalance tests
+//! in `tests/shard_rebalance.rs` pin the resulting delta stream
+//! bit-identical to the single-engine stream across re-partitions.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
